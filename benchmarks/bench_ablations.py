@@ -1,0 +1,26 @@
+"""Design-choice ablations (DESIGN.md): channel model, packing, slicing,
+aggregation policy."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.metrics.report import format_table
+
+
+def test_design_ablations(benchmark, show):
+    rows = run_once(benchmark, lambda: ablations.run(n_iterations=10))
+    show(
+        format_table(
+            ["variant", "Prophet rate (samples/s)"],
+            [[r.name, f"{r.rate:.1f}"] for r in rows],
+            title="Ablations — ResNet-50 bs64 at 3 Gbps",
+        )
+    )
+    by_name = {r.name: r.rate for r in rows}
+    base = by_name["baseline (shared channel)"]
+    # Full duplex can only help (two links instead of one).
+    assert by_name["full-duplex links"] >= base * 0.98
+    # Reserving round-trip time idles the channel: never better than base.
+    assert by_name["round-trip packing (2E)"] <= base * 1.02
+    # Disabling slicing wastes interval tails: never better than base.
+    assert by_name["no gradient slicing"] <= base * 1.02

@@ -1,0 +1,47 @@
+"""Time-to-accuracy under BSP/SSP/ASP (completes future-work item 1)."""
+
+from conftest import run_once
+
+from repro.experiments import convergence
+from repro.metrics.report import format_table
+
+
+def test_time_to_accuracy(benchmark, show):
+    rows = run_once(
+        benchmark, lambda: convergence.run(n_iterations=12, sgd_steps=3000)
+    )
+    show(
+        format_table(
+            ["sync", "s/iteration", "mean staleness", "iters to 1% loss",
+             "time to 1% (s)"],
+            [
+                [
+                    r.sync_mode,
+                    f"{r.seconds_per_iteration * 1e3:.0f} ms",
+                    f"{r.mean_staleness:.2f}",
+                    "diverged" if r.iterations_to_target is None
+                    else r.iterations_to_target,
+                    "-" if r.time_to_target_s is None
+                    else f"{r.time_to_target_s:.1f}",
+                ]
+                for r in rows
+            ],
+            title=(
+                "Time-to-accuracy, Prophet-scheduled cluster with a 1.4x "
+                "compute straggler: asynchrony's throughput win survives "
+                "its (mild) staleness cost"
+            ),
+        )
+    )
+    by_mode = {r.sync_mode: r for r in rows}
+    assert by_mode["bsp"].mean_staleness == 0.0
+    assert by_mode["asp"].mean_staleness > 0.0
+    assert (
+        by_mode["asp"].seconds_per_iteration
+        < by_mode["bsp"].seconds_per_iteration
+    )
+    # At this staleness level the statistical penalty is small enough that
+    # asynchrony wins wall-clock time to the target.
+    assert by_mode["asp"].time_to_target_s is not None
+    assert by_mode["bsp"].time_to_target_s is not None
+    assert by_mode["asp"].time_to_target_s <= by_mode["bsp"].time_to_target_s

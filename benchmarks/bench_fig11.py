@@ -1,0 +1,34 @@
+"""Fig. 11 — per-gradient transfer start/end times for three strategies."""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+from repro.metrics.report import format_table
+
+
+def test_fig11_gradient_timings(benchmark, show):
+    res = run_once(benchmark, lambda: fig11.run(n_iterations=10))
+    rows = res.by_strategy()
+    show(
+        format_table(
+            ["strategy", "mean wait (ms)", "mean transfer (ms)",
+             "wait grads 0-80 (ms)"],
+            [
+                [r.strategy, f"{r.mean_wait_ms:.1f}", f"{r.mean_transfer_ms:.1f}",
+                 f"{r.high_priority_mean_wait_ms():.1f}"]
+                for r in res.rows
+            ],
+            title=(
+                "Fig. 11 — per-gradient timings, ResNet-50 bs64 "
+                "(paper: wait 26 ms Prophet vs 67 ms BS; "
+                "transfer 125/135/446 ms for Prophet/BS/MXNet)"
+            ),
+        )
+    )
+    # The paper's orderings: Prophet waits least, MXNet transfers longest
+    # and (FIFO) makes high-priority gradients wait the most.
+    assert rows["prophet"].mean_wait_ms <= rows["bytescheduler"].mean_wait_ms + 1.0
+    assert (
+        rows["mxnet-fifo"].high_priority_mean_wait_ms()
+        > rows["prophet"].high_priority_mean_wait_ms()
+    )

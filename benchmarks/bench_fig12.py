@@ -1,0 +1,26 @@
+"""Fig. 12 — Prophet scalability in worker count."""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+from repro.metrics.report import format_table
+
+
+def test_fig12_worker_scaling(benchmark, show):
+    rows = run_once(benchmark, lambda: fig12.run(n_iterations=10))
+    show(
+        format_table(
+            ["workers", "per-worker rate", "aggregate rate"],
+            [[r.n_workers, f"{r.per_worker_rate:.2f}", f"{r.aggregate_rate:.1f}"]
+             for r in rows],
+            title=(
+                "Fig. 12 — Prophet, ResNet-50 bs64 "
+                "(paper: per-worker 69.94 -> 68.83 from 2 to 8 workers)"
+            ),
+        )
+    )
+    # Near-linear scaling: per-worker rate drops < 5% from 2 to 8 workers.
+    assert rows[-1].per_worker_rate > rows[0].per_worker_rate * 0.95
+    # Aggregate throughput grows with the cluster.
+    aggregates = [r.aggregate_rate for r in rows]
+    assert aggregates == sorted(aggregates)

@@ -1,0 +1,31 @@
+"""Fig. 13 — Prophet's profiling-phase overhead over time."""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+from repro.metrics.report import format_table
+
+
+def test_fig13_profiling_overhead(benchmark, show):
+    res = run_once(benchmark, lambda: fig13.run(profile_iterations=6, n_iterations=18))
+    show(
+        format_table(
+            ["strategy", "util (profiling window)", "util (after)", "steady rate"],
+            [
+                ["prophet (online profiling)", f"{res.prophet_early * 100:.1f}%",
+                 f"{res.prophet_late * 100:.1f}%", f"{res.prophet_rate:.1f}"],
+                ["bytescheduler", f"{res.bytescheduler_early * 100:.1f}%",
+                 f"{res.bytescheduler_late * 100:.1f}%",
+                 f"{res.bytescheduler_rate:.1f}"],
+            ],
+            title=(
+                "Fig. 13 — early-stage overhead (paper: Prophet slightly "
+                "below ByteScheduler while profiling, ahead afterwards)"
+            ),
+        )
+    )
+    # During profiling Prophet runs FIFO: it must not beat ByteScheduler.
+    assert res.prophet_early <= res.bytescheduler_early + 0.03
+    # After activation Prophet catches up (or overtakes).
+    assert res.prophet_late >= res.bytescheduler_late - 0.03
+    assert res.prophet_rate >= res.bytescheduler_rate * 0.97

@@ -1,0 +1,26 @@
+"""Fig. 2 — GPU utilization / network throughput under default MXNet."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+from repro.metrics.report import format_table
+
+
+def test_fig2_mxnet_gpu_starvation(benchmark, show):
+    res = run_once(benchmark, lambda: fig2.run(n_iterations=10))
+    show(
+        format_table(
+            ["metric", "value", "paper"],
+            [
+                ["mean GPU utilization", f"{res.mean_utilization * 100:.1f}%",
+                 "<50% during pulls"],
+                ["time near-idle (<10% util)", f"{res.idle_fraction * 100:.1f}%",
+                 "util drops to zero each pull phase"],
+                ["training rate (samples/s/worker)", f"{res.training_rate:.1f}", "-"],
+            ],
+            title="Fig. 2 — default MXNet, ResNet-152 bs32, 1 PS + 3 workers",
+        )
+    )
+    # The motivating pathology: substantial idle time under FIFO.
+    assert res.idle_fraction > 0.05
+    assert res.mean_utilization < 0.85

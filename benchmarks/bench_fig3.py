@@ -1,0 +1,41 @@
+"""Fig. 3 — P3's partition overhead and ByteScheduler's tuning jitter."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+from repro.metrics.report import format_table
+
+
+def test_fig3a_p3_partition_sweep(benchmark, show):
+    res = run_once(benchmark, lambda: fig3.run_partition_sweep(n_iterations=10))
+    show(
+        format_table(
+            ["partition (MB)", "rate (samples/s)"],
+            list(zip(res.partition_mb, (f"{r:.1f}" for r in res.rates))),
+            title="Fig. 3(a) — P3 rate vs partition size (ResNet-50 bs64, 3 Gbps)",
+        )
+    )
+    # Paper: small partitions dramatically decrease the training rate.
+    assert res.rates[0] < max(res.rates) * 0.9
+    assert res.best_partition_mb >= 1.0
+
+
+def test_fig3b_bytescheduler_autotune(benchmark, show):
+    res = run_once(benchmark, lambda: fig3.run_autotune(n_iterations=32, tune_every=2))
+    rows = [
+        [i, f"{r:.1f}", f"{c:.1f}"]
+        for i, r, c in zip(res.iterations, res.rates, res.credits_mb)
+    ]
+    show(
+        format_table(
+            ["iteration", "rate (samples/s)", "credit (MB)"],
+            rows,
+            title=(
+                "Fig. 3(b) — ByteScheduler auto-tuning "
+                f"(rate band {min(res.rates):.1f}-{max(res.rates):.1f}; "
+                "paper: 44-56 samples/s, credit 3-13 MB)"
+            ),
+        )
+    )
+    # Exploration produces a visible fluctuation band.
+    assert res.rate_spread > 0.05 * max(res.rates)

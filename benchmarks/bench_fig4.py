@@ -1,0 +1,31 @@
+"""Fig. 4 — stepwise pattern of gradient generation times."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+from repro.metrics.report import format_table
+
+
+def test_fig4_stepwise_pattern(benchmark, show):
+    res = run_once(benchmark, fig4.run)
+    for label, summary, paper_note in (
+        ("ResNet-50", res.resnet50_summary,
+         "staircase over ~160 gradients (paper: blocks like {144-156}, {134-143})"),
+        ("VGG-19", res.vgg19_summary,
+         "paper: 4 blocks {28-37}, {14-27}, {2-13}, {0-1}"),
+    ):
+        rows = [
+            [i, size, f"{t * 1e3:.1f}"]
+            for i, (size, t) in enumerate(
+                zip(summary.block_sizes, summary.block_times)
+            )
+        ]
+        show(
+            format_table(
+                ["block", "#gradients", "flush time (ms)"],
+                rows,
+                title=f"Fig. 4 — {label} stepwise pattern ({paper_note})",
+            )
+        )
+    assert res.vgg19_summary.num_blocks == 4
+    assert res.resnet50_summary.num_blocks >= 10

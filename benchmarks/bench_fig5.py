@@ -1,0 +1,29 @@
+"""Fig. 5 — illustrative 4-strategy example on a 3-gradient toy job."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+from repro.metrics.report import format_table
+
+
+def test_fig5_illustrative_example(benchmark, show):
+    res = run_once(benchmark, fig5.run)
+    rows = res.by_strategy()
+    show(
+        format_table(
+            ["strategy", "grad0 wait (ms)", "grad0 update (ms)", "iteration (ms)"],
+            [
+                [r.strategy, f"{r.grad0_wait_ms:.2f}", f"{r.grad0_update_ms:.1f}",
+                 f"{r.iteration_ms:.1f}"]
+                for r in res.rows
+            ],
+            title=(
+                "Fig. 5 — toy example: MXNet blocks gradient 0 behind "
+                "gradient 1; Prophet sends exactly what fits the interval"
+            ),
+        )
+    )
+    assert rows["prophet"].grad0_wait_ms < rows["bytescheduler"].grad0_wait_ms + 1e-6
+    assert rows["mxnet-fifo"].grad0_wait_ms == max(
+        r.grad0_wait_ms for r in res.rows
+    )

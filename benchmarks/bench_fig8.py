@@ -1,0 +1,31 @@
+"""Fig. 8 — Prophet vs ByteScheduler across models and batch sizes."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+from repro.metrics.report import format_table
+
+
+def test_fig8_training_rate_comparison(benchmark, show):
+    rows = run_once(benchmark, lambda: fig8.run(n_iterations=10))
+    show(
+        format_table(
+            ["model", "batch", "Prophet", "ByteScheduler", "improvement"],
+            [
+                [r.model, r.batch_size, f"{r.prophet_rate:.1f}",
+                 f"{r.bytescheduler_rate:.1f}", f"{r.improvement * 100:+.1f}%"]
+                for r in rows
+            ],
+            title=(
+                "Fig. 8 — training rate at 3 Gbps "
+                "(paper: Prophet +10-40% across these workloads)"
+            ),
+        )
+    )
+    # Prophet wins at the compute/comm crossover workloads and stays
+    # within noise of ByteScheduler on fully saturated ones (see
+    # EXPERIMENTS.md: the paper's uniform +10-40% reflects baseline
+    # implementation overheads our substrate does not impose).
+    assert all(r.improvement > -0.05 for r in rows)
+    by_key = {(r.model, r.batch_size): r.improvement for r in rows}
+    assert by_key[("resnet50", 64)] > 0.02

@@ -1,0 +1,30 @@
+"""Sec. 5.3 — heterogeneous cluster (one worker capped at 500 Mbps)."""
+
+from conftest import run_once
+
+from repro.experiments import hetero
+from repro.metrics.report import format_table
+
+
+def test_hetero_slow_worker(benchmark, show):
+    res = run_once(benchmark, lambda: hetero.run(n_iterations=10))
+    show(
+        format_table(
+            ["strategy", "rate (samples/s)", "paper"],
+            [
+                ["prophet", f"{res.rates.rates['prophet']:.1f}", "26.4"],
+                ["bytescheduler", f"{res.rates.rates['bytescheduler']:.1f}", "25.8"],
+                ["mxnet-fifo", f"{res.rates.rates['mxnet-fifo']:.1f}", "15.09"],
+                ["p3", f"{res.rates.rates['p3']:.1f}", "-"],
+            ],
+            title=(
+                "Sec. 5.3 — one worker at 500 Mbps "
+                f"(Prophet vs BS: {res.prophet_vs_bytescheduler * 100:+.1f}%, "
+                "paper +2.3%)"
+            ),
+        )
+    )
+    # The optimization space collapses: Prophet ~ ByteScheduler.
+    assert abs(res.prophet_vs_bytescheduler) < 0.10
+    # Absolute rates land in the paper's band for the priority schedulers.
+    assert 20 < res.rates.rates["prophet"] < 32

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the substrate itself (engine, TCP model, GP).
+
+These are true pytest-benchmark timing targets (many rounds) guarding the
+simulator's own performance: the experiment harnesses run thousands of
+events per simulated second, so regressions here multiply into every
+figure regeneration.
+"""
+
+import numpy as np
+
+from repro.bayesopt.gp import GaussianProcess
+from repro.net.tcp import TCPParams, transfer_time
+from repro.quantities import Gbps
+from repro.sim.engine import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + fire 10k chained events."""
+
+    def run():
+        eng = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                eng.schedule_after(1e-6, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_tcp_transfer_time_vectorized(benchmark):
+    """Vectorized f(s, B) over 10k sizes."""
+    sizes = np.logspace(2, 9, 10_000)
+    params = TCPParams()
+    out = benchmark(lambda: transfer_time(sizes, 3 * Gbps, params))
+    assert len(out) == 10_000
+
+
+def test_gp_fit_predict(benchmark):
+    """GP fit + predict at ByteScheduler's tuning scale (30 points)."""
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, 30)
+    y = np.sin(x * 6) + 0.1 * rng.standard_normal(30)
+    grid = np.linspace(0, 1, 256)
+
+    def run():
+        gp = GaussianProcess().fit(x, y)
+        return gp.predict(grid)
+
+    mean, std = benchmark(run)
+    assert len(mean) == 256 and len(std) == 256
+
+
+def test_full_training_simulation_rate(benchmark):
+    """End-to-end: one 6-iteration tiny-cluster simulation."""
+    from repro.cluster.trainer import run_training
+    from repro.config import TrainingConfig
+    from repro.quantities import Gbps as _Gbps
+    from repro.workloads.presets import prophet_factory
+
+    config = TrainingConfig(
+        model="resnet18",
+        batch_size=16,
+        n_workers=2,
+        n_iterations=6,
+        bandwidth=2 * _Gbps,
+        record_gradients=False,
+    )
+    result = benchmark.pedantic(
+        lambda: run_training(config, prophet_factory()), rounds=3, iterations=1
+    )
+    assert result.training_rate(skip=1) > 0

@@ -1,0 +1,45 @@
+"""Table 3 — batch-size sensitivity of Prophet's improvement."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+from repro.metrics.report import format_table
+
+#: The paper's Table 3 improvements for each (model, batch).
+PAPER_IMPROVEMENT = {
+    ("resnet18", 16): "+11.6%",
+    ("resnet18", 64): "+33%",
+    ("resnet50", 16): "+1.5%",
+    ("resnet50", 32): "+22%",
+    ("resnet50", 64): "+36%",
+}
+
+
+def test_table3_batch_sensitivity(benchmark, show):
+    rows = run_once(benchmark, lambda: table3.run(n_iterations=10))
+    show(
+        format_table(
+            ["model (batch)", "Prophet", "ByteScheduler", "improvement",
+             "paper"],
+            [
+                [f"{r.model} ({r.batch_size})", f"{r.prophet_rate:.2f}",
+                 f"{r.bytescheduler_rate:.2f}", f"{r.improvement * 100:+.1f}%",
+                 PAPER_IMPROVEMENT[(r.model, r.batch_size)]]
+                for r in rows
+            ],
+            title="Table 3 — batch-size sensitivity at 3 Gbps",
+        )
+    )
+    by_key = {(r.model, r.batch_size): r for r in rows}
+    # The trend the paper reports: larger batch -> larger Prophet gain
+    # (longer backward passes widen the stepwise intervals).
+    assert (
+        by_key[("resnet50", 64)].improvement
+        > by_key[("resnet50", 16)].improvement
+    )
+    assert (
+        by_key[("resnet18", 64)].improvement
+        > by_key[("resnet18", 16)].improvement
+    )
+    # At the paper's headline workload Prophet clearly wins.
+    assert by_key[("resnet50", 64)].improvement > 0.0

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every paper artifact (figure or table) has one ``bench_*.py`` module.
+Each benchmark runs the corresponding experiment once under
+``pytest-benchmark`` (wall-clock of the full regeneration) and prints the
+same rows/series the paper reports, bypassing pytest's capture so that
+
+    pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+produces a readable reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capfd):
+    """Print ``text`` to the real terminal, outside pytest capture."""
+
+    def _show(text: str) -> None:
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

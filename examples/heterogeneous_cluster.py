@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Heterogeneous cluster: slow links and compute stragglers under BSP.
+
+Reproduces the paper's Sec. 5.3 heterogeneity experiment and extends it:
+besides capping one worker's bandwidth to 500 Mbps (the paper's setup),
+it also makes one worker's *compute* 1.5x slower, showing how BSP drags
+every worker down to the straggler's pace and how much scheduling can
+(and cannot) recover.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from dataclasses import replace
+
+from repro import paper_config, run_training
+from repro.metrics.report import format_table
+from repro.quantities import Gbps, Mbps
+from repro.workloads.presets import STRATEGY_FACTORIES
+
+
+def rates_for(config):
+    return {
+        name: run_training(config, factory).training_rate()
+        for name, factory in STRATEGY_FACTORIES.items()
+    }
+
+
+def main() -> None:
+    base = paper_config(
+        model="resnet18",
+        batch_size=64,
+        bandwidth=3 * Gbps,
+        n_workers=3,
+        n_iterations=12,
+        record_gradients=False,
+    )
+    scenarios = [
+        ("homogeneous (3 Gbps)", base),
+        (
+            "worker 0 at 500 Mbps (paper Sec. 5.3)",
+            replace(base, worker_bandwidth={0: 500 * Mbps}),
+        ),
+        (
+            "worker 1 compute 1.5x slower",
+            replace(base, worker_compute_scale={1: 1.5}),
+        ),
+        (
+            "both: slow link + straggler",
+            replace(
+                base,
+                worker_bandwidth={0: 500 * Mbps},
+                worker_compute_scale={1: 1.5},
+            ),
+        ),
+    ]
+    rows = []
+    for label, config in scenarios:
+        rates = rates_for(config)
+        rows.append(
+            [
+                label,
+                f"{rates['prophet']:.1f}",
+                f"{rates['bytescheduler']:.1f}",
+                f"{rates['mxnet-fifo']:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "Prophet", "ByteScheduler", "MXNet"],
+            rows,
+            title="ResNet-18 bs64 — heterogeneity (samples/s per worker)",
+        )
+    )
+    print(
+        "\nThe slow link gates BSP aggregation for everyone: the scheduling "
+        "optimization space collapses and Prophet ~ ByteScheduler, matching "
+        "the paper's +2.3% observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

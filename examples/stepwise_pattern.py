@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Inspect the stepwise pattern and Prophet's plan for any zoo model.
+
+Reproduces the paper's Fig. 4 analysis end-to-end, in memory:
+
+1. build the layer-accurate model and its compute profile,
+2. run the KV-store aggregation to get per-gradient generation times,
+3. detect the staircase (blocks + inter-block intervals),
+4. run Algorithm 1 against a chosen bandwidth and show the gradient
+   blocks it assembles,
+5. evaluate the plan under the Sec. 3 performance model (T_wait).
+
+Run:  python examples/stepwise_pattern.py [model] [batch] [gbps]
+e.g.  python examples/stepwise_pattern.py resnet50 64 3
+"""
+
+import sys
+
+from repro.agg import KVStore, block_summary
+from repro.core import (
+    JobProfile,
+    PerfModelInputs,
+    evaluate_schedule,
+    per_gradient_fwd_times,
+    plan_schedule,
+)
+from repro.metrics.report import format_table
+from repro.models import build_compute_profile, get_model
+from repro.quantities import Gbps, fmt_bytes, to_ms
+from repro.workloads.presets import PAPER_TCP, paper_device
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    gbps = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+
+    model = get_model(model_name)
+    print(
+        f"{model.name}: {model.num_tensors} gradient tensors, "
+        f"{fmt_bytes(model.param_bytes())} of parameters\n"
+    )
+
+    compute = build_compute_profile(model, paper_device(model_name), batch)
+    schedule = KVStore().generation_schedule(compute)
+    summary = block_summary(schedule.c)
+    print(
+        format_table(
+            ["block", "#gradients", "flush (ms)", "bytes"],
+            [
+                [i, size, f"{to_ms(t):.1f}",
+                 fmt_bytes(sum(schedule.sizes[g] for g in members))]
+                for i, (size, t, members) in enumerate(
+                    zip(summary.block_sizes, summary.block_times,
+                        schedule.buckets)
+                )
+            ],
+            title=f"Stepwise pattern (Fig. 4): {summary.num_blocks} generation "
+            f"blocks, mean interval {to_ms(summary.mean_interval):.1f} ms",
+        )
+    )
+
+    profile = JobProfile.from_generation_schedule(schedule)
+    plan = plan_schedule(profile, gbps * Gbps, PAPER_TCP)
+    print()
+    print(
+        format_table(
+            ["phase", "#blocks", "gradients", "bytes"],
+            [
+                [
+                    phase,
+                    len(blocks),
+                    sum(len(b.grads) for b in blocks),
+                    fmt_bytes(sum(b.nbytes for b in blocks)),
+                ]
+                for phase, blocks in (
+                    ("backward (interval-packed)", plan.backward_blocks()),
+                    ("critical + forward drain", plan.forward_blocks()),
+                )
+            ],
+            title=f"Algorithm 1 plan at {gbps:g} Gbps",
+        )
+    )
+
+    inputs = PerfModelInputs(
+        c=profile.c,
+        t=plan.start_times,
+        e=plan.durations,
+        fp=per_gradient_fwd_times(compute),
+        total_bwd=compute.total_bwd,
+    )
+    ev = evaluate_schedule(inputs)
+    print(
+        f"\nSec. 3 performance model: T_wait = {to_ms(ev.t_wait):.1f} ms, "
+        f"iteration = {to_ms(ev.iteration_time):.1f} ms "
+        f"({batch / ev.iteration_time:.1f} samples/s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

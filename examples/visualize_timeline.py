@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Terminal visualization of the transfer schedule (Fig. 5 / Fig. 11 style).
+
+Renders, for one steady-state iteration of each strategy:
+
+* the channel-occupancy Gantt (push vs pull vs idle over time), and
+* the gradient waterfall (generation → wait → push → parameter return),
+
+plus a CSV/JSON export of the same data for external analysis.
+
+Run:  python examples/visualize_timeline.py [strategy]
+e.g.  python examples/visualize_timeline.py prophet
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import paper_config, run_training
+from repro.metrics import (
+    gradient_records_rows,
+    render_channel_timeline,
+    render_gradient_waterfall,
+    result_summary_dict,
+    write_csv,
+    write_json,
+)
+from repro.quantities import Gbps
+from repro.workloads.presets import STRATEGY_FACTORIES
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else None
+    strategies = (
+        {which: STRATEGY_FACTORIES[which]} if which else STRATEGY_FACTORIES
+    )
+    config = paper_config(
+        "resnet50", 64, bandwidth=3 * Gbps, n_workers=3, n_iterations=10
+    )
+    iteration = 7  # a steady-state iteration
+    outdir = Path(tempfile.mkdtemp(prefix="repro-timeline-"))
+
+    for name, factory in strategies.items():
+        result = run_training(config, factory)
+        iters = {r.iteration: r for r in result.recorder.worker_iterations(0)}
+        start = iters[iteration].fwd_start
+        end = iters[iteration + 1].fwd_start
+        print(f"\n=== {name} — iteration {iteration} "
+              f"({(end - start) * 1e3:.0f} ms) ===")
+        print(render_channel_timeline(
+            result.topology.uplink(0).records, start, end))
+        print()
+        print(render_gradient_waterfall(
+            result.gradient_records(worker=0, iteration=iteration)))
+
+        csv_path = write_csv(
+            gradient_records_rows(result, worker=0, iteration=iteration),
+            outdir / f"{name}-gradients.csv",
+        )
+        json_path = write_json(
+            result_summary_dict(result), outdir / f"{name}-summary.json"
+        )
+        print(f"\nexported: {csv_path.name}, {json_path.name} -> {outdir}")
+
+
+if __name__ == "__main__":
+    main()

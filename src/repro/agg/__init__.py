@@ -1,0 +1,43 @@
+"""Gradient aggregation — the root cause of the stepwise pattern.
+
+The paper (Sec. 2.2) traces the stepwise pattern of gradient transfer start
+times to the key-value aggregation that DDNN frameworks perform before each
+push: MXNet's ``GroupKVPairsPush`` (and Horovod's RendezvousServer,
+TensorFlow's communication buffer) collect a set of gradients into one data
+structure before the push operation is invoked, and copyD2H/send-buffer
+batching reinforces the grouping.  Gradients therefore become
+*communication-ready* in bursts, separated by the backward-compute time of
+the layers in between.
+
+This package models that mechanism: an aggregation
+:class:`~repro.agg.policies.AggregationPolicy` groups raw per-layer
+backward completion times into flush buckets, and
+:class:`~repro.agg.kvstore.KVStore` turns a compute profile into the
+per-gradient generation times ``c(i)`` — the paper's Table 1 quantity and
+Algorithm 1 input.
+"""
+
+from repro.agg.policies import (
+    AggregationPolicy,
+    TimeWindowPolicy,
+    ByteThresholdPolicy,
+    LayerCountPolicy,
+    ModulePrefixPolicy,
+    ExplicitGroupsPolicy,
+)
+from repro.agg.kvstore import KVStore, GenerationSchedule
+from repro.agg.stepwise import detect_blocks, block_summary, StepwiseSummary
+
+__all__ = [
+    "AggregationPolicy",
+    "TimeWindowPolicy",
+    "ByteThresholdPolicy",
+    "LayerCountPolicy",
+    "ModulePrefixPolicy",
+    "ExplicitGroupsPolicy",
+    "KVStore",
+    "GenerationSchedule",
+    "detect_blocks",
+    "block_summary",
+    "StepwiseSummary",
+]

@@ -1,0 +1,84 @@
+"""Stepwise-pattern analysis utilities.
+
+Given per-gradient generation times ``c(i)`` (from a
+:class:`~repro.agg.kvstore.GenerationSchedule` or from a measured trace),
+these helpers recover the *block* structure the paper observes in Fig. 4:
+which gradients form a burst, how wide the inter-block intervals are, and
+summary statistics used by the Fig. 4 benchmark and by calibration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["detect_blocks", "block_summary", "StepwiseSummary"]
+
+
+def detect_blocks(c: np.ndarray, eps: float = 1e-6) -> list[list[int]]:
+    """Cluster gradients into generation blocks.
+
+    Gradients whose generation times differ by at most ``eps`` belong to
+    the same block.  Returns blocks in generation order, each a list of
+    gradient indices in descending-index (generation) order — the same
+    convention as aggregation buckets.
+    """
+    c = np.asarray(c, dtype=float)
+    if c.ndim != 1 or len(c) == 0:
+        raise ConfigurationError("c must be a non-empty 1-D array")
+    if eps < 0:
+        raise ConfigurationError(f"eps must be >= 0, got {eps}")
+    idx = np.arange(len(c))
+    order = idx[np.lexsort((-idx, c))]
+    blocks: list[list[int]] = []
+    current: list[int] = [int(order[0])]
+    block_time = c[order[0]]
+    for i in order[1:]:
+        if c[i] - block_time > eps:
+            blocks.append(current)
+            current = []
+            block_time = c[i]
+        current.append(int(i))
+    blocks.append(current)
+    return blocks
+
+
+@dataclass(frozen=True)
+class StepwiseSummary:
+    """Aggregate description of a stepwise generation trace."""
+
+    num_gradients: int
+    num_blocks: int
+    block_sizes: tuple[int, ...]
+    block_times: tuple[float, ...]
+    intervals: tuple[float, ...]
+
+    @property
+    def mean_interval(self) -> float:
+        """Mean inter-block interval in seconds (0 for a single block)."""
+        return float(np.mean(self.intervals)) if self.intervals else 0.0
+
+    @property
+    def span(self) -> float:
+        """Time from first to last block flush."""
+        if len(self.block_times) < 2:
+            return 0.0
+        return self.block_times[-1] - self.block_times[0]
+
+
+def block_summary(c: np.ndarray, eps: float = 1e-6) -> StepwiseSummary:
+    """Summarize the staircase: block count, sizes, and step intervals."""
+    blocks = detect_blocks(c, eps)
+    c = np.asarray(c, dtype=float)
+    times = [float(c[b[0]]) for b in blocks]
+    intervals = tuple(t2 - t1 for t1, t2 in zip(times, times[1:]))
+    return StepwiseSummary(
+        num_gradients=len(c),
+        num_blocks=len(blocks),
+        block_sizes=tuple(len(b) for b in blocks),
+        block_times=tuple(times),
+        intervals=intervals,
+    )

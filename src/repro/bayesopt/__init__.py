@@ -1,0 +1,14 @@
+"""Gaussian-process Bayesian optimization.
+
+ByteScheduler tunes its credit size with Bayesian optimization (paper
+Sec. 2.2: "Bayesian optimization is used to explore an appropriate credit
+size"), and the exploration is what makes its training rate fluctuate
+between ~44 and ~56 samples/s in Fig. 3(b).  This package provides the
+pure-NumPy GP regression and expected-improvement loop that drives the
+reproduction of that behaviour.
+"""
+
+from repro.bayesopt.gp import GaussianProcess, RBFKernel
+from repro.bayesopt.optimizer import BayesianOptimizer
+
+__all__ = ["GaussianProcess", "RBFKernel", "BayesianOptimizer"]

@@ -1,0 +1,90 @@
+"""Exact Gaussian-process regression (pure NumPy).
+
+A deliberately small implementation — RBF kernel, jittered Cholesky,
+standardized targets — sufficient for the 1-D credit-size search
+ByteScheduler performs.  Inputs are expected to be pre-scaled by the caller
+(the optimizer works in log-credit space normalized to [0, 1]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RBFKernel", "GaussianProcess"]
+
+
+@dataclass(frozen=True)
+class RBFKernel:
+    """Squared-exponential kernel ``k(a,b) = var * exp(-|a-b|²/(2ℓ²))``."""
+
+    length_scale: float = 0.2
+    variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0:
+            raise ConfigurationError(
+                f"length_scale must be positive, got {self.length_scale}"
+            )
+        if self.variance <= 0:
+            raise ConfigurationError(f"variance must be positive, got {self.variance}")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_1d(np.asarray(a, dtype=float))
+        b = np.atleast_1d(np.asarray(b, dtype=float))
+        sq = (a[:, None] - b[None, :]) ** 2
+        return self.variance * np.exp(-0.5 * sq / self.length_scale**2)
+
+
+class GaussianProcess:
+    """Exact GP posterior over scalar functions of one variable.
+
+    Targets are standardized internally so kernel variance 1 is always a
+    reasonable prior; predictions are returned in the original scale.
+    """
+
+    def __init__(self, kernel: RBFKernel | None = None, noise: float = 1e-4):
+        if noise < 0:
+            raise ConfigurationError(f"noise must be >= 0, got {noise}")
+        self.kernel = kernel if kernel is not None else RBFKernel()
+        self.noise = noise
+        self._x: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Condition on observations ``(x, y)``."""
+        x = np.asarray(x, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if len(x) != len(y):
+            raise ConfigurationError("x and y must have the same length")
+        if len(x) == 0:
+            raise ConfigurationError("need at least one observation")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        yn = (y - self._y_mean) / self._y_std
+        k = self.kernel(x, x) + (self.noise + 1e-10) * np.eye(len(x))
+        chol = np.linalg.cholesky(k)
+        self._alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, yn))
+        self._x = x
+        self._chol = chol
+        return self
+
+    def predict(self, x_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``x_new``."""
+        if self._x is None or self._alpha is None or self._chol is None:
+            raise ConfigurationError("predict before fit")
+        x_new = np.atleast_1d(np.asarray(x_new, dtype=float))
+        k_star = self.kernel(x_new, self._x)
+        mean = k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        var = np.clip(self.kernel.variance - np.sum(v**2, axis=0), 0.0, None)
+        return (
+            mean * self._y_std + self._y_mean,
+            np.sqrt(var) * self._y_std,
+        )

@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro list                     # models + experiments
+    python -m repro info resnet50            # model card
+    python -m repro run table2               # regenerate a paper artifact
+    python -m repro compare --model resnet50 --batch 64 --gbps 3
+    python -m repro sweep --model resnet50 --gbps 1 3 10
+
+``run`` accepts any experiment name from :mod:`repro.experiments` and
+invokes its ``main()``; ``compare`` and ``sweep`` build ad-hoc configs on
+the paper's calibrated presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cluster.trainer import run_training
+from repro.metrics.report import format_table
+from repro.models.gradients import gradient_table
+from repro.models.registry import available_models, get_model
+from repro.quantities import Gbps, fmt_bytes
+from repro.workloads.presets import EXTENDED_FACTORIES, paper_config
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = (
+    "fig2", "fig3", "fig4", "fig5", "fig8", "fig9_10", "fig11", "fig12",
+    "fig13", "table2", "table3", "hetero", "overhead", "ablations", "asp",
+    "devices", "dynamic", "convergence",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prophet (ICPP'21) reproduction — simulate DDNN "
+        "communication scheduling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models, strategies, and experiments")
+
+    info = sub.add_parser("info", help="show a model card")
+    info.add_argument("model", choices=available_models())
+
+    run = sub.add_parser("run", help="regenerate a paper figure/table")
+    run.add_argument("experiment", choices=EXPERIMENTS)
+
+    compare = sub.add_parser(
+        "compare", help="compare all strategies on one workload"
+    )
+    compare.add_argument("--model", default="resnet50", choices=available_models())
+    compare.add_argument("--batch", type=int, default=64)
+    compare.add_argument("--gbps", type=float, default=3.0)
+    compare.add_argument("--workers", type=int, default=3)
+    compare.add_argument("--iterations", type=int, default=12)
+    compare.add_argument("--sync", default="bsp", choices=("bsp", "asp", "ssp"))
+    compare.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="bandwidth sweep for one workload")
+    sweep.add_argument("--model", default="resnet50", choices=available_models())
+    sweep.add_argument("--batch", type=int, default=64)
+    sweep.add_argument("--gbps", type=float, nargs="+", default=[1.0, 3.0, 10.0])
+    sweep.add_argument("--workers", type=int, default=3)
+    sweep.add_argument("--iterations", type=int, default=12)
+    sweep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("models:      " + ", ".join(available_models()))
+    print("strategies:  " + ", ".join(EXTENDED_FACTORIES))
+    print("experiments: " + ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _cmd_info(model_name: str) -> int:
+    model = get_model(model_name)
+    grads = gradient_table(model)
+    largest = max(grads, key=lambda g: g.nbytes)
+    rows = [
+        ["layers", len(model.layers)],
+        ["parameter tensors (gradients)", model.num_tensors],
+        ["parameters", f"{model.num_params:,}"],
+        ["model size (fp32)", fmt_bytes(model.param_bytes())],
+        ["forward GFLOPs/sample", f"{model.fwd_flops / 1e9:.2f}"],
+        ["largest gradient", f"{largest.name} ({fmt_bytes(largest.nbytes)})"],
+        ["input resolution", f"{model.input_size}x{model.input_size}"],
+    ]
+    print(format_table(["property", "value"], rows, title=model.name))
+    return 0
+
+
+def _cmd_run(experiment: str) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{experiment}")
+    module.main()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = paper_config(
+        args.model,
+        args.batch,
+        bandwidth=args.gbps * Gbps,
+        n_workers=args.workers,
+        n_iterations=args.iterations,
+        seed=args.seed,
+        sync_mode=args.sync,
+        record_gradients=False,
+    )
+    rows = []
+    for name, factory in EXTENDED_FACTORIES.items():
+        result = run_training(config, factory)
+        summary = result.summary()
+        rows.append(
+            [
+                name,
+                f"{summary['training_rate']:.1f}",
+                f"{summary['mean_iteration_s'] * 1e3:.0f}",
+                f"{summary['gpu_utilization'] * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "rate (samples/s)", "iteration (ms)", "GPU util"],
+            rows,
+            title=(
+                f"{args.model} bs{args.batch} @ {args.gbps:g} Gbps, "
+                f"{args.workers} workers, {args.sync}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for gbps in args.gbps:
+        config = paper_config(
+            args.model,
+            args.batch,
+            bandwidth=gbps * Gbps,
+            n_workers=args.workers,
+            n_iterations=args.iterations,
+            seed=args.seed,
+            record_gradients=False,
+        )
+        rates = {
+            name: run_training(config, factory).training_rate()
+            for name, factory in EXTENDED_FACTORIES.items()
+        }
+        rows.append([f"{gbps:g}"] + [f"{rates[n]:.1f}" for n in EXTENDED_FACTORIES])
+    print(
+        format_table(
+            ["Gbps"] + list(EXTENDED_FACTORIES),
+            rows,
+            title=f"{args.model} bs{args.batch} — bandwidth sweep (samples/s)",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info(args.model)
+    if args.command == "run":
+        return _cmd_run(args.experiment)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Messages exchanged between workers and the parameter server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sched.base import Segment
+
+__all__ = ["PullUnit"]
+
+
+@dataclass(frozen=True)
+class PullUnit:
+    """One aggregated parameter range flowing PS → worker.
+
+    The PS responds **per key** (per gradient segment), as BytePS does: a
+    worker's pull for a byte range becomes available as soon as that range
+    is aggregated from all workers — it does not wait for the rest of the
+    push message it arrived in.  The worker then *batches* pending pull
+    units into one network message according to its strategy's granularity
+    (:meth:`repro.sched.base.CommScheduler.pull_batch_limit`), keeping
+    per-message overhead symmetric with the push direction, as the paper's
+    Eq. (4) ``u = t + 2E`` assumes.
+    """
+
+    worker: int
+    iteration: int
+    segment: Segment
+    created: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.segment.nbytes
+
+    @property
+    def priority(self) -> int:
+        """The parameter carried (gradient index; smaller = more urgent)."""
+        return self.segment.grad

@@ -1,0 +1,191 @@
+"""Parameter server: gradient aggregation under BSP, ASP, or SSP.
+
+The PS keeps, per ``(iteration, gradient)``, the cumulative bytes received
+from each worker, and releases each worker's pull (the mirrored response
+for a pushed segment, after the update cost) according to the
+synchronization model:
+
+* **BSP** (the paper's setting): a byte range is released once *every*
+  worker has delivered it — the slowest worker gates every update, at the
+  finest granularity the strategy produced.  (Workers push a gradient's
+  bytes strictly in order, so cumulative counts describe ranges exactly.)
+* **ASP** (the paper's future-work item 1): the server applies each
+  worker's gradient as it arrives and responds immediately — a worker's
+  pull waits only for its *own* push.  Workers drift freely.
+* **SSP** (bounded staleness, cf. the paper's Sec. 6.2 discussion of
+  R2SP/DSSP): like ASP, but worker ``w``'s pull for iteration ``k``
+  waits until every worker has *completed pushing that gradient* for
+  iteration ``k - staleness - 1`` — i.e. the fastest worker's clock
+  (completed iterations) may exceed the slowest by at most ``staleness``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.cluster.messages import PullUnit
+from repro.errors import ConfigurationError, SimulationError
+from repro.sched.base import Segment, TransferUnit
+from repro.sim.engine import Engine
+
+__all__ = ["ParameterServer", "SYNC_MODES"]
+
+_TOL = 1e-9
+
+SYNC_MODES = ("bsp", "asp", "ssp")
+
+
+class ParameterServer:
+    """Aggregates pushes from ``n_workers`` and releases per-key pulls."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_workers: int,
+        sizes: np.ndarray,
+        update_fixed: float = 100e-6,
+        update_per_byte: float = 0.0,
+        sync_mode: str = "bsp",
+        staleness: int = 2,
+    ):
+        if sync_mode not in SYNC_MODES:
+            raise ConfigurationError(
+                f"sync_mode must be one of {SYNC_MODES}, got {sync_mode!r}"
+            )
+        if staleness < 0:
+            raise ConfigurationError(f"staleness must be >= 0, got {staleness}")
+        self.engine = engine
+        self.n_workers = n_workers
+        self.sizes = np.asarray(sizes, dtype=float)
+        self.update_fixed = update_fixed
+        self.update_per_byte = update_per_byte
+        self.sync_mode = sync_mode
+        self.staleness = staleness
+        # (iteration, grad) -> per-worker cumulative bytes received.
+        self._received: dict[tuple[int, int], np.ndarray] = {}
+        # grad -> per-worker latest iteration fully pushed (-1 = none).
+        self._progress: dict[int, np.ndarray] = {}
+        # grad -> pull units waiting for release.
+        self._waiting: dict[int, list[PullUnit]] = defaultdict(list)
+        self._workers: list = []
+        #: Total gradient bytes pushed to the PS (all workers, all iters).
+        self.total_push_bytes = 0.0
+        #: Observed gradient staleness (iterations) at each pull release
+        #: under ASP/SSP: how far the slowest contributor lagged the
+        #: pulling worker.  Always 0 under BSP (not recorded).  Feeds the
+        #: convergence analysis (:mod:`repro.convergence`).
+        self.staleness_samples: list[int] = []
+
+    def attach_workers(self, workers: list) -> None:
+        """Late-bind the worker objects (they need the PS at construction)."""
+        if len(workers) != self.n_workers:
+            raise SimulationError(
+                f"expected {self.n_workers} workers, got {len(workers)}"
+            )
+        self._workers = list(workers)
+
+    # ------------------------------------------------------------------
+    def receive_push(self, worker: int, iteration: int, unit: TransferUnit) -> None:
+        """A push message from ``worker`` arrived: credit bytes, respond
+        per key."""
+        touched: set[int] = set()
+        for seg in unit.segments:
+            key = (iteration, seg.grad)
+            received = self._received.get(key)
+            if received is None:
+                received = np.zeros(self.n_workers)
+                self._received[key] = received
+            if abs(received[worker] - seg.offset) > max(_TOL, 1e-6 * seg.nbytes):
+                raise SimulationError(
+                    f"worker {worker} pushed gradient {seg.grad} (iter {iteration}) "
+                    f"at offset {seg.offset}, expected {received[worker]}"
+                )
+            received[worker] += seg.nbytes
+            if received[worker] > self.sizes[seg.grad] * (1 + 1e-9) + _TOL:
+                raise SimulationError(
+                    f"worker {worker} over-pushed gradient {seg.grad}: "
+                    f"{received[worker]} of {self.sizes[seg.grad]} bytes"
+                )
+            if received[worker] >= self.sizes[seg.grad] - _TOL:
+                progress = self._progress.get(seg.grad)
+                if progress is None:
+                    progress = np.full(self.n_workers, -1, dtype=np.int64)
+                    self._progress[seg.grad] = progress
+                progress[worker] = max(progress[worker], iteration)
+            self.total_push_bytes += seg.nbytes
+            touched.add(seg.grad)
+
+            pull = PullUnit(
+                worker=worker,
+                iteration=iteration,
+                segment=seg,
+                created=self.engine.now,
+            )
+            if self._releasable(pull):
+                self._release(pull)
+            else:
+                self._waiting[seg.grad].append(pull)
+
+        # Newly credited bytes may unblock waiting pulls for these keys
+        # (other workers under BSP; stale followers under SSP).
+        for grad in touched:
+            waiting = self._waiting.get(grad)
+            if not waiting:
+                continue
+            still_waiting = []
+            for pull in waiting:
+                if self._releasable(pull):
+                    self._release(pull)
+                else:
+                    still_waiting.append(pull)
+            if still_waiting:
+                self._waiting[grad] = still_waiting
+            else:
+                del self._waiting[grad]
+
+    # ------------------------------------------------------------------
+    def _range_covered(self, iteration: int, seg: Segment, workers) -> bool:
+        received = self._received.get((iteration, seg.grad))
+        if received is None:
+            return False
+        return bool(received[workers].min() >= seg.offset + seg.nbytes - _TOL)
+
+    def _releasable(self, pull: PullUnit) -> bool:
+        seg = pull.segment
+        if self.sync_mode == "bsp":
+            return self._range_covered(pull.iteration, seg, slice(None))
+        # ASP/SSP: the worker's own bytes are in (they arrived with this
+        # very push), so only the staleness bound can hold SSP back.
+        if self.sync_mode == "asp":
+            return True
+        # Clock convention: a worker that completed iteration i has clock
+        # i+1; iteration k may proceed when the slowest clock >= k - s.
+        bound = pull.iteration - self.staleness - 1
+        if bound < 0:
+            return True
+        progress = self._progress.get(seg.grad)
+        if progress is None:
+            return False
+        return bool(progress.min() >= bound)
+
+    def _release(self, pull: PullUnit) -> None:
+        if self.sync_mode != "bsp":
+            progress = self._progress.get(pull.segment.grad)
+            slowest = int(progress.min()) if progress is not None else -1
+            self.staleness_samples.append(max(0, pull.iteration - 1 - slowest))
+        delay = self.update_fixed + self.update_per_byte * pull.total_bytes
+        worker = self._workers[pull.worker]
+        self.engine.schedule_after(delay, worker.enqueue_pull, pull)
+
+    # ------------------------------------------------------------------
+    def aggregated_bytes(self, iteration: int, grad: int) -> float:
+        """Bytes of ``grad`` aggregated from all workers in ``iteration``."""
+        received = self._received.get((iteration, grad))
+        return float(received.min()) if received is not None else 0.0
+
+    @property
+    def pending_pulls(self) -> int:
+        """Pull units still waiting on aggregation/staleness."""
+        return sum(len(w) for w in self._waiting.values())

@@ -1,0 +1,162 @@
+"""Trainer: wires config + scheduler factory into a running simulation.
+
+Build order mirrors the real deployment: model → compute profile → KV
+store (generation schedule) → network topology → parameter server →
+workers (each with its own scheduler instance and bandwidth monitor).  The
+same :class:`~repro.agg.kvstore.GenerationSchedule` template is shared by
+all workers (identical model/device), individualized per iteration by each
+worker's jitter factor — so scheduler comparisons under the same seed are
+paired.
+"""
+
+from __future__ import annotations
+
+from repro.agg.kvstore import KVStore
+from repro.cluster.ps import ParameterServer
+from repro.cluster.result import TrainingResult
+from repro.cluster.worker import Worker
+from repro.config import SchedulerFactory, TrainingConfig, WorkerContext
+from repro.core.profiler import JobProfile
+from repro.errors import SimulationError
+from repro.metrics.timeline import Recorder
+from repro.models.compute import build_compute_profile
+from repro.models.registry import get_model
+from repro.net.monitor import BandwidthMonitor
+from repro.net.topology import StarTopology
+from repro.sim.engine import Engine
+from repro.sim.rng import spawn_rng
+
+__all__ = ["Trainer", "run_training"]
+
+
+class Trainer:
+    """One simulated training run."""
+
+    def __init__(self, config: TrainingConfig, scheduler_factory: SchedulerFactory):
+        self.config = config
+        self.engine = Engine()
+        self.recorder = Recorder(record_gradients=config.record_gradients)
+
+        model = get_model(config.model)
+        self.compute = build_compute_profile(model, config.device, config.batch_size)
+        kvstore = KVStore(
+            policy=config.effective_policy(),
+            flush_fixed=config.kv_flush_fixed,
+            flush_per_byte=config.kv_flush_per_byte,
+        )
+        self.gen_schedule = kvstore.generation_schedule(self.compute)
+        self.oracle_profile = JobProfile.from_generation_schedule(self.gen_schedule)
+
+        self.topology = StarTopology(
+            self.engine,
+            n_workers=config.n_workers,
+            bandwidth=config.bandwidth,
+            tcp=config.tcp,
+            worker_bandwidth=config.worker_bandwidth,
+            ps_bandwidth=config.ps_bandwidth,
+            seed=config.seed,
+            noise_std=config.bandwidth_noise_std,
+        )
+        self.ps = ParameterServer(
+            self.engine,
+            n_workers=config.n_workers,
+            sizes=self.gen_schedule.sizes,
+            update_fixed=config.ps_update_fixed,
+            update_per_byte=config.ps_update_per_byte,
+            sync_mode=config.sync_mode,
+            staleness=config.ssp_staleness,
+        )
+
+        self.monitors: list[BandwidthMonitor] = []
+        self.workers: list[Worker] = []
+        self.schedulers = []
+        compute_scale = dict(config.worker_compute_scale or {})
+        for w in range(config.n_workers):
+            channel = self.topology.uplink(w)
+            monitor = BandwidthMonitor(
+                self.engine, channel, interval=config.monitor_interval
+            )
+            self.monitors.append(monitor)
+            # Each worker's oracle profile reflects *its own* compute pace
+            # (the real profiler runs per worker) — a compute straggler's
+            # generation times are proportionally later.
+            scale = compute_scale.get(w, 1.0)
+            worker_profile = (
+                self.oracle_profile
+                if scale == 1.0
+                else JobProfile(
+                    c=self.oracle_profile.c * scale,
+                    sizes=self.oracle_profile.sizes,
+                    iterations=0,
+                )
+            )
+            ctx = WorkerContext(
+                worker_id=w,
+                monitor=monitor,
+                oracle_profile=worker_profile,
+                tcp=config.tcp,
+                rng=spawn_rng(config.seed, "sched", w),
+            )
+            scheduler = scheduler_factory(ctx)
+            self.schedulers.append(scheduler)
+            worker = Worker(
+                engine=self.engine,
+                worker_id=w,
+                compute=self.compute,
+                gen_schedule=self.gen_schedule,
+                scheduler=scheduler,
+                channel=channel,
+                downlink=self.topology.downlink(w) if config.duplex else None,
+                ps=self.ps,
+                recorder=self.recorder,
+                n_iterations=config.n_iterations,
+                jitter_rng=spawn_rng(config.seed, "jitter", w),
+                jitter_std=config.jitter_std,
+                compute_scale=compute_scale.get(w, 1.0),
+                on_done=self._worker_done,
+                stall_timeout=config.stall_timeout,
+            )
+            self.workers.append(worker)
+        self.ps.attach_workers(self.workers)
+        self._done_count = 0
+
+    def _worker_done(self, worker_id: int) -> None:
+        self._done_count += 1
+        if self._done_count == self.config.n_workers:
+            for monitor in self.monitors:
+                monitor.stop()
+
+    def run(self, max_events: int | None = None) -> TrainingResult:
+        """Execute the configured number of iterations on all workers."""
+        if max_events is None:
+            # Generous per-iteration event budget; exceeding it means a
+            # scheduler livelocked the simulation.
+            per_iter = 400 * (1 + self.gen_schedule.num_gradients // 4)
+            max_events = max(
+                200_000, per_iter * self.config.n_iterations * self.config.n_workers
+            )
+        for worker in self.workers:
+            worker.start()
+        self.engine.run(max_events=max_events)
+        if self._done_count != self.config.n_workers:
+            raise SimulationError(
+                f"training stalled: {self._done_count}/{self.config.n_workers} "
+                f"workers finished (t={self.engine.now:.3f}s, "
+                f"{self.engine.events_processed} events)"
+            )
+        return TrainingResult(
+            config=self.config,
+            recorder=self.recorder,
+            topology=self.topology,
+            schedulers=self.schedulers,
+            gen_schedule=self.gen_schedule,
+            compute=self.compute,
+            end_time=self.engine.now,
+        )
+
+
+def run_training(
+    config: TrainingConfig, scheduler_factory: SchedulerFactory
+) -> TrainingResult:
+    """Convenience one-shot: build a :class:`Trainer` and run it."""
+    return Trainer(config, scheduler_factory).run()

@@ -1,0 +1,396 @@
+"""Worker node: forward/backward compute plus the communication agent.
+
+The worker is where the paper's dataflow comes together.  Per iteration:
+
+1. **Forward** — layers run in order; layer ``l`` may only start once all
+   of its parameter tensors were updated by the previous iteration's pull
+   (this gating is the source of all GPU wait time — Eq. (2)).
+2. **Backward** — runs uninterrupted (it depends on nothing remote); the
+   KV store flushes gradient buckets at the stepwise times of the
+   iteration's :class:`~repro.agg.kvstore.GenerationSchedule`.
+3. **Push/pull** — the scheduler under test proposes push units; the PS
+   mirrors each one back as a pull once BSP aggregation completes.  In the
+   default shared-channel mode both directions serialize on one link
+   (Constraint (8); ``u = t + 2E``), and the worker arbitrates pending
+   pulls against the scheduler's proposed push: by gradient priority for
+   priority schedulers, by arrival order for the MXNet FIFO engine.  In
+   the full-duplex ablation pulls use a separate downlink.
+
+Per-iteration compute jitter is a log-normal factor applied to both passes
+(and to the generation schedule), independent per worker — this is what
+desynchronizes workers and exercises BSP straggler effects.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import partial
+from typing import Callable
+
+import numpy as np
+
+from repro.agg.kvstore import GenerationSchedule
+from repro.cluster.messages import PullUnit
+from repro.cluster.ps import ParameterServer
+from repro.errors import SimulationError
+from repro.metrics.timeline import Recorder
+from repro.models.compute import ComputeProfile
+from repro.models.gradients import gradient_table
+from repro.net.link import Link
+from repro.sched.base import CommScheduler, TransferUnit
+from repro.sim.engine import Engine
+
+__all__ = ["Worker"]
+
+_TOL = 1e-9
+
+
+class Worker:
+    """One worker node of the training cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        worker_id: int,
+        compute: ComputeProfile,
+        gen_schedule: GenerationSchedule,
+        scheduler: CommScheduler,
+        channel: Link,
+        downlink: Link | None,
+        ps: ParameterServer,
+        recorder: Recorder,
+        n_iterations: int,
+        jitter_rng: np.random.Generator,
+        jitter_std: float = 0.0,
+        compute_scale: float = 1.0,
+        on_done: Callable[[int], None] | None = None,
+        stall_timeout: float = 0.05,
+    ):
+        self.engine = engine
+        self.worker_id = worker_id
+        self.compute = compute
+        self.gen_schedule = gen_schedule
+        self.scheduler = scheduler
+        self.channel = channel
+        self.downlink = downlink
+        self.ps = ps
+        self.recorder = recorder
+        self.n_iterations = n_iterations
+        self._jitter_rng = jitter_rng
+        self._jitter_std = jitter_std
+        self._compute_scale = compute_scale
+        self._on_done = on_done
+
+        grads = gradient_table(compute.model)
+        self._n_grads = len(grads)
+        self._layer_of = np.array([g.layer_index for g in grads], dtype=np.int64)
+        self._layer_tensor_counts = np.zeros(len(compute.model.layers), dtype=np.int64)
+        for g in grads:
+            self._layer_tensor_counts[g.layer_index] += 1
+        self._sizes = gen_schedule.sizes
+
+        # Channel pumps re-enter via engine callbacks; wire link idleness.
+        self.channel.on_idle = self._pump
+        if self.downlink is not None:
+            self.downlink.on_idle = self._pump_downlink
+
+        # Per-iteration state (set in _begin_forward/_begin_backward).
+        self._iter = -1
+        self._comm_iter = -1
+        self._factor = 1.0
+        self._fwd_layer = 0
+        self._fwd_chunk_pending = False
+        self._fwd_start_times: list[float] = []
+        self._layer_pending = np.zeros_like(self._layer_tensor_counts)
+        self._pulled = np.zeros(self._n_grads)
+        self._pushed = np.zeros(self._n_grads)
+        self._ready_time = np.full(self._n_grads, np.nan)
+        self._iter_rec = None
+        self._pull_queue: list[tuple[PullUnit, float]] = []
+        self._compute_done = False
+        self._done = False
+        self._stall_timeout = stall_timeout
+        self._stall_timer = None
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """All iterations computed and the final parameters pulled."""
+        return self._done
+
+    @property
+    def fwd_start_times(self) -> list[float]:
+        """Forward-start timestamps (iteration boundaries)."""
+        return list(self._fwd_start_times)
+
+    def start(self) -> None:
+        """Kick off iteration 0 at the current simulation time."""
+        self.engine.schedule(self.engine.now, self._begin_forward, 0)
+
+    # ------------------------------------------------------------------
+    # Forward propagation
+    # ------------------------------------------------------------------
+    def _begin_forward(self, iteration: int) -> None:
+        now = self.engine.now
+        if iteration > 0:
+            span = now - self._fwd_start_times[-1]
+            self.scheduler.end_iteration(iteration - 1, span, now)
+        self._iter = iteration
+        self._fwd_start_times.append(now)
+        self._factor = self._compute_scale * math.exp(
+            self._jitter_std * float(self._jitter_rng.standard_normal())
+        )
+        self._iter_rec = self.recorder.iteration_record(self.worker_id, iteration)
+        self._iter_rec.fwd_start = now
+        self._fwd_layer = 0
+        self._advance_forward()
+
+    def _advance_forward(self) -> None:
+        """Run consecutive layers whose parameters are ready; else wait."""
+        if self._fwd_chunk_pending:
+            return
+        n_layers = len(self.compute.fwd_times)
+        start = self._fwd_layer
+        if start >= n_layers:
+            return
+        end = start
+        while end < n_layers and self._layer_pending[end] == 0:
+            end += 1
+        if end == start:
+            return  # GPU idles until the gating pull completes
+        duration = float(self.compute.fwd_times[start:end].sum()) * self._factor
+        now = self.engine.now
+        self.recorder.gpu_busy(self.worker_id, self._iter, "fwd", now, now + duration)
+        self._fwd_chunk_pending = True
+        self.engine.schedule_after(duration, self._forward_chunk_done, end)
+
+    def _forward_chunk_done(self, next_layer: int) -> None:
+        self._fwd_chunk_pending = False
+        self._fwd_layer = next_layer
+        if next_layer >= len(self.compute.fwd_times):
+            self._begin_backward()
+        else:
+            self._advance_forward()
+
+    # ------------------------------------------------------------------
+    # Backward propagation
+    # ------------------------------------------------------------------
+    def _begin_backward(self) -> None:
+        now = self.engine.now
+        iteration = self._iter
+        assert self._iter_rec is not None
+        self._iter_rec.fwd_end = now
+
+        sched = self.gen_schedule.scaled(self._factor)
+        self._comm_iter = iteration
+        # Reset pull gating for the *next* forward pass.
+        self._layer_pending = self._layer_tensor_counts.copy()
+        self._pulled = np.zeros(self._n_grads)
+        self._pushed = np.zeros(self._n_grads)
+        self._ready_time = np.full(self._n_grads, np.nan)
+
+        self.scheduler.begin_iteration(iteration, sched, now)
+        self.recorder.gpu_busy(
+            self.worker_id, iteration, "bwd", now, now + sched.backward_time
+        )
+        for bucket in sched.buckets:
+            flush_time = float(sched.c[bucket[0]])
+            self.engine.schedule(now + flush_time, self._bucket_ready, iteration, bucket)
+        self.engine.schedule(
+            now + sched.backward_time, self._backward_done, iteration
+        )
+
+    def _bucket_ready(self, iteration: int, bucket: tuple[int, ...]) -> None:
+        now = self.engine.now
+        for grad in bucket:
+            self.scheduler.gradient_ready(grad, now)
+            self._ready_time[grad] = now
+            rec = self.recorder.gradient(self.worker_id, iteration, grad)
+            if rec is not None:
+                rec.ready = now
+        self._pump()
+
+    def _backward_done(self, iteration: int) -> None:
+        assert self._iter_rec is not None
+        self._iter_rec.bwd_end = self.engine.now
+        if iteration + 1 < self.n_iterations:
+            self._begin_forward(iteration + 1)
+        else:
+            span = self.engine.now - self._fwd_start_times[-1]
+            self.scheduler.end_iteration(iteration, span, self.engine.now)
+            self._compute_done = True
+            self._check_done()
+
+    # ------------------------------------------------------------------
+    # Communication: shared channel (pushes + pulls) or duplex
+    # ------------------------------------------------------------------
+    def enqueue_pull(self, pull: PullUnit) -> None:
+        """The PS released updated parameters for this worker."""
+        self._pull_queue.append((pull, self.engine.now))
+        if self.downlink is not None:
+            self._pump_downlink()
+        else:
+            self._pump()
+
+    def _pick_pull(self) -> tuple[PullUnit, float] | None:
+        if not self._pull_queue:
+            return None
+        if self.scheduler.fifo_channel:
+            return min(self._pull_queue, key=lambda item: item[1])
+        return min(self._pull_queue, key=lambda item: (item[0].priority, item[1]))
+
+    def _push_arrival(self, unit: TransferUnit) -> float:
+        """Arrival time of a proposed push = when its head gradient flushed."""
+        ready = self._ready_time[unit.segments[0].grad]
+        return float(ready) if np.isfinite(ready) else self.engine.now
+
+    def _pump(self) -> None:
+        """Drive the (shared) channel: arbitrate pulls vs the proposed push."""
+        if self._done or self.channel.busy:
+            return
+        now = self.engine.now
+        pull_item = self._pick_pull() if self.downlink is None else None
+        push = self.scheduler.propose_unit(now)
+
+        choose_pull = False
+        if pull_item is not None and push is None:
+            choose_pull = True
+        elif pull_item is not None and push is not None:
+            if self.scheduler.fifo_channel:
+                choose_pull = pull_item[1] <= self._push_arrival(push)
+            else:
+                choose_pull = pull_item[0].priority <= push.priority
+
+        if choose_pull:
+            assert pull_item is not None
+            self._send_pull_batch(self.channel, pull_item)
+        elif push is not None:
+            self._send_push(push)
+        elif self.scheduler.pending_bytes > 0:
+            # Idle with unsent gradients and nothing to receive: arm the
+            # stall timer so window-based flow control cannot wedge the
+            # whole BSP ring (see CommScheduler.grant_probe).
+            self._arm_stall_timer()
+
+    def _arm_stall_timer(self) -> None:
+        if self._stall_timer is not None and self._stall_timer.alive:
+            return
+        self._stall_timer = self.engine.schedule_after(
+            self._stall_timeout, self._stall_check
+        )
+
+    def _stall_check(self) -> None:
+        self._stall_timer = None
+        if (
+            self._done
+            or self.channel.busy
+            or self._pull_queue
+            or self.scheduler.pending_bytes <= 0
+        ):
+            return
+        self.scheduler.grant_probe(self.engine.now)
+        self._pump()
+
+    def _pump_downlink(self) -> None:
+        """Duplex ablation: pulls on their own link, by priority."""
+        assert self.downlink is not None
+        if self._done or self.downlink.busy or not self._pull_queue:
+            return
+        pull_item = min(self._pull_queue, key=lambda item: (item[0].priority, item[1]))
+        self._send_pull_batch(self.downlink, pull_item)
+
+    def _send_pull_batch(self, link: Link, head: tuple[PullUnit, float]) -> None:
+        """Send the head pull, coalescing more pending pulls if the
+        strategy batches responses (see ``pull_batch_limit``)."""
+        self._pull_queue.remove(head)
+        batch = [head[0]]
+        total = head[0].total_bytes
+        limit = self.scheduler.pull_batch_limit(self.engine.now)
+        if limit is not None and self._pull_queue:
+            # Strict priority prefix: stop at the first unit that does not
+            # fit, so no lower-priority parameter overtakes a pending one.
+            candidates = sorted(
+                self._pull_queue, key=lambda item: (item[0].priority, item[1])
+            )
+            for item in candidates:
+                if total + item[0].total_bytes > limit:
+                    break
+                batch.append(item[0])
+                total += item[0].total_bytes
+                self._pull_queue.remove(item)
+        link.send(
+            total,
+            tag=("pull", batch[0].iteration),
+            on_complete=partial(self._pulls_done, batch),
+            extra_time=self._unit_sync_time(),
+        )
+
+    def _unit_sync_time(self) -> float:
+        """Strategy-level blocking sync per message (see CommScheduler)."""
+        return self.scheduler.unit_sync_rtts * self.channel.tcp.rtt
+
+    def _send_push(self, unit: TransferUnit) -> None:
+        now = self.engine.now
+        self.scheduler.commit_unit(unit, now)
+        for seg in unit.segments:
+            if seg.offset <= _TOL:
+                rec = self.recorder.gradient(self.worker_id, self._comm_iter, seg.grad)
+                if rec is not None:
+                    rec.push_start = now
+        self.channel.send(
+            unit.total_bytes,
+            tag=("push", self._comm_iter),
+            on_complete=partial(self._push_done, self._comm_iter, unit),
+            extra_time=self._unit_sync_time(),
+        )
+
+    def _push_done(self, iteration: int, unit: TransferUnit) -> None:
+        now = self.engine.now
+        for seg in unit.segments:
+            self._pushed[seg.grad] += seg.nbytes
+            if self._pushed[seg.grad] >= self._sizes[seg.grad] - _TOL:
+                rec = self.recorder.gradient(self.worker_id, iteration, seg.grad)
+                if rec is not None:
+                    rec.push_end = now
+        self.scheduler.unit_sent(unit, now)
+        self.ps.receive_push(self.worker_id, iteration, unit)
+        # Link on_idle already re-pumps; nothing else to do here.
+
+    def _pulls_done(self, batch: list[PullUnit]) -> None:
+        now = self.engine.now
+        forward_was_blocked = (
+            self._fwd_layer < len(self.compute.fwd_times)
+            and not self._fwd_chunk_pending
+        )
+        for pull in batch:
+            if pull.iteration != self._comm_iter:
+                raise SimulationError(
+                    f"worker {self.worker_id} pulled iteration {pull.iteration} "
+                    f"while communicating iteration {self._comm_iter}"
+                )
+            seg = pull.segment
+            self.scheduler.pull_completed(seg.grad, seg.nbytes, now)
+            self._pulled[seg.grad] += seg.nbytes
+            if self._pulled[seg.grad] >= self._sizes[seg.grad] - _TOL:
+                rec = self.recorder.gradient(self.worker_id, pull.iteration, seg.grad)
+                if rec is not None:
+                    rec.pull_end = now
+                layer = self._layer_of[seg.grad]
+                self._layer_pending[layer] -= 1
+                if self._layer_pending[layer] < 0:
+                    raise SimulationError(
+                        f"worker {self.worker_id}: layer {layer} over-updated"
+                    )
+        if forward_was_blocked and self._iter == self._comm_iter + 1:
+            self._advance_forward()
+        self._check_done()
+        # Link on_idle already re-pumps the channel.
+
+    # ------------------------------------------------------------------
+    def _check_done(self) -> None:
+        if self._done or not self._compute_done:
+            return
+        if int(self._layer_pending.sum()) == 0:
+            self._done = True
+            if self._on_done is not None:
+                self._on_done(self.worker_id)

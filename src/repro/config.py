@@ -1,0 +1,149 @@
+"""Training-run configuration.
+
+One frozen :class:`TrainingConfig` fully determines a simulated training
+run (together with the scheduler factory passed to the trainer).  Defaults
+mirror the paper's testbed: g3.8xlarge-class compute, 1 PS + 3 workers,
+ResNet-50 at batch 64, module-boundary aggregation, and the single shared
+worker↔PS channel implied by the paper's Constraint (8) / Eq. (4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, TYPE_CHECKING
+
+from repro.agg.policies import AggregationPolicy, ModulePrefixPolicy
+from repro.errors import ConfigurationError
+from repro.models.device import DeviceSpec, TESLA_M60
+from repro.net.link import BandwidthSchedule
+from repro.net.tcp import TCPParams
+from repro.quantities import Gbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.core.profiler import JobProfile
+    from repro.net.monitor import BandwidthMonitor
+    from repro.sched.base import CommScheduler
+
+__all__ = ["TrainingConfig", "WorkerContext", "SchedulerFactory"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Everything that defines one simulated DDNN training run.
+
+    Attributes mirror the experimental knobs of the paper's Sec. 5:
+    model/batch size (Fig. 8, Table 3), per-worker bandwidth caps
+    (Table 2, the heterogeneity experiment), worker count (Fig. 12), and
+    the substrate parameters (TCP path, device, aggregation policy).
+
+    ``duplex=False`` (default) models push and pull sharing one serialized
+    channel per worker — the network model the paper's Eq. (4)
+    (``u = t + 2E``) and Constraint (8) describe.  ``duplex=True`` is the
+    full-duplex ablation.
+
+    ``sync_mode`` selects the parameter-synchronization model: ``"bsp"``
+    (the paper's setting), ``"asp"`` (future-work item 1: fully
+    asynchronous), or ``"ssp"`` with ``ssp_staleness`` bounding how far
+    the fastest worker may run ahead.
+    """
+
+    model: str = "resnet50"
+    batch_size: int = 64
+    n_workers: int = 3
+    n_iterations: int = 30
+    bandwidth: float | BandwidthSchedule = 3 * Gbps
+    worker_bandwidth: Mapping[int, float | BandwidthSchedule] | None = None
+    ps_bandwidth: float | None = None
+    tcp: TCPParams = field(default_factory=TCPParams)
+    device: DeviceSpec = TESLA_M60
+    agg_policy: AggregationPolicy | None = None
+    kv_flush_fixed: float = 0.3e-3
+    kv_flush_per_byte: float = 0.0
+    duplex: bool = False
+    seed: int = 0
+    jitter_std: float = 0.02
+    bandwidth_noise_std: float = 0.0
+    monitor_interval: float = 5.0
+    ps_update_fixed: float = 100e-6
+    ps_update_per_byte: float = 0.0
+    record_gradients: bool = True
+    worker_compute_scale: Mapping[int, float] | None = None
+    dtype_bytes: int = 4
+    stall_timeout: float = 5e-3
+    sync_mode: str = "bsp"
+    ssp_staleness: int = 2
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.n_iterations < 1:
+            raise ConfigurationError(
+                f"n_iterations must be >= 1, got {self.n_iterations}"
+            )
+        if self.jitter_std < 0:
+            raise ConfigurationError(f"jitter_std must be >= 0, got {self.jitter_std}")
+        if self.monitor_interval <= 0:
+            raise ConfigurationError(
+                f"monitor_interval must be positive, got {self.monitor_interval}"
+            )
+        if self.ps_update_fixed < 0 or self.ps_update_per_byte < 0:
+            raise ConfigurationError("PS update costs must be >= 0")
+        if self.stall_timeout <= 0:
+            raise ConfigurationError(
+                f"stall_timeout must be positive, got {self.stall_timeout}"
+            )
+        if self.sync_mode not in ("bsp", "asp", "ssp"):
+            raise ConfigurationError(
+                f"sync_mode must be 'bsp', 'asp' or 'ssp', got {self.sync_mode!r}"
+            )
+        if self.ssp_staleness < 0:
+            raise ConfigurationError(
+                f"ssp_staleness must be >= 0, got {self.ssp_staleness}"
+            )
+        if self.worker_compute_scale:
+            for w, scale in self.worker_compute_scale.items():
+                if not 0 <= w < self.n_workers:
+                    raise ConfigurationError(f"compute scale for unknown worker {w}")
+                if scale <= 0:
+                    raise ConfigurationError(
+                        f"compute scale must be positive, got {scale} for worker {w}"
+                    )
+
+    def effective_policy(self) -> AggregationPolicy:
+        """The aggregation policy, defaulting to module-boundary grouping.
+
+        The default prefix depth follows the model's naming convention:
+        ResNet-style tensors (``layer3.4.conv2.weight``) group per residual
+        block at depth 2, while Inception tensors
+        (``Mixed_5b.branch1x1.conv.weight``) group per Inception module at
+        depth 1 — depth 2 would split every branch conv into its own
+        micro-bucket and destroy the stepwise block structure.
+        """
+        if self.agg_policy is not None:
+            return self.agg_policy
+        depth = 1 if self.model.startswith("inception") else 2
+        return ModulePrefixPolicy(depth)
+
+
+@dataclass
+class WorkerContext:
+    """Per-worker wiring handed to a scheduler factory.
+
+    Gives factories what Prophet's prototype components need: the
+    bandwidth monitor, an oracle job profile (for skip-warmup runs), the
+    TCP path parameters for transfer-time estimation, and a seeded RNG for
+    stochastic tuners (ByteScheduler's Bayesian optimizer).
+    """
+
+    worker_id: int
+    monitor: "BandwidthMonitor"
+    oracle_profile: "JobProfile"
+    tcp: TCPParams
+    rng: "np.random.Generator"
+
+
+SchedulerFactory = Callable[[WorkerContext], "CommScheduler"]

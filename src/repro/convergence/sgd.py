@@ -1,0 +1,143 @@
+"""Stale-gradient SGD on a quadratic objective.
+
+The canonical analysis setting for asynchronous SGD: minimize
+``f(x) = 0.5 xᵀ A x`` with SPD ``A`` whose spectrum spans a chosen
+condition number.  At step ``t`` the update uses the gradient evaluated
+at the *stale* iterate ``x_{t-τ_t}`` plus isotropic gradient noise:
+
+    ``x_{t+1} = x_t − lr (A x_{t−τ_t} + ξ_t)``
+
+Staleness ``τ_t`` is drawn per step from a caller-supplied sampler — in
+the experiments, the empirical distribution the cluster simulation
+recorded.  For τ≡0 this is plain SGD; growing staleness slows (and past
+``lr·λ_max·τ = O(1)`` destabilizes) convergence, which is exactly the
+trade-off time-to-accuracy analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "QuadraticProblem",
+    "StaleSGDResult",
+    "run_stale_sgd",
+    "empirical_staleness_sampler",
+]
+
+
+@dataclass(frozen=True)
+class QuadraticProblem:
+    """``f(x) = 0.5 xᵀ diag(λ) x`` with log-spaced spectrum.
+
+    A diagonal ``A`` loses no generality (SGD is rotation-equivariant on
+    quadratics) and keeps every step O(dim).
+    """
+
+    dim: int = 50
+    condition_number: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {self.dim}")
+        if self.condition_number < 1:
+            raise ConfigurationError(
+                f"condition_number must be >= 1, got {self.condition_number}"
+            )
+
+    def eigenvalues(self) -> np.ndarray:
+        return np.logspace(0, np.log10(self.condition_number), self.dim)
+
+    def loss(self, x: np.ndarray) -> float:
+        return float(0.5 * np.sum(self.eigenvalues() * x**2))
+
+    def stable_lr(self) -> float:
+        """A safe synchronous step size (1/λ_max, halved for headroom)."""
+        return 0.5 / float(self.eigenvalues().max())
+
+
+@dataclass(frozen=True)
+class StaleSGDResult:
+    """Loss trajectory of one stale-SGD run."""
+
+    losses: np.ndarray
+    mean_staleness: float
+    diverged: bool
+
+    def iterations_to(self, fraction: float) -> int | None:
+        """First step whose loss is below ``fraction`` of the initial loss,
+        or ``None`` if never reached."""
+        if not 0 < fraction < 1:
+            raise ConfigurationError(f"fraction must be in (0,1), got {fraction}")
+        target = self.losses[0] * fraction
+        hits = np.nonzero(self.losses <= target)[0]
+        return int(hits[0]) if hits.size else None
+
+
+def empirical_staleness_sampler(
+    samples: Sequence[int], rng: np.random.Generator
+) -> Callable[[], int]:
+    """Sampler drawing i.i.d. from an observed staleness multiset.
+
+    An empty sample set means the run was BSP-synchronous: staleness 0.
+    """
+    if not samples:
+        return lambda: 0
+    arr = np.asarray(samples, dtype=np.int64)
+    return lambda: int(arr[rng.integers(0, len(arr))])
+
+
+def run_stale_sgd(
+    problem: QuadraticProblem,
+    staleness_sampler: Callable[[], int],
+    n_steps: int = 2000,
+    lr: float | None = None,
+    noise_std: float = 0.01,
+    seed: int = 0,
+) -> StaleSGDResult:
+    """Run stale SGD; returns the loss trajectory.
+
+    Divergence (loss explodes past 1e6x the initial value) is detected and
+    reported rather than raised — an unstable (lr, staleness) pair is a
+    legitimate experimental outcome.
+    """
+    if n_steps < 1:
+        raise ConfigurationError(f"n_steps must be >= 1, got {n_steps}")
+    if noise_std < 0:
+        raise ConfigurationError(f"noise_std must be >= 0, got {noise_std}")
+    lr = problem.stable_lr() if lr is None else lr
+    if lr <= 0:
+        raise ConfigurationError(f"lr must be positive, got {lr}")
+
+    rng = np.random.default_rng(seed)
+    eigs = problem.eigenvalues()
+    x = np.ones(problem.dim)
+    history = [x.copy()]
+    losses = np.empty(n_steps + 1)
+    losses[0] = problem.loss(x)
+    staleness_total = 0
+    diverged = False
+    for t in range(n_steps):
+        tau = max(0, int(staleness_sampler()))
+        staleness_total += tau
+        stale_x = history[max(0, len(history) - 1 - tau)]
+        grad = eigs * stale_x + noise_std * rng.standard_normal(problem.dim)
+        x = x - lr * grad
+        history.append(x.copy())
+        if len(history) > 256:  # bound memory; staleness never nears this
+            history.pop(0)
+        losses[t + 1] = problem.loss(x)
+        if not np.isfinite(losses[t + 1]) or losses[t + 1] > 1e6 * losses[0]:
+            losses = losses[: t + 2]
+            diverged = True
+            break
+    return StaleSGDResult(
+        losses=losses,
+        mean_staleness=staleness_total / max(1, len(losses) - 1),
+        diverged=diverged,
+    )

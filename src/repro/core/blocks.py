@@ -1,0 +1,117 @@
+"""Gradient blocks and Prophet transfer plans.
+
+A :class:`GradientBlock` is the paper's unit of transmission: a group of
+whole gradients assembled by the Gradient Block Assembler and pushed as one
+network message.  A :class:`ProphetPlan` is the output of Algorithm 1 — the
+per-gradient transfer start times plus the block structure, ready for the
+Scheduled Queue (or for analytic evaluation under the Sec. 3 performance
+model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import SchedulingError
+
+__all__ = ["PlannedTransfer", "GradientBlock", "ProphetPlan"]
+
+
+@dataclass(frozen=True)
+class PlannedTransfer:
+    """One gradient's planned transfer: start time and estimated duration."""
+
+    grad: int
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class GradientBlock:
+    """A group of gradients transmitted back-to-back as one message.
+
+    ``phase`` records whether the block was assembled during backward
+    propagation (interval-constrained) or during forward propagation
+    (priority-ordered drain); gradient 0's solo block is phase
+    ``"critical"``.
+    """
+
+    grads: tuple[int, ...]
+    start: float
+    duration: float
+    nbytes: float
+    phase: str
+
+    def __post_init__(self) -> None:
+        if not self.grads:
+            raise SchedulingError("empty gradient block")
+        if self.phase not in ("backward", "forward", "critical"):
+            raise SchedulingError(f"unknown block phase {self.phase!r}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def priority(self) -> int:
+        return min(self.grads)
+
+
+@dataclass(frozen=True)
+class ProphetPlan:
+    """Algorithm 1's output for one iteration.
+
+    Attributes
+    ----------
+    transfers:
+        Per-gradient planned transfers, one entry per gradient, in
+        transmission order.
+    blocks:
+        The block structure (groups transmitted as single messages).
+    """
+
+    transfers: tuple[PlannedTransfer, ...]
+    blocks: tuple[GradientBlock, ...]
+
+    def __post_init__(self) -> None:
+        grads = [t.grad for t in self.transfers]
+        if len(set(grads)) != len(grads):
+            raise SchedulingError("plan schedules a gradient twice")
+        block_grads = sorted(g for b in self.blocks for g in b.grads)
+        if block_grads != sorted(grads):
+            raise SchedulingError("plan blocks do not partition its transfers")
+
+    @property
+    def num_gradients(self) -> int:
+        return len(self.transfers)
+
+    @cached_property
+    def start_times(self) -> np.ndarray:
+        """``t[i]`` — the planned start time of gradient ``i``'s transfer."""
+        t = np.empty(self.num_gradients)
+        for tr in self.transfers:
+            t[tr.grad] = tr.start
+        return t
+
+    @cached_property
+    def durations(self) -> np.ndarray:
+        """``E[i]`` — the estimated transfer duration of gradient ``i``."""
+        e = np.empty(self.num_gradients)
+        for tr in self.transfers:
+            e[tr.grad] = tr.duration
+        return e
+
+    def backward_blocks(self) -> list[GradientBlock]:
+        """Blocks assembled during backward propagation."""
+        return [b for b in self.blocks if b.phase == "backward"]
+
+    def forward_blocks(self) -> list[GradientBlock]:
+        """Blocks drained during forward propagation (incl. gradient 0's)."""
+        return [b for b in self.blocks if b.phase != "backward"]

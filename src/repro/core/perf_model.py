@@ -1,0 +1,194 @@
+"""The Sec. 3 DDNN training performance model (Eqs. (1)-(5)).
+
+Given a transfer schedule — start times ``t(i)`` and estimated durations
+``E(i)`` — this module evaluates the paper's analytic recursion:
+
+* ``u(i) = t(i) + 2 E(i)``                                  (Eq. 4)
+* ``p(0) = u(0) + T_fp(0)``;
+  ``p(i) = max(p(i-1), u(i)) + T_fp(i)``                     (Eq. 3)
+* ``T_wait = Σ_{i≠0} (u(i) − p(i-1))⁺ + (u(0) − c(0))``      (Eq. 2)
+* ``T_all = Σ T_bp + Σ T_fp + T_wait``                       (Eq. 1)
+
+and verifies the optimization problem's Constraints (7), (8), (9) and (11).
+It is the yardstick the tests use to show Prophet's plan dominates FIFO /
+fixed-partition schedules, independent of the event-driven simulator.
+
+Gradient-granularity forward times: a layer's forward pass can only run
+once *all* of its tensors are updated, so the layer's ``T_fp`` is assigned
+to its **last** tensor — in the ascending-``i`` recursion of Eq. (3), that
+tensor's ``u`` is the final gate before the layer computes.  Parameter-free
+layers' times accrue onto the next parameterized layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.models.compute import ComputeProfile
+from repro.models.gradients import gradient_table
+
+__all__ = [
+    "PerfModelInputs",
+    "ScheduleEvaluation",
+    "wait_time",
+    "evaluate_schedule",
+    "check_constraints",
+    "per_gradient_fwd_times",
+]
+
+
+@dataclass(frozen=True)
+class PerfModelInputs:
+    """Everything Eq. (1)-(5) needs, all indexed by gradient priority.
+
+    Attributes
+    ----------
+    c:
+        Generation times ``c(i)`` (seconds from backward start).
+    t:
+        Transfer start times ``t(i)``.
+    e:
+        Transfer durations ``E(i)`` (one direction; Eq. (4) doubles it).
+    fp:
+        Per-gradient forward compute times ``T_fp(i)``.
+    total_bwd:
+        ``Σ T_bp`` — backward compute total (constant w.r.t. scheduling).
+    """
+
+    c: np.ndarray
+    t: np.ndarray
+    e: np.ndarray
+    fp: np.ndarray
+    total_bwd: float
+
+    def __post_init__(self) -> None:
+        n = len(self.c)
+        for name in ("t", "e", "fp"):
+            if len(getattr(self, name)) != n:
+                raise ConfigurationError(f"{name} must have length {n}")
+        if n == 0:
+            raise ConfigurationError("empty performance-model inputs")
+
+
+@dataclass(frozen=True)
+class ScheduleEvaluation:
+    """Evaluated schedule: update times, forward completions, totals."""
+
+    u: np.ndarray
+    p: np.ndarray
+    t_wait: float
+    iteration_time: float
+
+
+def _update_times(inputs: PerfModelInputs) -> np.ndarray:
+    """Eq. (4): parameter-update completion ``u(i) = t(i) + 2 E(i)``."""
+    return inputs.t + 2.0 * inputs.e
+
+
+def _forward_completions(u: np.ndarray, fp: np.ndarray) -> np.ndarray:
+    """Eq. (3) recursion (vector-length loop; n is a few hundred)."""
+    p = np.empty_like(u)
+    p[0] = u[0] + fp[0]
+    for i in range(1, len(u)):
+        p[i] = max(p[i - 1], u[i]) + fp[i]
+    return p
+
+
+def wait_time(inputs: PerfModelInputs) -> float:
+    """Eq. (2): total GPU wait time of one iteration."""
+    u = _update_times(inputs)
+    p = _forward_completions(u, inputs.fp)
+    gaps = np.maximum(u[1:] - p[:-1], 0.0)
+    return float(gaps.sum() + (u[0] - inputs.c[0]))
+
+
+def evaluate_schedule(inputs: PerfModelInputs) -> ScheduleEvaluation:
+    """Full Eq. (1)-(5) evaluation of a transfer schedule."""
+    u = _update_times(inputs)
+    p = _forward_completions(u, inputs.fp)
+    gaps = np.maximum(u[1:] - p[:-1], 0.0)
+    t_wait = float(gaps.sum() + (u[0] - inputs.c[0]))
+    iteration_time = inputs.total_bwd + float(inputs.fp.sum()) + t_wait
+    return ScheduleEvaluation(u=u, p=p, t_wait=t_wait, iteration_time=iteration_time)
+
+
+def check_constraints(inputs: PerfModelInputs, tol: float = 1e-9) -> None:
+    """Verify Constraints (7), (8), (9), (11); raise SchedulingError if not.
+
+    * (7)  ``t(i) >= c(i)`` — no pushing before generation.
+    * (8)  transfers do not overlap on the link.
+    * (9)  transfers starting after ``c(0)`` run in priority order.
+    * (11) transfers starting before ``c(0)`` finish before any
+      higher-priority gradient that has not been generated yet.
+    """
+    c, t, e = inputs.c, inputs.t, inputs.e
+    n = len(c)
+
+    late = np.nonzero(t < c - tol)[0]
+    if late.size:
+        i = int(late[0])
+        raise SchedulingError(
+            f"Constraint (7) violated: gradient {i} starts at {t[i]:.6f} "
+            f"before its generation at {c[i]:.6f}"
+        )
+
+    order = np.argsort(t, kind="stable")
+    ends = t[order] + e[order]
+    overlap = np.nonzero(t[order][1:] < ends[:-1] - tol)[0]
+    if overlap.size:
+        j = int(overlap[0])
+        a, b = int(order[j]), int(order[j + 1])
+        raise SchedulingError(
+            f"Constraint (8) violated: gradient {b} starts at {t[b]:.6f} "
+            f"while gradient {a} is transferring until {ends[j]:.6f}"
+        )
+
+    c0 = float(c[0])
+    fwd = [int(i) for i in order if t[i] > c0 + tol]
+    for a, b in zip(fwd, fwd[1:]):
+        if b < a:
+            raise SchedulingError(
+                f"Constraint (9) violated: gradient {a} transfers before "
+                f"higher-priority gradient {b} in the forward phase"
+            )
+
+    for i in range(n):
+        if t[i] > c0 + tol:
+            continue
+        higher = np.arange(i)
+        pending = higher[c[higher] > t[i] + tol]
+        if pending.size and t[i] + e[i] > float(c[pending].min()) + tol:
+            k = int(pending[np.argmin(c[pending])])
+            raise SchedulingError(
+                f"Constraint (11) violated: gradient {i}'s transfer "
+                f"[{t[i]:.6f}, {t[i] + e[i]:.6f}] overruns the generation of "
+                f"higher-priority gradient {k} at {c[k]:.6f}"
+            )
+
+
+def per_gradient_fwd_times(profile: ComputeProfile) -> np.ndarray:
+    """Distribute per-layer forward times onto gradients (see module doc)."""
+    grads = gradient_table(profile.model)
+    if not grads:
+        raise ConfigurationError("model has no gradients")
+    fp = np.zeros(len(grads))
+    last_tensor_of_layer: dict[int, int] = {}
+    for g in grads:
+        last_tensor_of_layer[g.layer_index] = g.index
+
+    pending = 0.0
+    last_assigned = None
+    for layer_idx, fwd in enumerate(profile.fwd_times):
+        if layer_idx in last_tensor_of_layer:
+            idx = last_tensor_of_layer[layer_idx]
+            fp[idx] += pending + float(fwd)
+            pending = 0.0
+            last_assigned = idx
+        else:
+            pending += float(fwd)
+    if pending and last_assigned is not None:
+        fp[last_assigned] += pending
+    return fp

@@ -1,0 +1,183 @@
+"""Training Job Profiler.
+
+The Prophet prototype "pre-trains the DNN model for a certain number of
+iterations (e.g., 50), to obtain the gradient information (e.g., the set of
+gradient data, the computation time and size of each gradient) required by
+Alg. 1" (paper Sec. 4.2).  :class:`JobProfiler` is that component: it
+ingests per-gradient generation times (relative to the start of each
+backward pass) across iterations and produces a :class:`JobProfile` — the
+mean generation times ``c(i)`` and gradient sizes ``s(i)``.
+
+Profiles can also be built directly from a
+:class:`~repro.agg.kvstore.GenerationSchedule` (the "oracle" profile —
+equivalent to a converged profiling run with zero jitter), which the fast
+benchmark presets use to skip simulated warmup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.agg.kvstore import GenerationSchedule
+from repro.errors import ProfileError
+
+__all__ = ["JobProfile", "JobProfiler"]
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """Distilled stepwise profile of one training job on one worker.
+
+    Attributes
+    ----------
+    c:
+        ``c[i]`` — expected generation time of gradient ``i`` in seconds
+        from the start of backward propagation.
+    sizes:
+        ``sizes[i]`` — gradient size in bytes.
+    iterations:
+        Number of iterations the profile was averaged over (0 for an
+        oracle profile derived analytically).
+    """
+
+    c: np.ndarray
+    sizes: np.ndarray
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if len(self.c) != len(self.sizes):
+            raise ProfileError("c and sizes must have equal length")
+        if len(self.c) == 0:
+            raise ProfileError("empty profile")
+
+    @property
+    def num_gradients(self) -> int:
+        return len(self.c)
+
+    @cached_property
+    def backward_span(self) -> float:
+        """Time from the first gradient's generation to gradient 0's."""
+        return float(self.c.max() - self.c.min())
+
+    @classmethod
+    def from_generation_schedule(cls, schedule: GenerationSchedule) -> "JobProfile":
+        """Oracle profile: exact expected times, no measurement noise."""
+        return cls(c=schedule.c.copy(), sizes=schedule.sizes.copy(), iterations=0)
+
+    # ------------------------------------------------------------------
+    # Trace I/O: persist/load profiles measured outside this library
+    # (e.g. a BytePS trace from a real cluster).
+    # ------------------------------------------------------------------
+    def to_csv(self, path) -> "Path":
+        """Write the profile as ``grad,c_seconds,size_bytes`` rows."""
+        from pathlib import Path
+
+        path = Path(path)
+        with path.open("w") as fh:
+            fh.write(f"# iterations={self.iterations}\n")
+            fh.write("grad,c_seconds,size_bytes\n")
+            for i, (c, s) in enumerate(zip(self.c, self.sizes)):
+                fh.write(f"{i},{float(c)!r},{float(s)!r}\n")
+        return path
+
+    @classmethod
+    def from_csv(cls, path) -> "JobProfile":
+        """Load a profile written by :meth:`to_csv` (or a measured trace
+        in the same format).  Rows may be in any gradient order; indices
+        must form a contiguous 0..n-1 range."""
+        from pathlib import Path
+
+        path = Path(path)
+        iterations = 0
+        entries: dict[int, tuple[float, float]] = {}
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if "iterations=" in line:
+                        iterations = int(line.split("iterations=")[1])
+                    continue
+                if line.startswith("grad,"):
+                    continue
+                grad_s, c_s, size_s = line.split(",")
+                entries[int(grad_s)] = (float(c_s), float(size_s))
+        if not entries:
+            raise ProfileError(f"no profile rows in {path}")
+        if sorted(entries) != list(range(len(entries))):
+            raise ProfileError(f"gradient indices in {path} are not contiguous")
+        c = np.array([entries[i][0] for i in range(len(entries))])
+        sizes = np.array([entries[i][1] for i in range(len(entries))])
+        return cls(c=c, sizes=sizes, iterations=iterations)
+
+
+class JobProfiler:
+    """Accumulates generation-time observations over warmup iterations.
+
+    Usage: call :meth:`observe` for every gradient of an iteration, then
+    :meth:`end_iteration`; once ``iterations_observed >= min_iterations``,
+    :meth:`ready` turns true and :meth:`build` returns the averaged
+    :class:`JobProfile`.
+    """
+
+    def __init__(self, sizes: np.ndarray, min_iterations: int = 50):
+        if min_iterations < 1:
+            raise ProfileError(f"min_iterations must be >= 1, got {min_iterations}")
+        self._sizes = np.asarray(sizes, dtype=float)
+        if len(self._sizes) == 0:
+            raise ProfileError("sizes must be non-empty")
+        self.min_iterations = min_iterations
+        self._sum = np.zeros(len(self._sizes))
+        self._count = np.zeros(len(self._sizes), dtype=np.int64)
+        self._current: dict[int, float] = {}
+        self._iterations = 0
+
+    @property
+    def num_gradients(self) -> int:
+        return len(self._sizes)
+
+    @property
+    def iterations_observed(self) -> int:
+        return self._iterations
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough complete iterations were observed to build."""
+        return self._iterations >= self.min_iterations
+
+    def observe(self, grad: int, rel_time: float) -> None:
+        """Record that ``grad`` was generated ``rel_time`` s into backward."""
+        if not 0 <= grad < len(self._sizes):
+            raise ProfileError(f"gradient index {grad} out of range")
+        if rel_time < 0:
+            raise ProfileError(f"negative relative time {rel_time} for gradient {grad}")
+        if grad in self._current:
+            raise ProfileError(f"gradient {grad} observed twice in one iteration")
+        self._current[grad] = rel_time
+
+    def end_iteration(self) -> None:
+        """Fold the current iteration's observations into the running mean."""
+        if len(self._current) != len(self._sizes):
+            # Partial iteration (e.g. the very first one a scheduler joins
+            # mid-flight) — discard rather than bias the means.
+            self._current.clear()
+            return
+        for grad, rel in self._current.items():
+            self._sum[grad] += rel
+            self._count[grad] += 1
+        self._current.clear()
+        self._iterations += 1
+
+    def build(self) -> JobProfile:
+        """Averaged profile; requires :attr:`ready`."""
+        if not self.ready:
+            raise ProfileError(
+                f"profiler has {self._iterations} iterations, "
+                f"needs {self.min_iterations}"
+            )
+        c = self._sum / np.maximum(self._count, 1)
+        return JobProfile(c=c, sizes=self._sizes.copy(), iterations=self._iterations)

@@ -1,0 +1,68 @@
+"""Experiment runners — one per figure/table of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning a structured result
+and a ``main()`` that prints the same rows/series the paper reports.  The
+benchmark harnesses under ``benchmarks/`` wrap these runners; the mapping
+from paper artifact to module is the experiment index in DESIGN.md.
+
+=========  ==========================================================
+Module     Paper artifact
+=========  ==========================================================
+fig2       Fig. 2 — GPU util / net throughput over time, default MXNet
+fig3       Fig. 3 — P3 partition-size overhead; ByteScheduler tuning
+fig4       Fig. 4 — stepwise pattern of gradient generation
+fig5       Fig. 5 — illustrative 4-strategy schedule on a toy job
+fig8       Fig. 8 — training-rate comparison across models/batch sizes
+fig9_10    Figs. 9 & 10 — GPU utilization and network throughput
+fig11      Fig. 11 — per-gradient transfer start/end times
+fig12      Fig. 12 — scalability in worker count
+fig13      Fig. 13 — profiling-phase overhead over time
+table2     Table 2 — rates under worker bandwidth limits
+table3     Table 3 — rates across batch sizes
+hetero     Sec. 5.3 — heterogeneous cluster (one slow worker)
+overhead   Sec. 5.4 — job-profiling and planning overhead
+ablations  design-choice ablations (not in the paper)
+=========  ==========================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig8,
+    fig9_10,
+    fig11,
+    fig12,
+    fig13,
+    table2,
+    table3,
+    hetero,
+    overhead,
+    ablations,
+    asp,
+    devices,
+    dynamic,
+    convergence,
+)
+
+__all__ = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig8",
+    "fig9_10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table2",
+    "table3",
+    "hetero",
+    "overhead",
+    "ablations",
+    "asp",
+    "devices",
+    "dynamic",
+    "convergence",
+]

@@ -1,0 +1,114 @@
+"""Design-choice ablations (beyond the paper's own experiments).
+
+DESIGN.md calls out the fidelity decisions this reproduction made; each
+gets an ablation so their effect is measurable rather than asserted:
+
+* **shared channel vs full duplex** — the paper's Eq. (4)/Constraint (8)
+  imply push and pull serialize on one channel; the duplex ablation gives
+  every worker independent up/down links.
+* **round-trip packing factor** — Algorithm 1 budgets the one-way E(i)
+  against the block interval; factor 2 also reserves the mirrored pull.
+* **slicing granularity** — Fig. 5 shows Prophet slicing gradients to
+  fill an interval; disabling slicing (huge ``slice_bytes``) reverts to
+  whole-gradient packing.
+* **aggregation policy** — the stepwise pattern's block structure
+  (module-boundary vs time-window vs byte-threshold bucketing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agg.policies import ByteThresholdPolicy, ModulePrefixPolicy, TimeWindowPolicy
+from repro.cluster.trainer import run_training
+from repro.experiments.common import FAST_ITERATIONS
+from repro.metrics.report import format_table
+from repro.quantities import Gbps, MB
+from repro.workloads.presets import paper_config, prophet_factory
+
+__all__ = ["AblationRow", "run", "main"]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    name: str
+    rate: float
+
+
+def run(
+    bandwidth: float = 3 * Gbps,
+    n_iterations: int = FAST_ITERATIONS,
+    seed: int = 0,
+) -> list[AblationRow]:
+    """Prophet's rate under each ablated design choice (ResNet-50 bs64)."""
+    base = dict(
+        bandwidth=bandwidth, n_iterations=n_iterations, seed=seed,
+        record_gradients=False,
+    )
+    rows: list[AblationRow] = []
+
+    config = paper_config("resnet50", 64, **base)
+    rows.append(
+        AblationRow("baseline (shared channel)", run_training(config, prophet_factory()).training_rate())
+    )
+
+    duplex = paper_config("resnet50", 64, duplex=True, **base)
+    rows.append(
+        AblationRow("full-duplex links", run_training(duplex, prophet_factory()).training_rate())
+    )
+
+    def rtf2(ctx):
+        from repro.sched.prophet_sched import ProphetScheduler
+
+        monitor = ctx.monitor
+        return ProphetScheduler(
+            bandwidth_provider=lambda: monitor.bandwidth,
+            profile=ctx.oracle_profile,
+            tcp=ctx.tcp,
+            round_trip_factor=2.0,
+        )
+
+    rows.append(
+        AblationRow("round-trip packing (2E)", run_training(config, rtf2).training_rate())
+    )
+
+    def no_slice(ctx):
+        from repro.sched.prophet_sched import ProphetScheduler
+
+        monitor = ctx.monitor
+        return ProphetScheduler(
+            bandwidth_provider=lambda: monitor.bandwidth,
+            profile=ctx.oracle_profile,
+            tcp=ctx.tcp,
+            slice_bytes=1e15,  # effectively whole-gradient packing only
+        )
+
+    rows.append(
+        AblationRow("no gradient slicing", run_training(config, no_slice).training_rate())
+    )
+
+    for label, policy in (
+        ("agg: time-window 5ms", TimeWindowPolicy(5e-3)),
+        ("agg: byte-threshold 8MB", ByteThresholdPolicy(8 * MB)),
+        ("agg: module depth 1 (stages)", ModulePrefixPolicy(1)),
+    ):
+        cfg = paper_config("resnet50", 64, agg_policy=policy, **base)
+        rows.append(AblationRow(label, run_training(cfg, prophet_factory()).training_rate()))
+
+    return rows
+
+
+def main() -> list[AblationRow]:
+    rows = run()
+    print(
+        format_table(
+            ["variant", "Prophet rate (samples/s)"],
+            [[r.name, f"{r.rate:.1f}"] for r in rows],
+            title="Ablations — ResNet-50 bs64 at 3 Gbps",
+        )
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Future-work item 1 — Prophet under ASP / SSP synchronization.
+
+The paper's conclusion proposes "validating the stepwise pattern of
+gradient transfer with the ASP model".  Two questions, both answered
+here:
+
+1. *Does the stepwise pattern survive?*  Yes by construction — the
+   pattern originates in per-worker backward compute + KV aggregation,
+   which synchronization does not touch.  What changes is its
+   exploitability: without the BSP barrier, pulls return after one
+   worker's own round trip, so preemption mistakes are cheaper.
+2. *Does Prophet still help?*  The runner compares Prophet vs
+   ByteScheduler vs FIFO under BSP, SSP (staleness 2) and ASP, with
+   enough jitter that the synchronization model matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.experiments.common import FAST_ITERATIONS, run_strategies
+from repro.metrics.report import format_table
+from repro.quantities import Gbps
+from repro.workloads.presets import paper_config
+
+__all__ = ["AspRow", "run", "main"]
+
+
+@dataclass(frozen=True)
+class AspRow:
+    sync_mode: str
+    rates: Mapping[str, float]
+
+    @property
+    def prophet_vs_bytescheduler(self) -> float:
+        return self.rates["prophet"] / self.rates["bytescheduler"] - 1.0
+
+
+def run(
+    bandwidth: float = 3 * Gbps,
+    n_iterations: int = FAST_ITERATIONS,
+    jitter_std: float = 0.05,
+    seed: int = 0,
+) -> list[AspRow]:
+    """ResNet-50 bs64 across synchronization models."""
+    base = paper_config(
+        "resnet50",
+        64,
+        bandwidth=bandwidth,
+        n_iterations=n_iterations,
+        seed=seed,
+        jitter_std=jitter_std,
+        record_gradients=False,
+    )
+    rows = []
+    for mode in ("bsp", "ssp", "asp"):
+        config = replace(base, sync_mode=mode)
+        rows.append(AspRow(sync_mode=mode, rates=run_strategies(config).rates))
+    return rows
+
+
+def main() -> list[AspRow]:
+    rows = run()
+    print(
+        format_table(
+            ["sync", "Prophet", "ByteScheduler", "P3", "MXNet", "P vs BS"],
+            [
+                [
+                    r.sync_mode,
+                    f"{r.rates['prophet']:.1f}",
+                    f"{r.rates['bytescheduler']:.1f}",
+                    f"{r.rates['p3']:.1f}",
+                    f"{r.rates['mxnet-fifo']:.1f}",
+                    f"{r.prophet_vs_bytescheduler * 100:+.1f}%",
+                ]
+                for r in rows
+            ],
+            title=(
+                "Future work (1) — ResNet-50 bs64 at 3 Gbps, 5% compute "
+                "jitter, under BSP / SSP(2) / ASP"
+            ),
+        )
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

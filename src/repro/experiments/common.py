@@ -1,0 +1,51 @@
+"""Shared helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.result import TrainingResult
+from repro.cluster.trainer import run_training
+from repro.config import SchedulerFactory, TrainingConfig
+from repro.workloads.presets import STRATEGY_FACTORIES
+
+__all__ = ["StrategyRates", "run_strategies", "FAST_ITERATIONS", "FULL_ITERATIONS"]
+
+#: Iteration counts: FAST keeps a full figure/table regeneration in
+#: seconds (benchmarks, CI); FULL matches a steadier measurement.
+FAST_ITERATIONS = 12
+FULL_ITERATIONS = 30
+
+
+@dataclass(frozen=True)
+class StrategyRates:
+    """Training rates (samples/s per worker) per strategy for one config."""
+
+    config: TrainingConfig
+    rates: Mapping[str, float]
+
+    def improvement(self, over: str, of: str = "prophet") -> float:
+        """Relative improvement of ``of`` over ``over`` (e.g. 0.36 = +36%)."""
+        return self.rates[of] / self.rates[over] - 1.0
+
+
+def run_strategies(
+    config: TrainingConfig,
+    strategies: Mapping[str, SchedulerFactory] | None = None,
+    skip: int = 2,
+) -> StrategyRates:
+    """Run each strategy on ``config`` and collect per-worker rates."""
+    strategies = dict(strategies if strategies is not None else STRATEGY_FACTORIES)
+    rates = {
+        name: run_training(config, factory).training_rate(skip=skip)
+        for name, factory in strategies.items()
+    }
+    return StrategyRates(config=config, rates=rates)
+
+
+def run_one(
+    config: TrainingConfig, factory: SchedulerFactory
+) -> TrainingResult:
+    """Thin alias kept for symmetry with :func:`run_strategies`."""
+    return run_training(config, factory)

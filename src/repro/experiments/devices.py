@@ -1,0 +1,104 @@
+"""Future-work item 2 — Prophet on faster GPU instances (p3/p4).
+
+The paper proposes examining Prophet on p3/p4 EC2 instances.  Faster GPUs
+shrink the backward pass, which (a) narrows the stepwise intervals
+Algorithm 1 packs against and (b) raises the bandwidth needed to stay
+compute-bound — at a fixed link speed, a V100 node is far deeper into the
+communication-bound regime than an M60 node.  The runner sweeps device
+generations at a fixed bandwidth and reports where scheduling still pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.experiments.common import FAST_ITERATIONS, run_strategies
+from repro.metrics.report import format_table
+from repro.models.device import A100, TESLA_M60, TESLA_V100, DeviceSpec
+from repro.quantities import Gbps
+from repro.workloads.presets import paper_config
+
+__all__ = ["DeviceRow", "run", "main", "DEVICE_GENERATIONS"]
+
+DEVICE_GENERATIONS: tuple[DeviceSpec, ...] = (TESLA_M60, TESLA_V100, A100)
+
+
+@dataclass(frozen=True)
+class DeviceRow:
+    device: str
+    compute_s: float
+    rates: Mapping[str, float]
+
+    @property
+    def prophet_vs_bytescheduler(self) -> float:
+        return self.rates["prophet"] / self.rates["bytescheduler"] - 1.0
+
+    @property
+    def prophet_vs_mxnet(self) -> float:
+        return self.rates["prophet"] / self.rates["mxnet-fifo"] - 1.0
+
+
+def run(
+    devices: tuple[DeviceSpec, ...] = DEVICE_GENERATIONS,
+    bandwidth: float = 10 * Gbps,
+    n_iterations: int = FAST_ITERATIONS,
+    seed: int = 0,
+) -> list[DeviceRow]:
+    """ResNet-50 bs64 at a fixed 10 Gbps across GPU generations."""
+    from repro.models.compute import build_compute_profile
+    from repro.models.registry import get_model
+
+    rows = []
+    for device in devices:
+        config = replace(
+            paper_config(
+                "resnet50",
+                64,
+                bandwidth=bandwidth,
+                n_iterations=n_iterations,
+                seed=seed,
+                record_gradients=False,
+            ),
+            device=device,
+        )
+        compute = build_compute_profile(get_model("resnet50"), device, 64)
+        rows.append(
+            DeviceRow(
+                device=device.name,
+                compute_s=compute.compute_time,
+                rates=run_strategies(config).rates,
+            )
+        )
+    return rows
+
+
+def main() -> list[DeviceRow]:
+    rows = run()
+    print(
+        format_table(
+            ["device", "compute (ms)", "Prophet", "ByteScheduler", "MXNet",
+             "P vs BS", "P vs MXNet"],
+            [
+                [
+                    r.device,
+                    f"{r.compute_s * 1e3:.0f}",
+                    f"{r.rates['prophet']:.1f}",
+                    f"{r.rates['bytescheduler']:.1f}",
+                    f"{r.rates['mxnet-fifo']:.1f}",
+                    f"{r.prophet_vs_bytescheduler * 100:+.1f}%",
+                    f"{r.prophet_vs_mxnet * 100:+.1f}%",
+                ]
+                for r in rows
+            ],
+            title=(
+                "Future work (2) — ResNet-50 bs64 at 10 Gbps across GPU "
+                "generations (faster compute -> communication-bound)"
+            ),
+        )
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Fig. 2 — GPU utilization and network throughput of one worker under
+default MXNet scheduling (ResNet-152, the paper's motivation experiment).
+
+The paper's observation: "the GPU utilization can dramatically decrease to
+zero during the pull operation of model parameters", idle over 50 % of the
+iteration at constrained bandwidth.  The runner reproduces the two time
+series and summary statistics: mean utilization, and the fraction of time
+the GPU sits essentially idle (< 10 % utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.trainer import run_training
+from repro.experiments.common import FAST_ITERATIONS
+from repro.metrics.report import format_table
+from repro.quantities import Gbps, to_MB
+from repro.workloads.presets import fifo_factory, paper_config
+
+__all__ = ["Fig2Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Time series + summary for the motivation experiment."""
+
+    times: np.ndarray
+    gpu_utilization: np.ndarray
+    throughput_mb_s: np.ndarray
+    mean_utilization: float
+    idle_fraction: float
+    training_rate: float
+
+
+def run(
+    bandwidth: float = 2 * Gbps,
+    n_iterations: int = FAST_ITERATIONS,
+    seed: int = 0,
+) -> Fig2Result:
+    """Train ResNet-152 (bs 32) with default MXNet; 1 PS + 3 workers."""
+    config = paper_config(
+        model="resnet152",
+        batch_size=32,
+        bandwidth=bandwidth,
+        n_workers=3,
+        n_iterations=n_iterations,
+        seed=seed,
+        record_gradients=False,
+    )
+    result = run_training(config, fifo_factory())
+    times, util = result.gpu_utilization_series(worker=0, window=0.25, resolution=0.05)
+    _, thr = result.throughput_series(worker=0, window=0.25, resolution=0.05)
+    start, end = result.measurement_window(0)
+    mask = (times >= start) & (times <= end)
+    return Fig2Result(
+        times=times[mask],
+        gpu_utilization=util[mask],
+        throughput_mb_s=np.array([to_MB(x) for x in thr[mask]]),
+        mean_utilization=result.mean_gpu_utilization(0),
+        idle_fraction=float((util[mask] < 0.10).mean()),
+        training_rate=result.training_rate(),
+    )
+
+
+def main() -> Fig2Result:
+    res = run()
+    rows = [
+        ["mean GPU utilization", f"{res.mean_utilization * 100:.1f}%"],
+        ["fraction of time near-idle (<10%)", f"{res.idle_fraction * 100:.1f}%"],
+        ["training rate (samples/s/worker)", f"{res.training_rate:.1f}"],
+        ["peak throughput (MB/s)", f"{res.throughput_mb_s.max():.1f}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title="Fig. 2 — default MXNet, ResNet-152: GPU starvation during pulls",
+        )
+    )
+    return res
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Fig. 3 — the two baseline pathologies that motivate Prophet.
+
+(a) **P3's partition-size overhead**: sweeping the partition size shows
+    the training rate collapsing as partitions shrink (every partition
+    pays the blocking per-message synchronization) and preemption
+    degrading as they grow.
+
+(b) **ByteScheduler's auto-tuning fluctuation**: with Bayesian credit
+    tuning enabled, the per-iteration training rate oscillates while the
+    optimizer explores credit sizes (the paper observes 44–56 samples/s
+    and credits moving between ~3 MB and 13 MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.trainer import run_training
+from repro.metrics.report import format_table
+from repro.quantities import Gbps, MB
+from repro.workloads.presets import bytescheduler_factory, p3_factory, paper_config
+
+__all__ = ["Fig3aResult", "Fig3bResult", "run_partition_sweep", "run_autotune", "main"]
+
+DEFAULT_PARTITIONS_MB = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+@dataclass(frozen=True)
+class Fig3aResult:
+    """P3 training rate per partition size."""
+
+    partition_mb: tuple[float, ...]
+    rates: tuple[float, ...]
+
+    @property
+    def best_partition_mb(self) -> float:
+        return self.partition_mb[int(np.argmax(self.rates))]
+
+
+@dataclass(frozen=True)
+class Fig3bResult:
+    """ByteScheduler per-iteration rate and credit while auto-tuning."""
+
+    iterations: tuple[int, ...]
+    rates: tuple[float, ...]
+    credits_mb: tuple[float, ...]
+
+    @property
+    def rate_spread(self) -> float:
+        """max - min per-iteration rate (the fluctuation band)."""
+        return max(self.rates) - min(self.rates)
+
+
+def run_partition_sweep(
+    partitions_mb: tuple[float, ...] = DEFAULT_PARTITIONS_MB,
+    bandwidth: float = 3 * Gbps,
+    n_iterations: int = 12,
+    seed: int = 0,
+) -> Fig3aResult:
+    """Fig. 3(a): ResNet-50 bs64 rate vs P3 partition size."""
+    rates = []
+    for mb in partitions_mb:
+        config = paper_config(
+            "resnet50",
+            64,
+            bandwidth=bandwidth,
+            n_iterations=n_iterations,
+            seed=seed,
+            record_gradients=False,
+        )
+        result = run_training(config, p3_factory(partition_size=mb * MB))
+        rates.append(result.training_rate())
+    return Fig3aResult(partition_mb=tuple(partitions_mb), rates=tuple(rates))
+
+
+def run_autotune(
+    bandwidth: float = 3 * Gbps,
+    n_iterations: int = 40,
+    tune_every: int = 3,
+    seed: int = 0,
+) -> Fig3bResult:
+    """Fig. 3(b): per-iteration rate under Bayesian credit auto-tuning."""
+    config = paper_config(
+        "resnet50",
+        64,
+        bandwidth=bandwidth,
+        n_iterations=n_iterations,
+        seed=seed,
+        record_gradients=False,
+    )
+    result = run_training(
+        config, bytescheduler_factory(auto_tune=True, tune_every=tune_every)
+    )
+    spans = result.iteration_spans(worker=0, skip=1)
+    rates = tuple(float(config.batch_size / s) for s in spans)
+    # Credit history from worker 0's scheduler, aligned to iterations 1..N.
+    history = dict(result.schedulers[0].credit_history)
+    iters = tuple(range(1, 1 + len(rates)))
+    credits = tuple(history.get(i, np.nan) / MB for i in iters)
+    return Fig3bResult(iterations=iters, rates=rates, credits_mb=credits)
+
+
+def main() -> tuple[Fig3aResult, Fig3bResult]:
+    a = run_partition_sweep()
+    print(
+        format_table(
+            ["partition (MB)", "rate (samples/s)"],
+            list(zip(a.partition_mb, a.rates)),
+            title="Fig. 3(a) — P3 rate vs partition size (ResNet-50 bs64, 3 Gbps)",
+        )
+    )
+    b = run_autotune()
+    print()
+    print(
+        format_table(
+            ["iteration", "rate (samples/s)", "credit (MB)"],
+            list(zip(b.iterations, b.rates, b.credits_mb)),
+            title="Fig. 3(b) — ByteScheduler auto-tuning fluctuation",
+        )
+    )
+    print(f"\nrate fluctuation band: {min(b.rates):.1f} - {max(b.rates):.1f} samples/s")
+    return a, b
+
+
+if __name__ == "__main__":
+    main()

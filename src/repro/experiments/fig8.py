@@ -1,0 +1,96 @@
+"""Fig. 8 — training-rate comparison, Prophet vs ByteScheduler, across
+representative models and batch sizes.
+
+The paper reports 10–40 % improvements across ResNet-18/50/152 and
+Inception-v3 at batch sizes 16–64 on the constrained-bandwidth cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import FAST_ITERATIONS
+from repro.cluster.trainer import run_training
+from repro.metrics.report import format_table
+from repro.quantities import Gbps
+from repro.workloads.presets import (
+    bytescheduler_factory,
+    paper_config,
+    prophet_factory,
+)
+
+__all__ = ["Fig8Row", "run", "main", "DEFAULT_WORKLOADS"]
+
+#: (model, batch size) pairs shown in the paper's Fig. 8.
+DEFAULT_WORKLOADS: tuple[tuple[str, int], ...] = (
+    ("resnet18", 32),
+    ("resnet18", 64),
+    ("resnet50", 32),
+    ("resnet50", 64),
+    ("resnet152", 16),
+    ("resnet152", 32),
+    ("inception_v3", 32),
+    ("inception_v3", 64),
+)
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    model: str
+    batch_size: int
+    prophet_rate: float
+    bytescheduler_rate: float
+
+    @property
+    def improvement(self) -> float:
+        return self.prophet_rate / self.bytescheduler_rate - 1.0
+
+
+def run(
+    workloads: tuple[tuple[str, int], ...] = DEFAULT_WORKLOADS,
+    bandwidth: float = 3 * Gbps,
+    n_iterations: int = FAST_ITERATIONS,
+    seed: int = 0,
+) -> list[Fig8Row]:
+    """Prophet-vs-ByteScheduler rates for every (model, batch) pair."""
+    rows = []
+    for model, batch in workloads:
+        config = paper_config(
+            model,
+            batch,
+            bandwidth=bandwidth,
+            n_iterations=n_iterations,
+            seed=seed,
+            record_gradients=False,
+        )
+        prophet = run_training(config, prophet_factory()).training_rate()
+        bytesched = run_training(config, bytescheduler_factory()).training_rate()
+        rows.append(
+            Fig8Row(
+                model=model,
+                batch_size=batch,
+                prophet_rate=prophet,
+                bytescheduler_rate=bytesched,
+            )
+        )
+    return rows
+
+
+def main() -> list[Fig8Row]:
+    rows = run()
+    print(
+        format_table(
+            ["model", "batch", "Prophet (s/s)", "ByteScheduler (s/s)", "improvement"],
+            [
+                [r.model, r.batch_size, f"{r.prophet_rate:.1f}",
+                 f"{r.bytescheduler_rate:.1f}", f"{r.improvement * 100:+.1f}%"]
+                for r in rows
+            ],
+            title="Fig. 8 — training rate, Prophet vs ByteScheduler (3 Gbps)",
+        )
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

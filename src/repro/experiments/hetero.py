@@ -1,0 +1,84 @@
+"""Sec. 5.3 — heterogeneous cluster: one worker capped at 500 Mbps.
+
+The paper's finding: the slow worker's bandwidth gates every BSP update,
+so the optimization space shrinks — Prophet (26.4 samples/s) and
+ByteScheduler (25.8) nearly tie, both well ahead of default MXNet
+(15.09).  The reproduction targets: both priority schedulers ≫ MXNet, and
+the Prophet-ByteScheduler gap collapsing to a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import FAST_ITERATIONS, StrategyRates, run_strategies
+from repro.metrics.report import format_table
+from repro.quantities import Gbps, Mbps
+from repro.workloads.presets import paper_config
+
+__all__ = ["HeteroResult", "run", "main"]
+
+
+@dataclass(frozen=True)
+class HeteroResult:
+    slow_worker_mbps: float
+    rates: StrategyRates
+
+    @property
+    def prophet_vs_bytescheduler(self) -> float:
+        return self.rates.improvement(over="bytescheduler")
+
+    @property
+    def prophet_vs_mxnet(self) -> float:
+        return self.rates.improvement(over="mxnet-fifo")
+
+
+def run(
+    slow_worker_mbps: float = 500.0,
+    base_bandwidth: float = 3 * Gbps,
+    n_iterations: int = FAST_ITERATIONS,
+    seed: int = 0,
+) -> HeteroResult:
+    """ResNet-18 bs64 with worker 0 capped at ``slow_worker_mbps``.
+
+    ResNet-18 reproduces the paper's absolute rates (~26 samples/s for the
+    priority schedulers): at 500 Mbps the slow worker's channel carries
+    2 x 44.6 MB per iteration, ~2.4 s — matching the reported 25.8-26.4.
+    """
+    config = paper_config(
+        "resnet18",
+        64,
+        bandwidth=base_bandwidth,
+        n_iterations=n_iterations,
+        seed=seed,
+        worker_bandwidth={0: slow_worker_mbps * Mbps},
+        record_gradients=False,
+    )
+    return HeteroResult(
+        slow_worker_mbps=slow_worker_mbps, rates=run_strategies(config)
+    )
+
+
+def main() -> HeteroResult:
+    res = run()
+    print(
+        format_table(
+            ["strategy", "rate (samples/s)"],
+            sorted(res.rates.rates.items(), key=lambda kv: -kv[1]),
+            title=(
+                "Sec. 5.3 — heterogeneous cluster "
+                f"(worker 0 capped at {res.slow_worker_mbps:.0f} Mbps)"
+            ),
+        )
+    )
+    print(
+        f"\nProphet vs ByteScheduler: {res.prophet_vs_bytescheduler * 100:+.1f}%  "
+        f"(paper: +2.3%); vs MXNet: {res.prophet_vs_mxnet * 100:+.1f}% "
+        f"(paper: +75% — our work-conserving FIFO loses less at saturation; "
+        f"see EXPERIMENTS.md)"
+    )
+    return res
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Table 2 — training rate under per-worker bandwidth limits.
+
+The paper caps worker bandwidth from 1 to 10 Gbps (ResNet-50 bs64) and
+compares Prophet, ByteScheduler and P3; we add default MXNet for the
+Sec. 5.3 ResNet-18 text experiment (110 / 137 / 153 samples/s at 3 Gbps
+for MXNet / P3 / Prophet).
+
+Expected shape: P3 collapses hardest at low bandwidth (per-partition
+blocking), Prophet leads through the mid range, all strategies converge
+once communication fully hides under compute (≥ 6 Gbps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import FAST_ITERATIONS, StrategyRates, run_strategies
+from repro.metrics.report import format_table
+from repro.quantities import Gbps
+from repro.workloads.presets import paper_config
+
+__all__ = ["Table2Result", "run", "main", "PAPER_BANDWIDTHS_GBPS"]
+
+#: The worker bandwidth limits of the paper's Table 2 (in Gbps).
+PAPER_BANDWIDTHS_GBPS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 4.5, 6.0, 10.0)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    model: str
+    batch_size: int
+    bandwidths_gbps: tuple[float, ...]
+    rows: tuple[StrategyRates, ...]
+
+    def rates(self, strategy: str) -> list[float]:
+        return [r.rates[strategy] for r in self.rows]
+
+
+def run(
+    model: str = "resnet50",
+    batch_size: int = 64,
+    bandwidths_gbps: tuple[float, ...] = PAPER_BANDWIDTHS_GBPS,
+    n_iterations: int = FAST_ITERATIONS,
+    seed: int = 0,
+) -> Table2Result:
+    """Sweep worker bandwidth caps for all four strategies."""
+    rows = []
+    for gbps in bandwidths_gbps:
+        config = paper_config(
+            model,
+            batch_size,
+            bandwidth=gbps * Gbps,
+            n_iterations=n_iterations,
+            seed=seed,
+            record_gradients=False,
+        )
+        rows.append(run_strategies(config))
+    return Table2Result(
+        model=model,
+        batch_size=batch_size,
+        bandwidths_gbps=tuple(bandwidths_gbps),
+        rows=tuple(rows),
+    )
+
+
+def main() -> Table2Result:
+    res = run()
+    table_rows = []
+    for gbps, row in zip(res.bandwidths_gbps, res.rows):
+        table_rows.append(
+            [
+                f"{gbps:g}",
+                f"{row.rates['prophet']:.1f}",
+                f"{row.rates['bytescheduler']:.1f}",
+                f"{row.rates['p3']:.1f}",
+                f"{row.rates['mxnet-fifo']:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["bandwidth (Gbps)", "Prophet", "ByteScheduler", "P3", "MXNet"],
+            table_rows,
+            title=f"Table 2 — {res.model} bs{res.batch_size} rate (samples/s) vs bandwidth",
+        )
+    )
+    return res
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Table 3 — batch-size sensitivity of Prophet's improvement.
+
+The paper's observation: larger batches mean longer backward passes,
+wider stepwise intervals, and therefore more room for Prophet's block
+assembly — improvements over ByteScheduler grow from 1.5 % (ResNet-50
+bs16) to 36 % (bs64).  The reproduction target is the *trend* (monotone
+in batch size), with magnitudes that depend on the baseline's modeled
+inefficiency (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.trainer import run_training
+from repro.experiments.common import FAST_ITERATIONS
+from repro.metrics.report import format_table
+from repro.quantities import Gbps
+from repro.workloads.presets import (
+    bytescheduler_factory,
+    paper_config,
+    prophet_factory,
+)
+
+__all__ = ["Table3Row", "run", "main", "PAPER_WORKLOADS"]
+
+#: The (model, batch) pairs of the paper's Table 3.
+PAPER_WORKLOADS: tuple[tuple[str, int], ...] = (
+    ("resnet18", 16),
+    ("resnet18", 64),
+    ("resnet50", 16),
+    ("resnet50", 32),
+    ("resnet50", 64),
+)
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    model: str
+    batch_size: int
+    prophet_rate: float
+    bytescheduler_rate: float
+
+    @property
+    def improvement(self) -> float:
+        return self.prophet_rate / self.bytescheduler_rate - 1.0
+
+
+def run(
+    workloads: tuple[tuple[str, int], ...] = PAPER_WORKLOADS,
+    bandwidth: float = 3 * Gbps,
+    n_iterations: int = FAST_ITERATIONS,
+    seed: int = 0,
+) -> list[Table3Row]:
+    """Prophet vs ByteScheduler across the paper's batch-size grid."""
+    rows = []
+    for model, batch in workloads:
+        config = paper_config(
+            model,
+            batch,
+            bandwidth=bandwidth,
+            n_iterations=n_iterations,
+            seed=seed,
+            record_gradients=False,
+        )
+        rows.append(
+            Table3Row(
+                model=model,
+                batch_size=batch,
+                prophet_rate=run_training(config, prophet_factory()).training_rate(),
+                bytescheduler_rate=run_training(
+                    config, bytescheduler_factory()
+                ).training_rate(),
+            )
+        )
+    return rows
+
+
+def main() -> list[Table3Row]:
+    rows = run()
+    print(
+        format_table(
+            ["model (batch)", "Prophet (s/s)", "ByteScheduler (s/s)", "improvement"],
+            [
+                [f"{r.model} ({r.batch_size})", f"{r.prophet_rate:.2f}",
+                 f"{r.bytescheduler_rate:.2f}", f"{r.improvement * 100:+.1f}%"]
+                for r in rows
+            ],
+            title="Table 3 — batch-size sensitivity (3 Gbps)",
+        )
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

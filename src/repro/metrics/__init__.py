@@ -1,0 +1,45 @@
+"""Measurement: timelines, utilization/throughput series, reports.
+
+The simulator records the same raw signals the paper measures on its EC2
+testbed — GPU busy intervals (their ``nvidia-smi`` traces), per-transfer
+link records (their network throughput traces), and per-gradient
+communication events (their BytePS transfer logs) — and this package turns
+them into the derived series shown in Figs. 2, 9, 10, 11 and the rate
+tables.
+"""
+
+from repro.metrics.timeline import (
+    Recorder,
+    GpuInterval,
+    IterationRecord,
+    GradientRecord,
+)
+from repro.metrics.utilization import busy_curve, windowed_utilization, mean_utilization
+from repro.metrics.throughput import bytes_curve, windowed_throughput
+from repro.metrics.report import format_table
+from repro.metrics.ascii_timeline import render_channel_timeline, render_gradient_waterfall
+from repro.metrics.export import (
+    result_summary_dict,
+    gradient_records_rows,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "Recorder",
+    "GpuInterval",
+    "IterationRecord",
+    "GradientRecord",
+    "busy_curve",
+    "windowed_utilization",
+    "mean_utilization",
+    "bytes_curve",
+    "windowed_throughput",
+    "format_table",
+    "render_channel_timeline",
+    "render_gradient_waterfall",
+    "result_summary_dict",
+    "gradient_records_rows",
+    "write_csv",
+    "write_json",
+]

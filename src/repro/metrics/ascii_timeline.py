@@ -1,0 +1,126 @@
+"""Terminal Gantt charts for channel and gradient timelines.
+
+The paper's Figs. 5 and 11 are transfer timelines; these helpers render
+the simulated equivalents as text so examples and benchmark logs can show
+*why* a schedule is fast or slow without a plotting stack:
+
+* :func:`render_channel_timeline` — one lane per traffic direction, one
+  character per time bin (``#`` push, ``=`` pull, ``.`` idle).
+* :func:`render_gradient_waterfall` — one row per (sampled) gradient:
+  generation (``|``), wait (``-``), transfer (``#``), until pull (``~``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.timeline import GradientRecord
+from repro.net.link import TransferRecord
+
+__all__ = ["render_channel_timeline", "render_gradient_waterfall"]
+
+
+def _bin_index(t: float, start: float, step: float, width: int) -> int:
+    return min(width - 1, max(0, int((t - start) / step)))
+
+
+def render_channel_timeline(
+    records: Sequence[TransferRecord],
+    start: float,
+    end: float,
+    width: int = 80,
+) -> str:
+    """Render a channel's occupancy between ``start`` and ``end``.
+
+    Each column is ``(end-start)/width`` seconds; a bin shows ``#`` if
+    mostly push traffic, ``=`` if mostly pull, ``.`` if idle.
+    """
+    if end <= start:
+        raise ConfigurationError("end must exceed start")
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    step = (end - start) / width
+    push = np.zeros(width)
+    pull = np.zeros(width)
+    for rec in records:
+        if rec.end <= start or rec.start >= end:
+            continue
+        kind = rec.tag[0] if isinstance(rec.tag, tuple) else "push"
+        lane = push if kind == "push" else pull
+        lo = _bin_index(rec.start, start, step, width)
+        hi = _bin_index(rec.end, start, step, width)
+        for b in range(lo, hi + 1):
+            bin_lo = start + b * step
+            bin_hi = bin_lo + step
+            overlap = min(rec.end, bin_hi) - max(rec.start, bin_lo)
+            lane[b] += max(0.0, overlap)
+    chars = []
+    for b in range(width):
+        if push[b] + pull[b] < 0.05 * step:
+            chars.append(".")
+        elif push[b] >= pull[b]:
+            chars.append("#")
+        else:
+            chars.append("=")
+    ruler = f"{start * 1e3:.0f}ms" + " " * (width - 12) + f"{end * 1e3:.0f}ms"
+    return ruler[:width] + "\n" + "".join(chars) + "\n(# push, = pull, . idle)"
+
+
+def render_gradient_waterfall(
+    records: Sequence[GradientRecord],
+    width: int = 72,
+    max_rows: int = 24,
+) -> str:
+    """Render per-gradient lifecycles (one iteration's records).
+
+    Rows are gradients in priority order (subsampled to ``max_rows``);
+    per row: spaces before generation, ``-`` while waiting in the queue,
+    ``#`` during the push, ``~`` until the parameters return.
+    """
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    if max_rows < 1:
+        raise ConfigurationError(f"max_rows must be >= 1, got {max_rows}")
+    usable = [
+        r
+        for r in records
+        if np.isfinite(r.ready) and np.isfinite(r.push_start) and np.isfinite(r.push_end)
+    ]
+    if not usable:
+        raise ConfigurationError("no complete gradient records to render")
+    usable.sort(key=lambda r: r.grad)
+    stride = max(1, len(usable) // max_rows)
+    sampled = usable[::stride]
+
+    t0 = min(r.ready for r in sampled)
+    t1 = max(
+        (r.pull_end if np.isfinite(r.pull_end) else r.push_end) for r in sampled
+    )
+    if t1 <= t0:
+        t1 = t0 + 1e-9
+    step = (t1 - t0) / width
+
+    lines = []
+    for r in sampled:
+        row = [" "] * width
+        ready_b = _bin_index(r.ready, t0, step, width)
+        start_b = _bin_index(r.push_start, t0, step, width)
+        end_b = _bin_index(r.push_end, t0, step, width)
+        for b in range(ready_b, start_b):
+            row[b] = "-"
+        for b in range(start_b, end_b + 1):
+            row[b] = "#"
+        if np.isfinite(r.pull_end):
+            pull_b = _bin_index(r.pull_end, t0, step, width)
+            for b in range(end_b + 1, pull_b + 1):
+                row[b] = "~"
+        row[ready_b] = "|"
+        lines.append(f"g{r.grad}".rjust(5) + " " + "".join(row))
+    header = (
+        f"      t0={t0 * 1e3:.1f}ms .. t1={t1 * 1e3:.1f}ms   "
+        "(| ready, - wait, # push, ~ until params return)"
+    )
+    return header + "\n" + "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Result export: CSV and JSON serialization of training results.
+
+Sweep harnesses and downstream analysis want flat records, not live
+simulator objects.  :func:`result_summary_dict` flattens one
+:class:`~repro.cluster.result.TrainingResult` into JSON-safe scalars;
+:func:`gradient_records_rows` flattens per-gradient timelines;
+:func:`write_csv` / :func:`write_json` persist either.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.result import TrainingResult
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "result_summary_dict",
+    "gradient_records_rows",
+    "write_csv",
+    "write_json",
+]
+
+
+def result_summary_dict(result: TrainingResult, skip: int = 2) -> dict[str, object]:
+    """Flatten a result's headline numbers plus the identifying config."""
+    config = result.config
+    bandwidth = config.bandwidth
+    bandwidth_desc = (
+        float(bandwidth) if isinstance(bandwidth, (int, float)) else "schedule"
+    )
+    summary = result.summary(skip=skip)
+    return {
+        "model": config.model,
+        "batch_size": config.batch_size,
+        "n_workers": config.n_workers,
+        "n_iterations": config.n_iterations,
+        "bandwidth_bytes_per_s": bandwidth_desc,
+        "sync_mode": config.sync_mode,
+        "seed": config.seed,
+        "training_rate": float(summary["training_rate"]),
+        "mean_iteration_s": float(summary["mean_iteration_s"]),
+        "gpu_utilization": float(summary["gpu_utilization"]),
+        "throughput_bytes_per_s": float(summary["throughput_bytes_per_s"]),
+    }
+
+
+def gradient_records_rows(
+    result: TrainingResult, worker: int = 0, iteration: int | None = None
+) -> list[dict[str, object]]:
+    """Per-gradient timeline rows (NaNs serialized as ``None``)."""
+
+    def clean(value: float) -> float | None:
+        return float(value) if np.isfinite(value) else None
+
+    return [
+        {
+            "worker": r.worker,
+            "iteration": r.iteration,
+            "grad": r.grad,
+            "ready": clean(r.ready),
+            "push_start": clean(r.push_start),
+            "push_end": clean(r.push_end),
+            "pull_end": clean(r.pull_end),
+        }
+        for r in result.gradient_records(worker=worker, iteration=iteration)
+    ]
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write homogeneous dict rows as CSV; returns the path."""
+    if not rows:
+        raise ConfigurationError("no rows to write")
+    path = Path(path)
+    fieldnames = list(rows[0].keys())
+    for i, row in enumerate(rows):
+        if list(row.keys()) != fieldnames:
+            raise ConfigurationError(f"row {i} keys differ from header")
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(data: object, path: str | Path) -> Path:
+    """Write JSON with stable formatting; returns the path."""
+    path = Path(path)
+    with path.open("w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,58 @@
+"""Network-throughput series from link transfer records.
+
+Reproduces the paper's Figs. 2 and 10 (uplink/downlink throughput of a
+worker node over time): bytes are spread uniformly across each transfer's
+duration, accumulated into a piecewise-linear delivered-bytes curve, then
+windowed — the same computation an ``iftop``-style monitor performs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.link import TransferRecord
+
+__all__ = ["bytes_curve", "windowed_throughput"]
+
+
+def bytes_curve(records: Sequence[TransferRecord]) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative delivered bytes as a piecewise-linear curve.
+
+    Returns ``(times, cum_bytes)``; interpolation gives bytes delivered in
+    ``[0, t]``.  Within one transfer, bytes flow at the transfer's average
+    rate.  Records may be unsorted.
+    """
+    if not records:
+        return np.array([0.0]), np.array([0.0])
+    recs = sorted(records, key=lambda r: r.start)
+    times = [0.0]
+    cum = [0.0]
+    total = 0.0
+    for r in recs:
+        if r.start > times[-1]:
+            times.append(r.start)
+            cum.append(total)
+        total += r.nbytes
+        times.append(max(r.end, r.start + 1e-12))
+        cum.append(total)
+    return np.asarray(times), np.asarray(cum)
+
+
+def windowed_throughput(
+    records: Sequence[TransferRecord],
+    sample_times: np.ndarray,
+    window: float,
+) -> np.ndarray:
+    """Bytes/second over the trailing ``window`` at each sample time."""
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    sample_times = np.asarray(sample_times, dtype=float)
+    times, cum = bytes_curve(records)
+    upper = np.interp(sample_times, times, cum, left=0.0, right=cum[-1])
+    lo = np.maximum(sample_times - window, 0.0)
+    lower = np.interp(lo, times, cum, left=0.0, right=cum[-1])
+    spans = np.maximum(sample_times - lo, 1e-12)
+    return (upper - lower) / spans

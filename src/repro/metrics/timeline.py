@@ -1,0 +1,135 @@
+"""Raw event timelines recorded during a training simulation.
+
+The :class:`Recorder` is written to by workers as the simulation runs and
+read by the figure/table harnesses afterwards.  Three record kinds:
+
+* :class:`GpuInterval` — one contiguous GPU-busy span (forward or backward
+  compute of one layer run, or a whole backward pass);
+* :class:`IterationRecord` — per-worker iteration boundaries;
+* :class:`GradientRecord` — the paper's per-gradient quantities: ready
+  time ``c``, push start ``t``, push end, pull end ``u`` (Fig. 11's wait
+  time is ``t − c``; its transfer time is push end − push start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GpuInterval", "IterationRecord", "GradientRecord", "Recorder"]
+
+
+@dataclass(frozen=True)
+class GpuInterval:
+    """One GPU-busy span on one worker."""
+
+    worker: int
+    iteration: int
+    kind: str  # "fwd" | "bwd"
+    start: float
+    end: float
+
+
+@dataclass
+class IterationRecord:
+    """Per-worker iteration boundaries (bwd starts when fwd ends)."""
+
+    worker: int
+    iteration: int
+    fwd_start: float = np.nan
+    fwd_end: float = np.nan
+    bwd_end: float = np.nan
+
+
+@dataclass
+class GradientRecord:
+    """Per-gradient communication timeline on one worker, one iteration."""
+
+    worker: int
+    iteration: int
+    grad: int
+    ready: float = np.nan       # c(i): flushed by the KV store
+    push_start: float = np.nan  # t(i): first byte enters the channel
+    push_end: float = np.nan    # last byte pushed
+    pull_end: float = np.nan    # u(i): parameters updated locally
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay before transmission (Fig. 11's wait time)."""
+        return self.push_start - self.ready
+
+    @property
+    def transfer_time(self) -> float:
+        """Push duration, first to last byte (Fig. 11's transfer time)."""
+        return self.push_end - self.push_start
+
+
+class Recorder:
+    """Accumulates simulation timelines.
+
+    ``record_gradients=False`` drops per-gradient records (the most
+    memory-hungry signal) for large sweeps that only need rates.
+    """
+
+    def __init__(self, record_gradients: bool = True):
+        self.record_gradients = record_gradients
+        self.gpu_intervals: list[GpuInterval] = []
+        self.iterations: list[IterationRecord] = []
+        self._gradients: dict[tuple[int, int, int], GradientRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Write side (workers)
+    # ------------------------------------------------------------------
+    def gpu_busy(
+        self, worker: int, iteration: int, kind: str, start: float, end: float
+    ) -> None:
+        if end > start:
+            self.gpu_intervals.append(GpuInterval(worker, iteration, kind, start, end))
+
+    def iteration_record(self, worker: int, iteration: int) -> IterationRecord:
+        rec = IterationRecord(worker=worker, iteration=iteration)
+        self.iterations.append(rec)
+        return rec
+
+    def gradient(self, worker: int, iteration: int, grad: int) -> GradientRecord | None:
+        """The (mutable) gradient record, or ``None`` when recording is off."""
+        if not self.record_gradients:
+            return None
+        key = (worker, iteration, grad)
+        rec = self._gradients.get(key)
+        if rec is None:
+            rec = GradientRecord(worker=worker, iteration=iteration, grad=grad)
+            self._gradients[key] = rec
+        return rec
+
+    # ------------------------------------------------------------------
+    # Read side (harnesses)
+    # ------------------------------------------------------------------
+    def worker_iterations(self, worker: int) -> list[IterationRecord]:
+        """Iteration records of one worker, ordered by iteration."""
+        return sorted(
+            (r for r in self.iterations if r.worker == worker),
+            key=lambda r: r.iteration,
+        )
+
+    def gradient_records(
+        self, worker: int | None = None, iteration: int | None = None
+    ) -> list[GradientRecord]:
+        """Gradient records filtered by worker and/or iteration."""
+        out = [
+            r
+            for r in self._gradients.values()
+            if (worker is None or r.worker == worker)
+            and (iteration is None or r.iteration == iteration)
+        ]
+        return sorted(out, key=lambda r: (r.worker, r.iteration, r.grad))
+
+    def gpu_busy_intervals(self, worker: int) -> np.ndarray:
+        """(N, 2) array of one worker's busy spans, sorted by start."""
+        spans = sorted(
+            (iv.start, iv.end) for iv in self.gpu_intervals if iv.worker == worker
+        )
+        if not spans:
+            return np.empty((0, 2))
+        return np.asarray(spans, dtype=float)

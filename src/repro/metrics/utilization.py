@@ -1,0 +1,85 @@
+"""GPU-utilization series from busy intervals.
+
+The paper plots GPU utilization over time (Figs. 2, 9, 13) as the
+fraction of each sampling window the GPU spent computing.  We reproduce it
+from exact busy intervals: build the cumulative-busy-time curve, then
+window it — all vectorized (the curves have a few thousand breakpoints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["busy_curve", "windowed_utilization", "mean_utilization"]
+
+
+def _merge(intervals: np.ndarray) -> np.ndarray:
+    """Merge overlapping/adjacent (start, end) spans (sorted by start)."""
+    if len(intervals) == 0:
+        return intervals
+    merged = [list(intervals[0])]
+    for s, e in intervals[1:]:
+        if s <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], e)
+        else:
+            merged.append([s, e])
+    return np.asarray(merged)
+
+
+def busy_curve(intervals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative busy time as a piecewise-linear curve.
+
+    Returns ``(times, cum_busy)`` such that linear interpolation gives the
+    total busy seconds in ``[0, t]`` for any ``t``.  ``intervals`` is an
+    (N, 2) array of busy spans sorted by start.
+    """
+    intervals = np.asarray(intervals, dtype=float).reshape(-1, 2)
+    if len(intervals) == 0:
+        return np.array([0.0]), np.array([0.0])
+    merged = _merge(intervals)
+    starts, ends = merged[:, 0], merged[:, 1]
+    durations = ends - starts
+    cum_at_start = np.concatenate([[0.0], np.cumsum(durations)[:-1]])
+    cum_at_end = np.cumsum(durations)
+    times = np.empty(2 * len(merged) + 1)
+    cum = np.empty_like(times)
+    times[0], cum[0] = 0.0, 0.0
+    times[1::2], cum[1::2] = starts, cum_at_start
+    times[2::2], cum[2::2] = ends, cum_at_end
+    return times, cum
+
+
+def windowed_utilization(
+    intervals: np.ndarray,
+    sample_times: np.ndarray,
+    window: float,
+) -> np.ndarray:
+    """Utilization in the trailing ``window`` at each of ``sample_times``.
+
+    Mirrors how ``nvidia-smi``-style samplers report utilization: the busy
+    fraction of the last ``window`` seconds.  Samples earlier than
+    ``window`` use the shortened span from t=0.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    sample_times = np.asarray(sample_times, dtype=float)
+    times, cum = busy_curve(intervals)
+    upper = np.interp(sample_times, times, cum, left=0.0, right=cum[-1])
+    lo = np.maximum(sample_times - window, 0.0)
+    lower = np.interp(lo, times, cum, left=0.0, right=cum[-1])
+    spans = np.maximum(sample_times - lo, 1e-12)
+    return np.clip((upper - lower) / spans, 0.0, 1.0)
+
+
+def mean_utilization(
+    intervals: np.ndarray, start: float, end: float
+) -> float:
+    """Busy fraction over ``[start, end]`` (the paper's average figures)."""
+    if end <= start:
+        raise ConfigurationError("end must exceed start")
+    times, cum = busy_curve(intervals)
+    hi = float(np.interp(end, times, cum, left=0.0, right=cum[-1]))
+    lo = float(np.interp(start, times, cum, left=0.0, right=cum[-1]))
+    return max(0.0, min(1.0, (hi - lo) / (end - start)))

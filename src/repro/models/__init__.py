@@ -1,0 +1,31 @@
+"""Layer-accurate DNN model zoo.
+
+The communication scheduler's entire view of a DNN is: the list of
+parameter tensors (sizes and priorities), and the per-layer forward/backward
+compute times.  This package derives both analytically from real
+architecture definitions — ResNet-18/50/152, VGG-16/19, Inception-v3,
+AlexNet — at their canonical input resolutions, so tensor counts and size
+distributions match the models the paper trains (e.g. ResNet-50 has ~161
+parameter tensors totalling ~25.6 M parameters ≈ 102 MB in fp32; VGG-19 has
+38 tensors, matching the 0–37 gradient indices in the paper's Fig. 4).
+"""
+
+from repro.models.layers import ParamTensor, LayerSpec, ModelSpec
+from repro.models.device import DeviceSpec, TESLA_M60
+from repro.models.compute import ComputeProfile, build_compute_profile
+from repro.models.gradients import GradientSpec, gradient_table
+from repro.models.registry import get_model, available_models
+
+__all__ = [
+    "ParamTensor",
+    "LayerSpec",
+    "ModelSpec",
+    "DeviceSpec",
+    "TESLA_M60",
+    "ComputeProfile",
+    "build_compute_profile",
+    "GradientSpec",
+    "gradient_table",
+    "get_model",
+    "available_models",
+]

@@ -1,0 +1,86 @@
+"""Per-layer compute-time profiles.
+
+Combines a :class:`~repro.models.layers.ModelSpec` with a
+:class:`~repro.models.device.DeviceSpec` and a batch size to produce the
+forward and backward time of every layer — the ``T_fp`` / ``T_bp`` terms of
+the paper's performance model (Table 1).  Times are deterministic here;
+per-iteration jitter is applied by the worker simulation so that the same
+profile can be shared across schedulers (paired comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.device import DeviceSpec
+from repro.models.layers import ModelSpec
+
+__all__ = ["ComputeProfile", "build_compute_profile"]
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Forward/backward seconds per layer for one (model, device, batch).
+
+    ``fwd_times[i]`` / ``bwd_times[i]`` correspond to ``model.layers[i]``.
+    Backward order is the reverse of layer order.
+    """
+
+    model: ModelSpec
+    device: DeviceSpec
+    batch_size: int
+    fwd_times: np.ndarray
+    bwd_times: np.ndarray
+
+    @cached_property
+    def total_fwd(self) -> float:
+        """One full forward pass (paper's Σ T_fp)."""
+        return float(self.fwd_times.sum())
+
+    @cached_property
+    def total_bwd(self) -> float:
+        """One full backward pass (paper's Σ T_bp)."""
+        return float(self.bwd_times.sum())
+
+    @cached_property
+    def compute_time(self) -> float:
+        """Σ T_bp + Σ T_fp — the GPU-busy floor of one iteration (Eq. 1)."""
+        return self.total_fwd + self.total_bwd
+
+    def bwd_completion_times(self) -> np.ndarray:
+        """Raw backward completion time of each layer, measured from the
+        start of backward propagation.
+
+        Entry ``i`` is when layer ``i``'s gradients exist on the GPU (before
+        any aggregation delay).  Backward runs from the last layer to the
+        first, so completion times *decrease* with layer index.
+        """
+        # Cumulative sum over reversed layer order, mapped back.
+        reversed_cum = np.cumsum(self.bwd_times[::-1])
+        return reversed_cum[::-1].copy()
+
+
+def build_compute_profile(
+    model: ModelSpec, device: DeviceSpec, batch_size: int
+) -> ComputeProfile:
+    """Roofline-style compute profile (see :mod:`repro.models.device`)."""
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    flops = np.array([layer.fwd_flops for layer in model.layers], dtype=float)
+    fwd = batch_size * flops / device.effective_flops + device.layer_overhead
+    bwd = (
+        batch_size * flops * device.bwd_fwd_ratio / device.effective_flops
+        + device.layer_overhead
+    )
+    # Parameter-free layers (pool/act) still cost their (tiny) overhead.
+    return ComputeProfile(
+        model=model,
+        device=device,
+        batch_size=batch_size,
+        fwd_times=fwd,
+        bwd_times=bwd,
+    )

@@ -1,0 +1,64 @@
+"""Gradient table: the scheduler-facing view of a model.
+
+Each trainable tensor is one *gradient* (one key in the PS key-value
+store).  Gradients are indexed in **forward order**: index 0 is the first
+tensor of the first layer.  Because backward propagation walks layers in
+reverse, gradient 0 is generated *last* — and it is the gradient the next
+iteration's forward propagation needs *first*.  Index therefore doubles as
+priority, smaller = more urgent, exactly the paper's convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.layers import ModelSpec
+
+__all__ = ["GradientSpec", "gradient_table", "gradient_sizes"]
+
+
+@dataclass(frozen=True)
+class GradientSpec:
+    """One gradient tensor as the communication layer sees it.
+
+    Attributes
+    ----------
+    index:
+        Priority index (0 = highest priority, transferred last-generated).
+    name:
+        Fully-qualified tensor name, e.g. ``"layer1.0.conv1.weight"``.
+    nbytes:
+        Gradient size in bytes.
+    layer_index:
+        Index into ``model.layers`` of the owning layer.
+    """
+
+    index: int
+    name: str
+    nbytes: int
+    layer_index: int
+
+
+def gradient_table(model: ModelSpec, dtype_bytes: int = 4) -> list[GradientSpec]:
+    """Enumerate the model's gradients in priority (forward) order."""
+    table: list[GradientSpec] = []
+    for layer_idx, layer in enumerate(model.layers):
+        for tensor in layer.params:
+            table.append(
+                GradientSpec(
+                    index=len(table),
+                    name=tensor.name,
+                    nbytes=tensor.nbytes(dtype_bytes),
+                    layer_index=layer_idx,
+                )
+            )
+    return table
+
+
+def gradient_sizes(model: ModelSpec, dtype_bytes: int = 4) -> np.ndarray:
+    """Gradient sizes (bytes) as a float array indexed by priority."""
+    return np.array(
+        [g.nbytes for g in gradient_table(model, dtype_bytes)], dtype=float
+    )

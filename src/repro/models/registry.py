@@ -1,0 +1,63 @@
+"""Model registry: name → builder.
+
+Central lookup used by configs, presets, examples and benchmark harnesses,
+so that a model is always referred to by the same string the paper uses
+(e.g. ``"resnet50"``, ``"inception_v3"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.models.alexnet import build_alexnet
+from repro.models.inception import build_inception_v3
+from repro.models.layers import ModelSpec
+from repro.models.resnet import build_resnet
+from repro.models.vgg import build_vgg
+
+__all__ = ["get_model", "available_models", "register_model"]
+
+_REGISTRY: dict[str, Callable[[], ModelSpec]] = {
+    "resnet18": lambda: build_resnet(18),
+    "resnet34": lambda: build_resnet(34),
+    "resnet50": lambda: build_resnet(50),
+    "resnet101": lambda: build_resnet(101),
+    "resnet152": lambda: build_resnet(152),
+    "vgg11": lambda: build_vgg(11),
+    "vgg16": lambda: build_vgg(16),
+    "vgg19": lambda: build_vgg(19),
+    "inception_v3": build_inception_v3,
+    "alexnet": build_alexnet,
+}
+
+_CACHE: dict[str, ModelSpec] = {}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Build (and memoize) the named model.
+
+    ModelSpecs are immutable, so sharing one instance across experiments is
+    safe and avoids re-deriving several hundred layer specs per run.
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+    if name not in _CACHE:
+        _CACHE[name] = builder()
+    return _CACHE[name]
+
+
+def available_models() -> list[str]:
+    """Sorted names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+def register_model(name: str, builder: Callable[[], ModelSpec]) -> None:
+    """Register a custom model builder (overwriting is an error)."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"model {name!r} is already registered")
+    _REGISTRY[name] = builder

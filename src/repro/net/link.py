@@ -1,0 +1,223 @@
+"""Serialized network links with time-varying available bandwidth.
+
+A :class:`Link` is the unit resource that communication schedulers contend
+for.  It enforces the paper's Constraint (8): at most one transfer occupies
+a link at a time ("to ensure that each gradient is transferred with the full
+available network bandwidth ... avoids the concurrent gradient transfer").
+Preemption is therefore only possible at transfer boundaries, which is
+exactly why partition / block sizing matters.
+
+Bandwidth may vary over time via a piecewise-constant
+:class:`BandwidthSchedule` — this is how the "dynamic network environments"
+experiments (paper Sec. 5.3) are driven.  Each transfer's duration is
+computed from the bandwidth available at its start time through the TCP
+model of :mod:`repro.net.tcp`, optionally with multiplicative measurement
+noise to represent cross-traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.tcp import TCPParams, transfer_time
+from repro.sim.engine import Engine
+
+__all__ = ["BandwidthSchedule", "TransferRecord", "Link"]
+
+
+class BandwidthSchedule:
+    """Piecewise-constant available bandwidth (bytes/second) over time.
+
+    ``points`` is a sequence of ``(start_time, bandwidth)`` pairs; the first
+    segment is extended back to t=0 and the last forward to infinity.  A
+    constant schedule is just ``BandwidthSchedule.constant(B)``.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        if not points:
+            raise ConfigurationError("BandwidthSchedule needs at least one point")
+        times = [float(t) for t, _ in points]
+        values = [float(b) for _, b in points]
+        if any(b <= 0 for b in values):
+            raise ConfigurationError("bandwidth values must be positive")
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ConfigurationError("schedule times must be strictly increasing")
+        self._times = np.asarray(times)
+        self._values = np.asarray(values)
+
+    @classmethod
+    def constant(cls, bandwidth: float) -> "BandwidthSchedule":
+        """A schedule that never changes."""
+        return cls([(0.0, bandwidth)])
+
+    def value(self, time: float) -> float:
+        """Available bandwidth at ``time``."""
+        idx = int(np.searchsorted(self._times, time, side="right")) - 1
+        if idx < 0:
+            idx = 0
+        return float(self._values[idx])
+
+    @property
+    def mean(self) -> float:
+        """Unweighted mean of the schedule's levels (for summaries)."""
+        return float(self._values.mean())
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer on a link (for timelines and throughput)."""
+
+    start: float
+    end: float
+    nbytes: float
+    tag: object = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def throughput(self) -> float:
+        """Achieved bytes/second (0 for an instantaneous record)."""
+        return self.nbytes / self.duration if self.duration > 0 else 0.0
+
+
+@dataclass
+class _InFlight:
+    nbytes: float
+    tag: object
+    start: float
+    end: float
+    on_complete: Callable[[], None] | None
+
+
+class Link:
+    """A serialized, unidirectional link driven by a simulation engine.
+
+    The owner starts transfers with :meth:`send`; exactly one transfer may
+    be in flight.  When it completes, the link records it, fires the
+    transfer's ``on_complete`` callback, and then the link-level ``on_idle``
+    callback (the scheduler's cue to pick the next transfer).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        schedule: BandwidthSchedule,
+        tcp: TCPParams,
+        name: str = "link",
+        noise_rng: np.random.Generator | None = None,
+        noise_std: float = 0.0,
+    ):
+        if noise_std < 0 or noise_std >= 1:
+            raise ConfigurationError(f"noise_std must be in [0, 1), got {noise_std}")
+        self.engine = engine
+        self.schedule = schedule
+        self.tcp = tcp
+        self.name = name
+        self._noise_rng = noise_rng
+        self._noise_std = noise_std
+        self._inflight: _InFlight | None = None
+        self.records: list[TransferRecord] = []
+        self.total_bytes = 0.0
+        self.on_idle: Callable[[], None] | None = None
+        self._last_end: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """Whether a transfer is currently in flight."""
+        return self._inflight is not None
+
+    @property
+    def busy_until(self) -> float:
+        """Completion time of the in-flight transfer (``now`` if idle)."""
+        if self._inflight is None:
+            return self.engine.now
+        return self._inflight.end
+
+    def current_bandwidth(self) -> float:
+        """Available (configured) bandwidth right now, before TCP effects."""
+        return self.schedule.value(self.engine.now)
+
+    def estimate_time(self, nbytes: float) -> float:
+        """Transfer time ``nbytes`` would take if started now (no noise)."""
+        return float(
+            transfer_time(
+                nbytes, self.current_bandwidth(), self.tcp, warm=self._is_warm()
+            )
+        )
+
+    def _is_warm(self) -> bool:
+        """Whether a send starting now rides an already-open window."""
+        if self._last_end is None:
+            return False
+        return (self.engine.now - self._last_end) <= self.tcp.warm_threshold
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        nbytes: float,
+        tag: object = None,
+        on_complete: Callable[[], None] | None = None,
+        extra_time: float = 0.0,
+    ) -> float:
+        """Start a transfer; returns its completion time.
+
+        ``extra_time`` adds strategy-level blocking overhead (e.g. P3's
+        per-partition stop-and-wait synchronization) during which the link
+        stays occupied.  Raises :class:`SimulationError` if the link is
+        busy — callers must serialize via the ``on_idle`` callback,
+        mirroring Constraint (8).
+        """
+        if self._inflight is not None:
+            raise SimulationError(
+                f"link {self.name!r} is busy until t={self._inflight.end:.6f}"
+            )
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes!r}")
+        if extra_time < 0:
+            raise SimulationError(f"negative extra_time {extra_time!r}")
+        bandwidth = self.current_bandwidth()
+        if self._noise_rng is not None and self._noise_std > 0:
+            factor = 1.0 + self._noise_std * float(self._noise_rng.standard_normal())
+            bandwidth *= min(max(factor, 0.1), 2.0)
+        duration = (
+            float(transfer_time(nbytes, bandwidth, self.tcp, warm=self._is_warm()))
+            + extra_time
+        )
+        start = self.engine.now
+        end = start + duration
+        self._inflight = _InFlight(nbytes, tag, start, end, on_complete)
+        self.engine.schedule(end, self._finish)
+        return end
+
+    def _finish(self) -> None:
+        inflight = self._inflight
+        if inflight is None:  # pragma: no cover - defensive
+            raise SimulationError(f"link {self.name!r} finished with no transfer")
+        self._inflight = None
+        self._last_end = inflight.end
+        self.records.append(
+            TransferRecord(inflight.start, inflight.end, inflight.nbytes, inflight.tag)
+        )
+        self.total_bytes += inflight.nbytes
+        if inflight.on_complete is not None:
+            inflight.on_complete()
+        if self.on_idle is not None:
+            self.on_idle()
+
+    # ------------------------------------------------------------------
+    def busy_time(self, until: float | None = None) -> float:
+        """Total time the link spent transferring, up to ``until``."""
+        horizon = self.engine.now if until is None else until
+        total = sum(
+            max(0.0, min(r.end, horizon) - min(r.start, horizon)) for r in self.records
+        )
+        if self._inflight is not None and self._inflight.start < horizon:
+            total += min(self._inflight.end, horizon) - self._inflight.start
+        return total

@@ -1,0 +1,77 @@
+"""Periodic network-bandwidth monitor.
+
+Prophet's prototype "periodically (e.g., every 5 seconds) acquires the
+available network bandwidth B of workers" (paper Sec. 4.2).  This module
+reproduces that component: every ``interval`` simulated seconds it samples a
+link's available bandwidth (optionally with multiplicative measurement
+noise) and retains the latest sample.  Consumers (the Prophet scheduler)
+read :meth:`BandwidthMonitor.bandwidth`, seeing a *stale* value between
+samples — exactly the information lag a real monitor has under dynamic
+network conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+from repro.sim.engine import Engine
+
+__all__ = ["BandwidthMonitor"]
+
+
+class BandwidthMonitor:
+    """Samples a link's available bandwidth every ``interval`` seconds.
+
+    The first sample is taken at construction time, so a freshly created
+    monitor is immediately usable.  ``history`` keeps ``(time, bandwidth)``
+    pairs for post-hoc analysis.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        link: Link,
+        interval: float = 5.0,
+        noise_std: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        if noise_std < 0 or noise_std >= 1:
+            raise ConfigurationError(f"noise_std must be in [0, 1), got {noise_std}")
+        if noise_std > 0 and rng is None:
+            raise ConfigurationError("noise_std > 0 requires an rng")
+        self.engine = engine
+        self.link = link
+        self.interval = interval
+        self._noise_std = noise_std
+        self._rng = rng
+        self.history: list[tuple[float, float]] = []
+        self._stopped = False
+        self._sample()
+
+    def _sample(self) -> None:
+        if self._stopped:
+            return
+        value = self.link.current_bandwidth()
+        if self._noise_std > 0 and self._rng is not None:
+            factor = 1.0 + self._noise_std * float(self._rng.standard_normal())
+            value *= min(max(factor, 0.5), 1.5)
+        self.history.append((self.engine.now, value))
+        self.engine.schedule_after(self.interval, self._sample)
+
+    @property
+    def bandwidth(self) -> float:
+        """Most recent bandwidth sample (bytes/s)."""
+        return self.history[-1][1]
+
+    @property
+    def last_sample_time(self) -> float:
+        """Simulation time of the most recent sample."""
+        return self.history[-1][0]
+
+    def stop(self) -> None:
+        """Stop future sampling (lets a bounded run drain its event queue)."""
+        self._stopped = True

@@ -1,0 +1,134 @@
+"""Cluster network topology.
+
+The paper's testbed is a star: one parameter server, N workers, each worker
+connected by its own (EC2 instance) NIC.  The binding resource in every
+experiment is the *worker* NIC — the paper caps "worker bandwidth limit" in
+Table 2 and caps a single worker to 500 Mbps in the heterogeneity
+experiment — so the topology materializes one uplink (worker→PS, used by
+push) and one downlink (PS→worker, used by pull) per worker.
+
+An optional ``ps_bandwidth`` models a PS-side NIC cap by statically dividing
+it among workers (the regime where the PS becomes the bottleneck; used by
+the scalability ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.link import BandwidthSchedule, Link
+from repro.net.tcp import TCPParams
+from repro.sim.engine import Engine
+from repro.sim.rng import spawn_rng
+
+__all__ = ["StarTopology"]
+
+
+class StarTopology:
+    """Star of ``n_workers`` around one PS, with per-worker duplex links.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine all links schedule on.
+    n_workers:
+        Number of worker nodes (>= 1).
+    bandwidth:
+        Default per-worker available bandwidth in bytes/s, or a
+        :class:`BandwidthSchedule` for dynamic environments.
+    tcp:
+        TCP path parameters shared by all links.
+    worker_bandwidth:
+        Optional per-worker overrides, mapping worker index to a bandwidth
+        (bytes/s) or schedule.  Used by the heterogeneous-cluster
+        experiments (e.g. worker 0 capped to 500 Mbps).
+    ps_bandwidth:
+        Optional PS NIC capacity in bytes/s; when set, each worker's
+        effective bandwidth is capped at ``ps_bandwidth / n_workers``.
+    seed / noise_std:
+        Optional multiplicative bandwidth noise per transfer, independent
+        per link.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_workers: int,
+        bandwidth: float | BandwidthSchedule,
+        tcp: TCPParams | None = None,
+        worker_bandwidth: Mapping[int, float | BandwidthSchedule] | None = None,
+        ps_bandwidth: float | None = None,
+        seed: int | None = 0,
+        noise_std: float = 0.0,
+    ):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if ps_bandwidth is not None and ps_bandwidth <= 0:
+            raise ConfigurationError(f"ps_bandwidth must be positive, got {ps_bandwidth}")
+        overrides = dict(worker_bandwidth or {})
+        for idx in overrides:
+            if not 0 <= idx < n_workers:
+                raise ConfigurationError(
+                    f"worker_bandwidth override for unknown worker {idx}"
+                )
+
+        self.engine = engine
+        self.n_workers = n_workers
+        self.tcp = tcp if tcp is not None else TCPParams()
+        self.uplinks: list[Link] = []
+        self.downlinks: list[Link] = []
+
+        ps_share = None if ps_bandwidth is None else ps_bandwidth / n_workers
+        for w in range(n_workers):
+            sched = self._as_schedule(overrides.get(w, bandwidth), ps_share)
+            for direction, bucket in (("up", self.uplinks), ("down", self.downlinks)):
+                rng: np.random.Generator | None = None
+                if noise_std > 0:
+                    rng = spawn_rng(seed, "link", w, direction)
+                bucket.append(
+                    Link(
+                        engine,
+                        sched,
+                        self.tcp,
+                        name=f"worker{w}-{direction}",
+                        noise_rng=rng,
+                        noise_std=noise_std,
+                    )
+                )
+
+    @staticmethod
+    def _as_schedule(
+        bandwidth: float | BandwidthSchedule, ps_share: float | None
+    ) -> BandwidthSchedule:
+        if isinstance(bandwidth, BandwidthSchedule):
+            if ps_share is None:
+                return bandwidth
+            capped = [
+                (float(t), min(float(b), ps_share))
+                for t, b in zip(bandwidth._times, bandwidth._values)
+            ]
+            return BandwidthSchedule(capped)
+        value = float(bandwidth)
+        if ps_share is not None:
+            value = min(value, ps_share)
+        return BandwidthSchedule.constant(value)
+
+    # ------------------------------------------------------------------
+    def uplink(self, worker: int) -> Link:
+        """The push link of ``worker`` (worker → PS)."""
+        return self.uplinks[worker]
+
+    def downlink(self, worker: int) -> Link:
+        """The pull link of ``worker`` (PS → worker)."""
+        return self.downlinks[worker]
+
+    def min_bandwidth(self) -> float:
+        """Lowest configured bandwidth across workers right now.
+
+        In BSP the slowest worker gates every parameter update; schedulers
+        that need a single cluster-level bandwidth estimate use this.
+        """
+        return min(link.current_bandwidth() for link in self.uplinks)

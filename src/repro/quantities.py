@@ -1,0 +1,93 @@
+"""Unit helpers.
+
+Internally the library uses SI base units everywhere: **seconds** for time,
+**bytes** for data sizes, and **bytes/second** for bandwidth.  The helpers
+here convert the units that the paper (and networking practice) use —
+milliseconds, megabytes, gigabits per second — into base units, and format
+base-unit values back for reports.
+
+Keeping unit conversion in a single module avoids the classic simulation bug
+of mixing Mbps (network convention, powers of ten, *bits*) with MB/s
+(storage convention, *bytes*).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "ms",
+    "us",
+    "Kbps",
+    "Mbps",
+    "Gbps",
+    "to_MB",
+    "to_ms",
+    "to_Gbps",
+    "to_Mbps",
+    "fmt_bytes",
+    "fmt_seconds",
+    "fmt_bandwidth",
+]
+
+# Data sizes use binary prefixes (tensor sizes are naturally powers of two).
+KB: float = 1024.0
+MB: float = 1024.0**2
+GB: float = 1024.0**3
+
+# Time.
+ms: float = 1e-3
+us: float = 1e-6
+
+# Network bandwidth uses decimal prefixes and *bits*, per networking
+# convention: 1 Gbps = 1e9 bits/s = 1.25e8 bytes/s.
+Kbps: float = 1e3 / 8.0
+Mbps: float = 1e6 / 8.0
+Gbps: float = 1e9 / 8.0
+
+
+def to_MB(num_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return num_bytes / MB
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / ms
+
+
+def to_Gbps(bytes_per_second: float) -> float:
+    """Convert bytes/second to gigabits/second."""
+    return bytes_per_second / Gbps
+
+
+def to_Mbps(bytes_per_second: float) -> float:
+    """Convert bytes/second to megabits/second."""
+    return bytes_per_second / Mbps
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Human-readable size, e.g. ``'9.8 MB'``."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-readable duration, e.g. ``'12.3 ms'``."""
+    if seconds < 1e-3:
+        return f"{seconds / us:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds / ms:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def fmt_bandwidth(bytes_per_second: float) -> str:
+    """Human-readable bandwidth, e.g. ``'3.00 Gbps'``."""
+    if bytes_per_second >= Gbps:
+        return f"{to_Gbps(bytes_per_second):.2f} Gbps"
+    return f"{to_Mbps(bytes_per_second):.1f} Mbps"

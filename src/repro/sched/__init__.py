@@ -1,0 +1,39 @@
+"""Communication schedulers.
+
+Four strategies, matching the paper's evaluation:
+
+* :class:`~repro.sched.fifo.FIFOScheduler` — default MXNet: whole tensors
+  in generation (FIFO) order.
+* :class:`~repro.sched.p3.P3Scheduler` — P3 (Jayarajan et al., MLSys'19):
+  fixed-size partitions, strict priority, one partition per message.
+* :class:`~repro.sched.bytescheduler.ByteSchedulerScheduler` —
+  ByteScheduler (Peng et al., SOSP'19): credit-sized batches of
+  priority-ordered partitions, credit optionally auto-tuned by Bayesian
+  optimization.
+* :class:`~repro.sched.prophet_sched.ProphetScheduler` — the paper's
+  contribution: profile-driven gradient blocks sized to the stepwise
+  pattern's inter-block intervals (Algorithm 1).
+
+All schedulers implement :class:`~repro.sched.base.CommScheduler`; the unit
+they emit is a :class:`~repro.sched.base.TransferUnit` — one serialized
+network message paying one TCP setup, containing segments of one or more
+gradients.
+"""
+
+from repro.sched.base import CommScheduler, Segment, TransferUnit
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.p3 import P3Scheduler
+from repro.sched.bytescheduler import ByteSchedulerScheduler
+from repro.sched.prophet_sched import ProphetScheduler
+from repro.sched.mgwfbp import MGWFBPScheduler
+
+__all__ = [
+    "CommScheduler",
+    "Segment",
+    "TransferUnit",
+    "FIFOScheduler",
+    "P3Scheduler",
+    "ByteSchedulerScheduler",
+    "ProphetScheduler",
+    "MGWFBPScheduler",
+]

@@ -1,0 +1,252 @@
+"""Scheduler interface and shared bookkeeping.
+
+The worker's communication agent drives its scheduler through three hooks:
+
+* :meth:`CommScheduler.begin_iteration` — backward propagation is starting;
+  the per-iteration push state resets (all of the previous iteration's
+  traffic is necessarily finished by then, because the next backward pass
+  can only start after the next forward pass, which needs every parameter).
+* :meth:`CommScheduler.gradient_ready` — the KV store flushed gradient
+  ``i``; it may now be pushed.
+* :meth:`CommScheduler.next_unit` — the uplink is idle; return the next
+  :class:`TransferUnit` to send, or ``None`` to deliberately leave the link
+  idle (Prophet does this to protect an imminent higher-priority gradient).
+
+A :class:`TransferUnit` is one serialized network message: it pays one TCP
+setup (handshake + slow start) regardless of how many gradient segments it
+carries.  This is the cost model that separates the four strategies — P3
+pays setup per small partition, ByteScheduler per credit batch, Prophet per
+stepwise block, FIFO per whole tensor.
+
+The base class tracks remaining un-pushed bytes per gradient and the ready
+set, and enforces the scheduler contract (no pushing gradients that are not
+ready, no double-sending bytes) so concrete strategies contain only policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agg.kvstore import GenerationSchedule
+from repro.errors import SchedulingError
+
+__all__ = ["Segment", "TransferUnit", "CommScheduler"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous byte range of one gradient inside a transfer unit."""
+
+    grad: int
+    offset: float
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise SchedulingError(f"segment of gradient {self.grad} has no bytes")
+        if self.offset < 0:
+            raise SchedulingError(f"segment of gradient {self.grad} has offset < 0")
+
+
+@dataclass(frozen=True)
+class TransferUnit:
+    """One network message: an ordered tuple of gradient segments."""
+
+    segments: tuple[Segment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise SchedulingError("empty transfer unit")
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(s.nbytes for s in self.segments)
+
+    @property
+    def priority(self) -> int:
+        """Unit priority = most urgent gradient it carries (min index)."""
+        return min(s.grad for s in self.segments)
+
+    @property
+    def grads(self) -> tuple[int, ...]:
+        return tuple(s.grad for s in self.segments)
+
+
+class CommScheduler:
+    """Base class: ready-set bookkeeping plus the strategy hook.
+
+    Subclasses implement :meth:`_select` which sees the ready gradients
+    (those with un-pushed bytes) and returns the next unit.
+
+    The worker uses a propose/commit protocol: :meth:`propose_unit` returns
+    the unit the scheduler *would* send without consuming it; if the worker
+    picks the push over a pending pull it calls :meth:`commit_unit`, which
+    validates the unit and debits its bytes.  (Push and pull share one
+    serialized channel — the paper's Constraint (8) and the ``2E`` in
+    Eq. (4) — so the worker must arbitrate between them.)
+    """
+
+    #: Human-readable strategy name (used in reports and legends).
+    name: str = "base"
+
+    #: True for strategies whose channel is a pure arrival-order queue
+    #: (default MXNet).  The worker then interleaves pushes and pulls
+    #: FIFO instead of by priority.
+    fifo_channel: bool = False
+
+    #: Extra RTTs of blocking synchronization charged per message in each
+    #: direction.  0 for pipelined engines (MXNet streams sends; BytePS's
+    #: credit keeps the window full); P3/TicTac "rely on the blocking call
+    #: of TCP protocol" (paper Sec. 6.1) and pay a stop-and-wait
+    #: round trip per partition — the mechanism behind Fig. 3(a).
+    unit_sync_rtts: float = 0.0
+
+    def __init__(self) -> None:
+        self._sizes: np.ndarray | None = None
+        self._remaining: dict[int, float] = {}
+        self._ready: set[int] = set()
+        self._iteration = -1
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (called by the worker)
+    # ------------------------------------------------------------------
+    def begin_iteration(
+        self, iteration: int, schedule: GenerationSchedule, now: float
+    ) -> None:
+        """Reset push state for a new iteration's gradient set."""
+        if self._remaining:
+            raise SchedulingError(
+                f"iteration {self._iteration} still has unsent gradients "
+                f"{sorted(self._remaining)[:5]}... when iteration {iteration} begins"
+            )
+        self._iteration = iteration
+        self._sizes = schedule.sizes
+        self._ready = set()
+
+    def gradient_ready(self, grad: int, now: float) -> None:
+        """Gradient ``grad`` flushed from the KV store and can be pushed."""
+        if self._sizes is None:
+            raise SchedulingError("gradient_ready before begin_iteration")
+        if grad in self._ready or grad in self._remaining:
+            raise SchedulingError(f"gradient {grad} signalled ready twice")
+        self._ready.add(grad)
+        self._remaining[grad] = float(self._sizes[grad])
+
+    def propose_unit(self, now: float) -> TransferUnit | None:
+        """The unit the scheduler would push now (``None`` = idle the link).
+
+        Does **not** consume state; the worker must call
+        :meth:`commit_unit` if it actually sends the proposal.
+        """
+        if not self._remaining:
+            return None
+        return self._select(now)
+
+    def commit_unit(self, unit: TransferUnit, now: float) -> None:
+        """Accept a previously proposed unit: validate and debit its bytes."""
+        self._consume(unit)
+        self._committed(unit, now)
+
+    def unit_sent(self, unit: TransferUnit, now: float) -> None:
+        """Notification that ``unit`` finished transmitting (optional hook)."""
+
+    def pull_completed(self, grad: int, nbytes: float, now: float) -> None:
+        """Notification that ``nbytes`` of ``grad``'s updated parameters
+        arrived back from the PS (optional hook — ByteScheduler's credit
+        flow control replenishes on this signal)."""
+
+    def grant_probe(self, now: float) -> None:
+        """The channel has been idle with no feedback for a while; a
+        flow-controlled scheduler may extend its window by one unit.
+
+        Credit-style flow control across BSP workers can deadlock when
+        workers' send orders diverge (each worker's outstanding window
+        missing segments another worker is withholding).  Real engines
+        break such stalls with asynchronous timeouts; the worker calls
+        this hook after ``stall_timeout`` of forced idleness.  Default:
+        no-op (only window-based strategies need it)."""
+
+    def end_iteration(self, iteration: int, iteration_time: float, now: float) -> None:
+        """Notification of a completed iteration (for auto-tuners)."""
+
+    # ------------------------------------------------------------------
+    # State helpers available to strategies
+    # ------------------------------------------------------------------
+    @property
+    def ready_grads(self) -> list[int]:
+        """Ready gradients with un-pushed bytes, most urgent first."""
+        return sorted(self._remaining)
+
+    def remaining_bytes(self, grad: int) -> float:
+        """Un-pushed bytes of ``grad`` (0 when fully sent or not ready)."""
+        return self._remaining.get(grad, 0.0)
+
+    @property
+    def pending_bytes(self) -> float:
+        """Total un-pushed bytes across ready gradients."""
+        return sum(self._remaining.values())
+
+    def size_of(self, grad: int) -> float:
+        """Full size of gradient ``grad`` in bytes."""
+        if self._sizes is None:
+            raise SchedulingError("size_of before begin_iteration")
+        return float(self._sizes[grad])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def pull_batch_limit(self, now: float) -> float | None:
+        """Max bytes of pending pull responses coalesced into one message.
+
+        ``None`` means per-key pulls (one segment per message — the MXNet
+        and P3 behaviour).  Credit/block strategies return their unit size
+        so pull-direction message overhead matches the push direction;
+        Prophet additionally bounds the batch by the time remaining before
+        the next predicted generation burst (a long pull response would
+        delay the burst's push just like a long push would).
+        """
+        return None
+
+    def _select(self, now: float) -> TransferUnit | None:
+        raise NotImplementedError
+
+    def _committed(self, unit: TransferUnit, now: float) -> None:
+        """Subclass hook fired when a proposal is committed (e.g. to pop
+        strategy-internal queues).  Default: nothing."""
+
+    def _consume(self, unit: TransferUnit) -> None:
+        """Validate the unit against ready state and debit its bytes."""
+        for seg in unit.segments:
+            if seg.grad not in self._remaining:
+                raise SchedulingError(
+                    f"unit pushes gradient {seg.grad} which is not ready "
+                    f"(or already fully sent)"
+                )
+            remaining = self._remaining[seg.grad]
+            sent_so_far = self.size_of(seg.grad) - remaining
+            if abs(seg.offset - sent_so_far) > 1e-9:
+                raise SchedulingError(
+                    f"gradient {seg.grad}: segment offset {seg.offset} does not "
+                    f"continue from {sent_so_far} (out-of-order or double send)"
+                )
+            if seg.nbytes > remaining + 1e-9:
+                raise SchedulingError(
+                    f"gradient {seg.grad}: segment of {seg.nbytes} B exceeds "
+                    f"remaining {remaining} B"
+                )
+            new_remaining = remaining - seg.nbytes
+            if new_remaining <= 1e-9:
+                del self._remaining[seg.grad]
+            else:
+                self._remaining[seg.grad] = new_remaining
+
+    # ------------------------------------------------------------------
+    # Segment-construction helpers shared by partitioned strategies
+    # ------------------------------------------------------------------
+    def _segment_for(self, grad: int, nbytes: float) -> Segment:
+        """Next contiguous segment of ``grad`` of at most ``nbytes``."""
+        remaining = self._remaining[grad]
+        offset = self.size_of(grad) - remaining
+        return Segment(grad=grad, offset=offset, nbytes=min(nbytes, remaining))

@@ -1,0 +1,45 @@
+"""P3: Priority-based Parameter Propagation (Jayarajan et al., MLSys 2019).
+
+P3 slices every gradient into fixed-size partitions and transmits them
+strictly by priority, one partition per message.  Small partitions give
+fine-grained preemption — a freshly generated gradient 0 waits at most one
+partition — but every partition pays the full TCP setup and slow-start
+cost, so small partition sizes collapse the achieved bandwidth (the paper's
+Fig. 3(a), and the Table 2 low-bandwidth regime where P3 falls behind).
+
+The paper's evaluation sets P3's partition size to 4 MB.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.quantities import MB
+from repro.sched.base import CommScheduler, TransferUnit
+
+__all__ = ["P3Scheduler"]
+
+
+class P3Scheduler(CommScheduler):
+    """Fixed-size partitions, strict priority, one partition per message."""
+
+    name = "p3"
+
+    def __init__(self, partition_size: float = 4 * MB, sync_rtts: float = 2.0):
+        if partition_size <= 0:
+            raise ConfigurationError(
+                f"partition_size must be positive, got {partition_size}"
+            )
+        if sync_rtts < 0:
+            raise ConfigurationError(f"sync_rtts must be >= 0, got {sync_rtts}")
+        super().__init__()
+        self.partition_size = float(partition_size)
+        # P3 serializes a blocking request/response per partition.
+        self.unit_sync_rtts = float(sync_rtts)
+
+    def _select(self, now: float) -> TransferUnit | None:
+        ready = self.ready_grads
+        if not ready:
+            return None
+        grad = ready[0]  # most urgent
+        seg = self._segment_for(grad, self.partition_size)
+        return TransferUnit(segments=(seg,))

@@ -1,0 +1,249 @@
+"""Prophet's online scheduler — Algorithm 1 driven by live profile/monitor.
+
+This is the event-driven counterpart of the offline planner in
+:mod:`repro.core.algorithm`, matching the prototype architecture of the
+paper's Fig. 7:
+
+* the **Training Job Profiler** (:class:`~repro.core.profiler.JobProfiler`)
+  records per-gradient generation times during the first
+  ``profile_iterations`` iterations (the paper uses 50); until the profile
+  is ready the scheduler falls back to default FIFO behaviour — which is
+  why Fig. 13 shows Prophet's GPU utilization slightly *below*
+  ByteScheduler's in the first seconds of training;
+* the **Network Bandwidth Monitor** is injected as ``bandwidth_provider``
+  (wired by the trainer to a :class:`~repro.net.monitor.BandwidthMonitor`
+  sampling every 5 s);
+* the **Gradient Block Assembler** runs at every scheduling decision
+  during backward propagation: it packs the highest-priority ready
+  gradients into one block as long as the block — with its single
+  message-setup cost — is predicted to finish before the next
+  higher-priority generation event (Constraint 11).  If not even the most
+  urgent gradient fits, the link is left deliberately idle so the imminent
+  gradients are not blocked;
+* gradient 0 is pushed alone the instant it is generated (line 17), and
+  the remaining gradients drain in strict priority order during forward
+  propagation, batched into blocks of at most ``forward_block_bytes``.
+
+A pre-built :class:`~repro.core.profiler.JobProfile` may be supplied to
+skip warmup (the "oracle profile", equivalent to a converged profiling
+run) — the fast benchmark presets use this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.agg.kvstore import GenerationSchedule
+from repro.core.intervals import next_generation_boundary
+from repro.core.profiler import JobProfile, JobProfiler
+from repro.errors import ConfigurationError
+from repro.net.tcp import TCPParams
+from repro.quantities import MB
+from repro.sched.base import CommScheduler, Segment, TransferUnit
+
+__all__ = ["ProphetScheduler"]
+
+
+class ProphetScheduler(CommScheduler):
+    """Predictable gradient-block scheduling (the paper's contribution)."""
+
+    name = "prophet"
+
+    def __init__(
+        self,
+        bandwidth_provider: Callable[[], float],
+        profile: JobProfile | None = None,
+        profile_iterations: int = 50,
+        tcp: TCPParams | None = None,
+        eps: float = 1e-6,
+        guard: float = 0.0,
+        forward_block_bytes: float = 4 * MB,
+        round_trip_factor: float = 1.0,
+        slice_bytes: float = 1 * MB,
+        pull_batch_bytes: float = 4 * MB,
+    ):
+        if forward_block_bytes <= 0:
+            raise ConfigurationError(
+                f"forward_block_bytes must be positive, got {forward_block_bytes}"
+            )
+        if guard < 0:
+            raise ConfigurationError(f"guard must be >= 0, got {guard}")
+        if round_trip_factor < 1:
+            raise ConfigurationError(
+                f"round_trip_factor must be >= 1, got {round_trip_factor}"
+            )
+        super().__init__()
+        #: Budget multiplier for block packing.  1.0 is Algorithm 1 as
+        #: written (the interval constrains the one-way push time E(i));
+        #: 2.0 additionally reserves channel time for the block's mirrored
+        #: pull (an ablation — it protects preemption latency at the cost
+        #: of deliberate idling, which measurement shows is a net loss).
+        self.round_trip_factor = float(round_trip_factor)
+        if slice_bytes <= 0:
+            raise ConfigurationError(f"slice_bytes must be positive, got {slice_bytes}")
+        #: Slicing granularity when a whole gradient does not fit the
+        #: remaining interval (the paper's Fig. 5: "only two partitions of
+        #: gradient 1 can be transmitted before gradient 0 is generated").
+        self.slice_bytes = float(slice_bytes)
+        if pull_batch_bytes <= 0:
+            raise ConfigurationError(
+                f"pull_batch_bytes must be positive, got {pull_batch_bytes}"
+            )
+        #: Coalescing limit for pull responses (may exceed the forward
+        #: push-block size: parameters stream back in priority order
+        #: either way, and bigger response batches amortize per-message
+        #: costs when the channel is saturated).
+        self.pull_batch_bytes = float(pull_batch_bytes)
+        self._bandwidth_provider = bandwidth_provider
+        self._profile = profile
+        self.profile_iterations = profile_iterations
+        self._tcp = tcp if tcp is not None else TCPParams()
+        self._eps = eps
+        self._guard = guard
+        self.forward_block_bytes = float(forward_block_bytes)
+        self._profiler: JobProfiler | None = None
+        self._backward_start = 0.0
+        self._signalled: np.ndarray | None = None
+        self._fallback_queue: deque[int] = deque()
+        #: Number of iterations scheduled with the profile active (stats).
+        self.planned_iterations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the stepwise profile is available (warmup finished)."""
+        return self._profile is not None
+
+    @property
+    def profile(self) -> JobProfile | None:
+        return self._profile
+
+    # ------------------------------------------------------------------
+    def begin_iteration(
+        self, iteration: int, schedule: GenerationSchedule, now: float
+    ) -> None:
+        super().begin_iteration(iteration, schedule, now)
+        self._backward_start = now
+        self._signalled = np.zeros(len(schedule.sizes), dtype=bool)
+        self._fallback_queue.clear()
+        if self._profiler is None and self._profile is None:
+            self._profiler = JobProfiler(
+                sizes=schedule.sizes, min_iterations=self.profile_iterations
+            )
+        if self._profile is not None:
+            self.planned_iterations += 1
+
+    def gradient_ready(self, grad: int, now: float) -> None:
+        super().gradient_ready(grad, now)
+        assert self._signalled is not None
+        self._signalled[grad] = True
+        self._fallback_queue.append(grad)
+        if self._profiler is not None and self._profile is None:
+            self._profiler.observe(grad, max(0.0, now - self._backward_start))
+
+    def end_iteration(self, iteration: int, iteration_time: float, now: float) -> None:
+        if self._profiler is not None and self._profile is None:
+            self._profiler.end_iteration()
+            if self._profiler.ready:
+                self._profile = self._profiler.build()
+
+    def pull_batch_limit(self, now: float) -> float | None:
+        """Interval-aware pull batching.
+
+        During backward propagation a pull response occupies the channel
+        just like a push would, so its batch is sized to the remaining
+        stepwise budget (at least one slice — a response cannot shrink
+        below the data it already carries).  During the forward drain,
+        batches are capped at ``pull_batch_bytes`` so parameters stream
+        back smoothly to the layer-by-layer forward gate.
+        """
+        if self._profile is None or self._signalled is None or self._signalled[0]:
+            return self.pull_batch_bytes
+        c_abs = self._backward_start + self._profile.c
+        boundary = next_generation_boundary(c_abs, ~self._signalled, now)
+        if not np.isfinite(boundary):
+            return self.pull_batch_bytes
+        budget = boundary - now - self._guard
+        line_rate = self._bandwidth_provider() * self._tcp.goodput
+        setup = self._tcp.fixed_overhead + self._tcp.handshake_rtts * self._tcp.rtt
+        allowance = (budget - setup) * line_rate
+        return max(self.slice_bytes, min(self.pull_batch_bytes * 4, allowance))
+
+    # ------------------------------------------------------------------
+    def _select(self, now: float) -> TransferUnit | None:
+        if self._profile is None:
+            return self._select_fallback()
+        ready = self.ready_grads
+        if not ready:
+            return None
+
+        # Line 17: gradient 0 travels alone, the instant it is ready.
+        if ready[0] == 0:
+            return TransferUnit(segments=(self._segment_for(0, np.inf),))
+
+        assert self._signalled is not None
+        if self._signalled[0]:
+            # Forward phase (gradient 0 already generated): drain by
+            # priority in bounded blocks (Constraint 9).
+            segments: list[Segment] = []
+            nbytes = 0.0
+            for q in ready:
+                rem = self.remaining_bytes(q)
+                if segments and nbytes + rem > self.forward_block_bytes:
+                    break
+                segments.append(self._segment_for(q, rem))
+                nbytes += rem
+            return TransferUnit(segments=tuple(segments))
+
+        # Backward phase: block assembly against the predicted boundary.
+        c_abs = self._backward_start + self._profile.c
+        pending = ~self._signalled
+        boundary = next_generation_boundary(c_abs, pending, now)
+        budget = boundary - now - self._guard
+        if not np.isfinite(budget):
+            budget = np.inf
+        bandwidth = self._bandwidth_provider()
+        # The warm path is affine in bytes (setup + bytes/line-rate), so
+        # the interval budget inverts exactly to a byte allowance for the
+        # whole block (round trip: push and its mirrored pull both fit).
+        line_rate = bandwidth * self._tcp.goodput
+        setup = self._tcp.fixed_overhead + self._tcp.handshake_rtts * self._tcp.rtt
+        allowance = (budget / self.round_trip_factor - setup) * line_rate
+        if allowance <= 0:
+            return None  # protect the imminent higher-priority gradients
+        segments = []
+        nbytes = 0.0
+        for q in ready:
+            rem = self.remaining_bytes(q)
+            if nbytes + rem <= allowance:
+                segments.append(self._segment_for(q, rem))
+                nbytes += rem
+                continue
+            # Partial fill: slice the first non-fitting gradient so the
+            # residual interval is not wasted (Fig. 5's "two partitions of
+            # gradient 1"), then stop — no lower-priority bytes may pass.
+            slices = int((allowance - nbytes) // self.slice_bytes)
+            take = min(rem, slices * self.slice_bytes)
+            if take > 0:
+                segments.append(self._segment_for(q, take))
+            break
+        if not segments:
+            return None
+        return TransferUnit(segments=tuple(segments))
+
+    def _select_fallback(self) -> TransferUnit | None:
+        """Warmup behaviour: default FIFO whole-tensor transmission."""
+        while self._fallback_queue and self.remaining_bytes(self._fallback_queue[0]) <= 0:
+            self._fallback_queue.popleft()
+        if not self._fallback_queue:
+            return None
+        grad = self._fallback_queue[0]
+        return TransferUnit(segments=(self._segment_for(grad, np.inf),))
+
+    def _committed(self, unit: TransferUnit, now: float) -> None:
+        if self._profile is None and self._fallback_queue:
+            if self._fallback_queue[0] == unit.segments[0].grad:
+                self._fallback_queue.popleft()

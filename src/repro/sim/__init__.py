@@ -1,0 +1,13 @@
+"""Discrete-event simulation engine.
+
+A minimal, allocation-light DES kernel: a priority queue of timestamped
+events, a monotonically advancing clock, and deterministic tie-breaking by
+insertion order.  All higher-level substrates (network links, workers, the
+parameter server) are built as callbacks scheduled on one
+:class:`~repro.sim.engine.Engine`.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.rng import make_rng, spawn_rng
+
+__all__ = ["Engine", "Event", "make_rng", "spawn_rng"]

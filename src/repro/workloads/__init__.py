@@ -1,0 +1,23 @@
+"""Workload presets matching the paper's experimental setups."""
+
+from repro.workloads.presets import (
+    MODEL_EFFICIENCY,
+    paper_device,
+    paper_config,
+    fifo_factory,
+    p3_factory,
+    bytescheduler_factory,
+    prophet_factory,
+    STRATEGY_FACTORIES,
+)
+
+__all__ = [
+    "MODEL_EFFICIENCY",
+    "paper_device",
+    "paper_config",
+    "fifo_factory",
+    "p3_factory",
+    "bytescheduler_factory",
+    "prophet_factory",
+    "STRATEGY_FACTORIES",
+]

@@ -1,0 +1,201 @@
+"""Calibrated presets reproducing the paper's experimental setups.
+
+Two kinds of knobs live here:
+
+* **Calibration constants** — per-model achieved GPU efficiency on the
+  g3.8xlarge node (two Tesla M60s).  These pin the compute-bound sample
+  rates to the paper's saturation numbers (ResNet-50 bs64 ≈ 70 samples/s,
+  ResNet-18 bs64 ≈ 220 samples/s at 10 Gbps).  Everything else — the
+  bandwidth-dependent behaviour, the scheduler gaps — *emerges* from the
+  simulation; only the compute ceiling is pinned.
+
+* **Scheduler factories** — the four strategies with the paper's settings
+  (P3 partition 4 MB, ByteScheduler default credit, Prophet profiling 50
+  iterations or oracle profile for fast runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from repro.config import SchedulerFactory, TrainingConfig, WorkerContext
+from repro.models.device import DeviceSpec, TESLA_M60
+from repro.net.link import BandwidthSchedule
+from repro.net.tcp import TCPParams
+from repro.quantities import Gbps, MB
+from repro.sched.base import CommScheduler
+from repro.sched.bytescheduler import ByteSchedulerScheduler
+from repro.sched.fifo import FIFOScheduler
+from repro.sched.p3 import P3Scheduler
+from repro.sched.mgwfbp import MGWFBPScheduler
+from repro.sched.prophet_sched import ProphetScheduler
+
+__all__ = [
+    "PAPER_TCP",
+    "MODEL_EFFICIENCY",
+    "paper_device",
+    "paper_config",
+    "fifo_factory",
+    "p3_factory",
+    "bytescheduler_factory",
+    "prophet_factory",
+    "mgwfbp_factory",
+    "STRATEGY_FACTORIES",
+    "EXTENDED_FACTORIES",
+]
+
+#: Calibrated TCP path for the paper's EC2 testbed: sub-millisecond
+#: same-AZ RTT, per-message request/response synchronization, and a
+#: single-stream application goodput well below line rate (virtualized
+#: NICs + PS-side serialization) — the factor that makes the paper's
+#: communication as expensive as its Table 2 rates imply.
+PAPER_TCP = TCPParams(
+    rtt=0.2e-3, handshake_rtts=1.0, fixed_overhead=0.15e-3, goodput=0.60
+)
+
+#: Achieved fraction of node peak FLOPs per model (fp32 framework kernels
+#: of the Tesla-M60 era).  Derived from the paper's compute-bound rates.
+MODEL_EFFICIENCY: Mapping[str, float] = {
+    "resnet18": 0.26,
+    "resnet34": 0.24,
+    "resnet50": 0.19,
+    "resnet101": 0.19,
+    "resnet152": 0.19,
+    "inception_v3": 0.17,
+    "vgg16": 0.26,
+    "vgg19": 0.26,
+    "alexnet": 0.15,
+}
+
+
+def paper_device(model: str) -> DeviceSpec:
+    """The g3.8xlarge node with the model's calibrated efficiency."""
+    return TESLA_M60.with_efficiency(MODEL_EFFICIENCY.get(model, 0.20))
+
+
+def paper_config(
+    model: str = "resnet50",
+    batch_size: int = 64,
+    bandwidth: float | BandwidthSchedule = 3 * Gbps,
+    n_workers: int = 3,
+    n_iterations: int = 30,
+    seed: int = 0,
+    **overrides,
+) -> TrainingConfig:
+    """A :class:`TrainingConfig` with the paper's testbed calibration."""
+    config = TrainingConfig(
+        model=model,
+        batch_size=batch_size,
+        bandwidth=bandwidth,
+        n_workers=n_workers,
+        n_iterations=n_iterations,
+        seed=seed,
+        device=paper_device(model),
+        tcp=PAPER_TCP,
+    )
+    if overrides:
+        config = replace(config, **overrides)
+    return config
+
+
+# ----------------------------------------------------------------------
+# Scheduler factories
+# ----------------------------------------------------------------------
+def fifo_factory() -> SchedulerFactory:
+    """Default MXNet: whole tensors, FIFO order."""
+
+    def factory(ctx: WorkerContext) -> CommScheduler:
+        return FIFOScheduler()
+
+    return factory
+
+
+def p3_factory(partition_size: float = 4 * MB) -> SchedulerFactory:
+    """P3 with the paper's 4 MB partitions (Sec. 5.1)."""
+
+    def factory(ctx: WorkerContext) -> CommScheduler:
+        return P3Scheduler(partition_size=partition_size)
+
+    return factory
+
+
+def bytescheduler_factory(
+    credit: float = 12 * MB,
+    partition_size: float = 4 * MB,
+    auto_tune: bool = False,
+    tune_every: int = 5,
+) -> SchedulerFactory:
+    """ByteScheduler with its default credit (auto-tuning off, Sec. 5.1).
+
+    Defaults follow the paper's description of the baseline: BytePS's 4 MB
+    partitions and "the credit size as an empirical value (i.e., 3 times
+    partition size in Fig. 5)" — a fixed 12 MB credit that is *not* adapted
+    to the available bandwidth, which is exactly the weakness Prophet's
+    interval-sized blocks fix.  Pass ``auto_tune=True`` for the Fig. 3(b)
+    fluctuation reproduction.
+    """
+
+    def factory(ctx: WorkerContext) -> CommScheduler:
+        return ByteSchedulerScheduler(
+            credit=credit,
+            partition_size=partition_size,
+            auto_tune=auto_tune,
+            tune_every=tune_every,
+            rng=ctx.rng,
+        )
+
+    return factory
+
+
+def prophet_factory(
+    oracle_profile: bool = True,
+    profile_iterations: int = 50,
+    guard: float = 0.0,
+    forward_block_bytes: float = 4 * MB,
+) -> SchedulerFactory:
+    """Prophet wired to each worker's bandwidth monitor.
+
+    ``oracle_profile=True`` (default) hands Prophet the converged stepwise
+    profile immediately — equivalent to (and much faster than) simulating
+    the paper's 50 warmup iterations.  Set it ``False`` to simulate the
+    full online profiling phase (used by the Fig. 13 overhead experiment).
+    """
+
+    def factory(ctx: WorkerContext) -> CommScheduler:
+        monitor = ctx.monitor
+        return ProphetScheduler(
+            bandwidth_provider=lambda: monitor.bandwidth,
+            profile=ctx.oracle_profile if oracle_profile else None,
+            profile_iterations=profile_iterations,
+            tcp=ctx.tcp,
+            guard=guard,
+            forward_block_bytes=forward_block_bytes,
+        )
+
+    return factory
+
+
+def mgwfbp_factory(merge_bytes: float = 16 * MB) -> SchedulerFactory:
+    """MG-WFBP (Shi et al., INFOCOM'19): merged-gradient wait-free
+    backpropagation — the related-work baseline of the paper's Sec. 6.2."""
+
+    def factory(ctx: WorkerContext) -> CommScheduler:
+        return MGWFBPScheduler(merge_bytes=merge_bytes)
+
+    return factory
+
+
+#: Name → default factory, for sweep harnesses.
+STRATEGY_FACTORIES: Mapping[str, SchedulerFactory] = {
+    "mxnet-fifo": fifo_factory(),
+    "p3": p3_factory(),
+    "bytescheduler": bytescheduler_factory(),
+    "prophet": prophet_factory(),
+}
+
+#: Extended set including related-work baselines beyond the paper's four.
+EXTENDED_FACTORIES: Mapping[str, SchedulerFactory] = {
+    **STRATEGY_FACTORIES,
+    "mg-wfbp": mgwfbp_factory(),
+}

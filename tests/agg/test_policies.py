@@ -1,0 +1,130 @@
+"""Unit tests for aggregation (bucketing) policies."""
+
+import numpy as np
+import pytest
+
+from repro.agg.policies import (
+    ByteThresholdPolicy,
+    ExplicitGroupsPolicy,
+    LayerCountPolicy,
+    ModulePrefixPolicy,
+    TimeWindowPolicy,
+)
+from repro.errors import ConfigurationError
+from repro.models.compute import build_compute_profile
+from repro.models.gradients import gradient_table
+from repro.models.registry import get_model
+from repro.quantities import MB
+
+
+@pytest.fixture
+def tiny_inputs(tiny_model, tiny_device):
+    prof = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+    grads = gradient_table(tiny_model)
+    completions = prof.bwd_completion_times()
+    raw = np.array([completions[g.layer_index] for g in grads])
+    return tiny_model, grads, raw
+
+
+def _assert_partition(buckets, grads):
+    flat = sorted(i for b in buckets for i in b)
+    assert flat == sorted(g.index for g in grads)
+    maxes = [max(b) for b in buckets]
+    assert maxes == sorted(maxes, reverse=True)  # generation order
+
+
+class TestTimeWindowPolicy:
+    def test_zero_window_groups_simultaneous_only(self, tiny_inputs):
+        model, grads, raw = tiny_inputs
+        buckets = TimeWindowPolicy(0.0).buckets(model, grads, raw)
+        _assert_partition(buckets, grads)
+        # Tensors of the same layer share raw times -> grouped together.
+        assert [sorted(b, reverse=True) for b in buckets] == [
+            [7, 6, 5], [4, 3], [2], [1, 0],
+        ]
+
+    def test_huge_window_single_bucket(self, tiny_inputs):
+        model, grads, raw = tiny_inputs
+        buckets = TimeWindowPolicy(1e9).buckets(model, grads, raw)
+        assert len(buckets) == 1
+
+    def test_negative_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindowPolicy(-1.0)
+
+
+class TestByteThresholdPolicy:
+    def test_flushes_at_threshold(self, tiny_inputs):
+        model, grads, raw = tiny_inputs
+        buckets = ByteThresholdPolicy(6 * MB).buckets(model, grads, raw)
+        _assert_partition(buckets, grads)
+        by_index = {g.index: g for g in grads}
+        for bucket in buckets[:-1]:
+            assert sum(by_index[i].nbytes for i in bucket) >= 6 * MB
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ConfigurationError):
+            ByteThresholdPolicy(0.0)
+
+
+class TestLayerCountPolicy:
+    def test_one_layer_per_bucket(self, tiny_inputs):
+        model, grads, raw = tiny_inputs
+        buckets = LayerCountPolicy(1).buckets(model, grads, raw)
+        assert len(buckets) == 4  # four parameterized layers
+
+    def test_two_layers_per_bucket(self, tiny_inputs):
+        model, grads, raw = tiny_inputs
+        buckets = LayerCountPolicy(2).buckets(model, grads, raw)
+        assert len(buckets) == 2
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            LayerCountPolicy(0)
+
+
+class TestModulePrefixPolicy:
+    def test_resnet_blocks_group_by_module(self, tiny_device):
+        model = get_model("resnet50")
+        grads = gradient_table(model)
+        prof = build_compute_profile(model, tiny_device, batch_size=8)
+        completions = prof.bwd_completion_times()
+        raw = np.array([completions[g.layer_index] for g in grads])
+        buckets = ModulePrefixPolicy(2).buckets(model, grads, raw)
+        _assert_partition(buckets, grads)
+        # ~16 residual blocks + stem + fc -> around 18-19 buckets.
+        assert 15 <= len(buckets) <= 22
+
+    def test_invalid_depth_raises(self):
+        with pytest.raises(ConfigurationError):
+            ModulePrefixPolicy(0)
+
+
+class TestExplicitGroupsPolicy:
+    def test_valid_partition(self, tiny_inputs):
+        model, grads, raw = tiny_inputs
+        policy = ExplicitGroupsPolicy(((5, 6, 7), (2, 3, 4), (0, 1)))
+        buckets = policy.buckets(model, grads, raw)
+        _assert_partition(buckets, grads)
+        assert buckets[0] == [7, 6, 5]
+
+    def test_groups_sorted_into_generation_order(self, tiny_inputs):
+        model, grads, raw = tiny_inputs
+        policy = ExplicitGroupsPolicy(((0, 1), (5, 6, 7), (2, 3, 4)))
+        buckets = policy.buckets(model, grads, raw)
+        assert buckets[0] == [7, 6, 5]
+        assert buckets[-1] == [1, 0]
+
+    def test_incomplete_partition_raises(self, tiny_inputs):
+        model, grads, raw = tiny_inputs
+        policy = ExplicitGroupsPolicy(((0, 1),))
+        with pytest.raises(ConfigurationError):
+            policy.buckets(model, grads, raw)
+
+    def test_overlapping_groups_raise(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitGroupsPolicy(((0, 1), (1, 2)))
+
+    def test_empty_groups_raise(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitGroupsPolicy(())

@@ -1,0 +1,61 @@
+"""Unit tests for stepwise-pattern detection."""
+
+import numpy as np
+import pytest
+
+from repro.agg.stepwise import block_summary, detect_blocks
+from repro.errors import ConfigurationError
+
+
+def test_detect_blocks_simple_staircase():
+    # grad 0 generated last (largest c); grads 2,3 together; 1 alone.
+    c = np.array([0.30, 0.20, 0.10, 0.10])
+    blocks = detect_blocks(c)
+    assert blocks == [[3, 2], [1], [0]]
+
+
+def test_detect_blocks_eps_merges_near_ties():
+    c = np.array([0.2, 0.10001, 0.1])
+    assert detect_blocks(c, eps=1e-6) == [[2], [1], [0]]
+    assert detect_blocks(c, eps=1e-3) == [[2, 1], [0]]
+
+
+def test_detect_blocks_single_block():
+    c = np.zeros(5)
+    blocks = detect_blocks(c)
+    assert blocks == [[4, 3, 2, 1, 0]]
+
+
+def test_detect_blocks_orders_within_block_by_descending_index():
+    c = np.array([0.1, 0.1, 0.1, 0.2])
+    # grad 3 has larger c -> generated later?? No: larger c = later. Here
+    # grads 0..2 share the earlier time? c[3]=0.2 is the LAST generation.
+    blocks = detect_blocks(c)
+    assert blocks == [[2, 1, 0], [3]]
+
+
+def test_detect_blocks_validates_input():
+    with pytest.raises(ConfigurationError):
+        detect_blocks(np.array([]))
+    with pytest.raises(ConfigurationError):
+        detect_blocks(np.array([1.0]), eps=-1.0)
+
+
+def test_block_summary_counts_and_intervals():
+    c = np.array([0.35, 0.25, 0.10, 0.10])
+    s = block_summary(c)
+    assert s.num_gradients == 4
+    assert s.num_blocks == 3
+    assert s.block_sizes == (2, 1, 1)
+    assert s.block_times == (0.10, 0.25, 0.35)
+    assert s.intervals == pytest.approx((0.15, 0.10))
+    assert s.mean_interval == pytest.approx(0.125)
+    assert s.span == pytest.approx(0.25)
+
+
+def test_block_summary_single_block_degenerate():
+    s = block_summary(np.zeros(3))
+    assert s.num_blocks == 1
+    assert s.intervals == ()
+    assert s.mean_interval == 0.0
+    assert s.span == 0.0

@@ -1,0 +1,77 @@
+"""Unit tests for Gaussian-process regression."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.gp import GaussianProcess, RBFKernel
+from repro.errors import ConfigurationError
+
+
+class TestRBFKernel:
+    def test_diagonal_is_variance(self):
+        k = RBFKernel(length_scale=0.3, variance=2.0)
+        x = np.array([0.1, 0.5, 0.9])
+        gram = k(x, x)
+        assert np.allclose(np.diag(gram), 2.0)
+
+    def test_decays_with_distance(self):
+        k = RBFKernel(length_scale=0.2)
+        assert k(np.array([0.0]), np.array([1.0]))[0, 0] < k(
+            np.array([0.0]), np.array([0.1])
+        )[0, 0]
+
+    def test_symmetric(self):
+        k = RBFKernel()
+        x = np.array([0.0, 0.3, 0.7])
+        gram = k(x, x)
+        assert np.allclose(gram, gram.T)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RBFKernel(length_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            RBFKernel(variance=-1.0)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        x = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        y = np.sin(2 * np.pi * x)
+        gp = GaussianProcess(noise=1e-8).fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.05)
+
+    def test_uncertainty_grows_away_from_data(self):
+        gp = GaussianProcess().fit(np.array([0.4, 0.5]), np.array([1.0, 1.2]))
+        _, std_near = gp.predict(np.array([0.45]))
+        _, std_far = gp.predict(np.array([0.0]))
+        assert std_far > std_near
+
+    def test_prediction_in_original_scale(self):
+        x = np.array([0.0, 0.5, 1.0])
+        y = np.array([100.0, 200.0, 300.0])
+        gp = GaussianProcess(noise=1e-6).fit(x, y)
+        mean, _ = gp.predict(np.array([0.5]))
+        assert mean[0] == pytest.approx(200.0, rel=0.05)
+
+    def test_single_observation(self):
+        gp = GaussianProcess().fit(np.array([0.5]), np.array([3.0]))
+        mean, std = gp.predict(np.array([0.5]))
+        assert mean[0] == pytest.approx(3.0, abs=0.2)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess().predict(np.array([0.5]))
+
+    def test_mismatched_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess().fit(np.zeros(3), np.zeros(2))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess().fit(np.zeros(0), np.zeros(0))
+
+    def test_negative_noise_raises(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess(noise=-1e-3)

@@ -1,0 +1,193 @@
+"""Integration tests: full training runs and their invariants.
+
+Every strategy must satisfy the conservation laws of the dataflow: all
+gradient bytes pushed exactly once per iteration per worker, every
+parameter updated before its layer's next forward pass, BSP ordering
+respected, and per-gradient records consistent (ready ≤ push start ≤
+push end ≤ pull end).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.trainer import Trainer, run_training
+from repro.config import TrainingConfig
+from repro.quantities import Gbps, Mbps
+from repro.workloads.presets import (
+    STRATEGY_FACTORIES,
+    bytescheduler_factory,
+    fifo_factory,
+    p3_factory,
+    prophet_factory,
+)
+
+ALL_FACTORIES = list(STRATEGY_FACTORIES.items())
+
+
+@pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+def test_training_completes_for_every_strategy(tiny_config, name, factory):
+    result = run_training(tiny_config, factory)
+    recs = result.recorder.worker_iterations(0)
+    assert len(recs) == tiny_config.n_iterations
+    assert result.training_rate(skip=1) > 0
+
+
+@pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+def test_all_bytes_pushed_once(tiny_config, name, factory):
+    trainer = Trainer(tiny_config, factory)
+    result = trainer.run()
+    expected = (
+        result.gen_schedule.sizes.sum()
+        * tiny_config.n_iterations
+        * tiny_config.n_workers
+    )
+    assert trainer.ps.total_push_bytes == pytest.approx(expected, rel=1e-9)
+
+
+@pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+def test_gradient_record_event_ordering(tiny_config, name, factory):
+    result = run_training(tiny_config, factory)
+    recs = result.gradient_records(worker=0)
+    assert recs, "no gradient records"
+    for r in recs:
+        assert np.isfinite(r.ready)
+        assert np.isfinite(r.push_start)
+        assert r.ready <= r.push_start + 1e-9
+        assert r.push_start <= r.push_end + 1e-9
+        assert r.push_end <= r.pull_end + 1e-9
+
+
+@pytest.mark.parametrize("name,factory", ALL_FACTORIES)
+def test_iteration_boundaries_monotone(tiny_config, name, factory):
+    result = run_training(tiny_config, factory)
+    for w in range(tiny_config.n_workers):
+        recs = result.recorder.worker_iterations(w)
+        for r in recs:
+            assert r.fwd_start <= r.fwd_end <= r.bwd_end
+        starts = [r.fwd_start for r in recs]
+        assert starts == sorted(starts)
+
+
+def test_bsp_gates_forward_on_all_pulls(tiny_config):
+    """Forward of iteration k+1 never starts before every pull of k."""
+    result = run_training(tiny_config, prophet_factory())
+    for w in range(tiny_config.n_workers):
+        iters = {r.iteration: r for r in result.recorder.worker_iterations(w)}
+        for k in range(tiny_config.n_iterations - 1):
+            pulls = [
+                r.pull_end
+                for r in result.gradient_records(worker=w, iteration=k)
+            ]
+            # Layer 0's tensors must be pulled before fwd k+1 starts...
+            recs0 = [
+                r for r in result.gradient_records(worker=w, iteration=k)
+                if r.grad in (0, 1)
+            ]
+            fwd_next = iters[k + 1].fwd_start
+            for r in recs0:
+                assert r.pull_end <= iters[k + 1].fwd_end + 1e-9
+            # ...and all pulls must complete before fwd k+1 *ends*.
+            assert max(pulls) <= iters[k + 1].fwd_end + 1e-9
+            assert fwd_next >= iters[k].bwd_end - 1e-9
+
+
+def test_pushes_of_one_iteration_in_offset_order(tiny_config):
+    """Per gradient, the channel carries bytes strictly in order."""
+    result = run_training(tiny_config, p3_factory(partition_size=1024 * 1024))
+    # Validated internally by PS (offset continuity) — reaching here with
+    # no SimulationError is the assertion; spot-check one record too.
+    recs = result.gradient_records(worker=0, iteration=2)
+    assert all(np.isfinite(r.pull_end) for r in recs)
+
+
+def test_paired_runs_are_deterministic(tiny_config):
+    r1 = run_training(tiny_config, prophet_factory())
+    r2 = run_training(tiny_config, prophet_factory())
+    assert r1.training_rate(skip=1) == pytest.approx(r2.training_rate(skip=1))
+    assert r1.end_time == pytest.approx(r2.end_time)
+
+
+def test_different_seeds_differ(tiny_config):
+    from dataclasses import replace
+
+    r1 = run_training(tiny_config, prophet_factory())
+    r2 = run_training(replace(tiny_config, seed=123), prophet_factory())
+    # Different jitter draws shift the iteration boundaries.
+    s1 = [r.fwd_start for r in r1.recorder.worker_iterations(0)]
+    s2 = [r.fwd_start for r in r2.recorder.worker_iterations(0)]
+    assert s1 != s2
+
+
+def test_duplex_mode_runs_and_is_faster(tiny_config):
+    from dataclasses import replace
+
+    shared = run_training(tiny_config, bytescheduler_factory())
+    duplex = run_training(replace(tiny_config, duplex=True), bytescheduler_factory())
+    # Two independent links cannot be slower than one shared channel.
+    assert duplex.training_rate(skip=1) >= shared.training_rate(skip=1) * 0.999
+
+
+def test_heterogeneous_bandwidth_slows_cluster(tiny_config):
+    from dataclasses import replace
+
+    slow = replace(tiny_config, worker_bandwidth={0: 100 * Mbps})
+    base = run_training(tiny_config, prophet_factory())
+    hetero = run_training(slow, prophet_factory())
+    assert hetero.training_rate(skip=1) < base.training_rate(skip=1)
+    # BSP: the fast worker is dragged down to the slow worker's pace.
+    fast_rate = hetero.per_worker_rate(1, skip=1)
+    assert fast_rate < base.per_worker_rate(1, skip=1)
+
+
+def test_straggler_compute_slows_cluster(tiny_config):
+    from dataclasses import replace
+
+    straggler = replace(tiny_config, worker_compute_scale={1: 2.0})
+    base = run_training(tiny_config, fifo_factory())
+    slow = run_training(straggler, fifo_factory())
+    assert slow.training_rate(skip=1) < base.training_rate(skip=1)
+
+
+def test_more_bandwidth_never_hurts(tiny_config):
+    from dataclasses import replace
+
+    rates = []
+    for gbps in (0.5, 1.0, 4.0):
+        cfg = replace(tiny_config, bandwidth=gbps * Gbps)
+        rates.append(run_training(cfg, prophet_factory()).training_rate(skip=1))
+    assert rates[0] <= rates[1] * 1.02
+    assert rates[1] <= rates[2] * 1.02
+
+
+def test_single_worker_cluster(tiny_config):
+    from dataclasses import replace
+
+    cfg = replace(tiny_config, n_workers=1)
+    result = run_training(cfg, prophet_factory())
+    assert result.training_rate(skip=1) > 0
+
+
+def test_online_profiling_prophet_transitions(tiny_config):
+    from dataclasses import replace
+
+    cfg = replace(tiny_config, n_iterations=8)
+    trainer = Trainer(
+        cfg, prophet_factory(oracle_profile=False, profile_iterations=3)
+    )
+    result = trainer.run()
+    for sched in trainer.schedulers:
+        assert sched.active  # profile built during the run
+        assert sched.planned_iterations >= 1
+    assert result.training_rate(skip=4) > 0
+
+
+def test_summary_keys(tiny_config):
+    result = run_training(tiny_config, fifo_factory())
+    summary = result.summary(skip=1)
+    assert set(summary) == {
+        "training_rate",
+        "mean_iteration_s",
+        "gpu_utilization",
+        "throughput_bytes_per_s",
+    }
+    assert 0 < summary["gpu_utilization"] <= 1

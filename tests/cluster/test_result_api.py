@@ -1,0 +1,105 @@
+"""Unit tests for the TrainingResult read API."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster.trainer import run_training
+from repro.errors import ConfigurationError
+from repro.workloads.presets import prophet_factory
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    tiny = request.getfixturevalue("tiny_config_module")
+    return run_training(tiny, prophet_factory())
+
+
+@pytest.fixture(scope="module")
+def tiny_config_module():
+    from tests.conftest import TINY_MODEL_NAME
+    from repro.agg.policies import ExplicitGroupsPolicy
+    from repro.config import TrainingConfig
+    from repro.models.device import DeviceSpec
+    from repro.net.tcp import TCPParams
+    from repro.quantities import Gbps
+
+    return TrainingConfig(
+        model=TINY_MODEL_NAME,
+        batch_size=8,
+        n_workers=2,
+        n_iterations=6,
+        bandwidth=1 * Gbps,
+        tcp=TCPParams(rtt=0.2e-3, fixed_overhead=0.1e-3, goodput=0.8),
+        device=DeviceSpec(name="test-gpu", peak_flops=4e12, efficiency=0.25),
+        agg_policy=ExplicitGroupsPolicy(((5, 6, 7), (3, 4), (2,), (0, 1))),
+        seed=7,
+        jitter_std=0.01,
+    )
+
+
+class TestIterationTiming:
+    def test_spans_count(self, result):
+        assert len(result.iteration_spans(0, skip=0)) == 5
+        assert len(result.iteration_spans(0, skip=2)) == 3
+
+    def test_spans_positive(self, result):
+        assert np.all(result.iteration_spans(0, skip=0) > 0)
+
+    def test_excessive_skip_raises(self, result):
+        with pytest.raises(ConfigurationError):
+            result.iteration_spans(0, skip=10)
+
+    def test_per_worker_rate_consistent_with_spans(self, result):
+        spans = result.iteration_spans(1, skip=1)
+        assert result.per_worker_rate(1, skip=1) == pytest.approx(
+            8 / spans.mean()
+        )
+
+    def test_training_rate_is_mean_over_workers(self, result):
+        rates = [result.per_worker_rate(w, skip=1) for w in range(2)]
+        assert result.training_rate(skip=1) == pytest.approx(np.mean(rates))
+
+    def test_measurement_window_ordered(self, result):
+        start, end = result.measurement_window(0, skip=1)
+        assert 0 < start < end
+
+
+class TestUtilizationAndThroughput:
+    def test_mean_gpu_utilization_in_unit_interval(self, result):
+        util = result.mean_gpu_utilization(0, skip=1)
+        assert 0 < util <= 1
+
+    def test_series_lengths_match(self, result):
+        times, util = result.gpu_utilization_series(0, window=0.1, resolution=0.05)
+        assert len(times) == len(util)
+        assert np.all((util >= 0) & (util <= 1))
+
+    def test_throughput_direction_filter(self, result):
+        push = result.mean_throughput(0, skip=1, direction="push")
+        pull = result.mean_throughput(0, skip=1, direction="pull")
+        both = result.mean_throughput(0, skip=1, direction="both")
+        assert both == pytest.approx(push + pull, rel=1e-6)
+        # Symmetric traffic: push and pull volumes are equal.
+        assert push == pytest.approx(pull, rel=0.2)
+
+    def test_unknown_direction_raises(self, result):
+        with pytest.raises(ConfigurationError):
+            result.mean_throughput(0, direction="sideways")
+
+
+class TestGradientStats:
+    def test_comm_stats_fields(self, result):
+        stats = result.gradient_comm_stats(0, skip=1)
+        assert stats.count > 0
+        assert stats.mean_wait >= 0
+        assert stats.mean_transfer > 0
+        assert stats.p95_wait >= stats.mean_wait * 0.1
+        assert stats.p95_transfer >= stats.mean_transfer
+
+    def test_comm_stats_without_records_raises(self, tiny_config_module):
+        config = replace(tiny_config_module, record_gradients=False)
+        res = run_training(config, prophet_factory())
+        with pytest.raises(ConfigurationError):
+            res.gradient_comm_stats(0)

@@ -1,0 +1,62 @@
+"""Unit tests for gradient blocks and Prophet plans."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import GradientBlock, PlannedTransfer, ProphetPlan
+from repro.errors import SchedulingError
+
+
+class TestPlannedTransfer:
+    def test_end(self):
+        t = PlannedTransfer(grad=3, start=1.0, duration=0.5)
+        assert t.end == 1.5
+
+
+class TestGradientBlock:
+    def test_properties(self):
+        b = GradientBlock(grads=(5, 3, 4), start=1.0, duration=0.2, nbytes=100.0,
+                          phase="backward")
+        assert b.end == pytest.approx(1.2)
+        assert b.priority == 3
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(SchedulingError):
+            GradientBlock(grads=(), start=0.0, duration=0.0, nbytes=0.0,
+                          phase="backward")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(SchedulingError):
+            GradientBlock(grads=(0,), start=0.0, duration=0.0, nbytes=0.0,
+                          phase="sideways")
+
+
+class TestProphetPlan:
+    def _plan(self):
+        transfers = (
+            PlannedTransfer(2, 0.0, 0.1),
+            PlannedTransfer(1, 0.1, 0.1),
+            PlannedTransfer(0, 0.5, 0.1),
+        )
+        blocks = (
+            GradientBlock((2, 1), 0.0, 0.2, 10.0, "backward"),
+            GradientBlock((0,), 0.5, 0.1, 5.0, "critical"),
+        )
+        return ProphetPlan(transfers=transfers, blocks=blocks)
+
+    def test_start_times_and_durations_indexed_by_grad(self):
+        plan = self._plan()
+        assert np.array_equal(plan.start_times, [0.5, 0.1, 0.0])
+        assert np.array_equal(plan.durations, [0.1, 0.1, 0.1])
+
+    def test_phase_filters(self):
+        plan = self._plan()
+        assert len(plan.backward_blocks()) == 1
+        assert len(plan.forward_blocks()) == 1  # critical counts as forward-side
+
+    def test_blocks_must_partition_transfers(self):
+        with pytest.raises(SchedulingError):
+            ProphetPlan(
+                transfers=(PlannedTransfer(0, 0.0, 0.1),),
+                blocks=(GradientBlock((0, 1), 0.0, 0.2, 10.0, "backward"),),
+            )

@@ -1,0 +1,182 @@
+"""Unit tests for the Sec. 3 performance model (Eqs. (1)-(5))."""
+
+import numpy as np
+import pytest
+
+from repro.agg.kvstore import KVStore
+from repro.core.algorithm import plan_schedule
+from repro.core.perf_model import (
+    PerfModelInputs,
+    check_constraints,
+    evaluate_schedule,
+    per_gradient_fwd_times,
+    wait_time,
+)
+from repro.core.profiler import JobProfile
+from repro.errors import ConfigurationError, SchedulingError
+from repro.models.compute import build_compute_profile
+from repro.net.tcp import TCPParams, transfer_time
+from repro.quantities import Gbps
+
+TCP = TCPParams(rtt=0.2e-3, fixed_overhead=0.1e-3, goodput=1.0)
+
+
+def _inputs(c, t, e, fp=None, total_bwd=None):
+    c = np.asarray(c, dtype=float)
+    fp = np.zeros_like(c) if fp is None else np.asarray(fp, dtype=float)
+    return PerfModelInputs(
+        c=c,
+        t=np.asarray(t, dtype=float),
+        e=np.asarray(e, dtype=float),
+        fp=fp,
+        total_bwd=float(c.max()) if total_bwd is None else total_bwd,
+    )
+
+
+class TestRecursion:
+    def test_two_gradient_hand_computation(self):
+        # c = [0.2, 0.1]; send grad 1 at 0.1 (E=0.02), grad 0 at 0.2 (E=0.03).
+        inputs = _inputs(
+            c=[0.2, 0.1], t=[0.2, 0.1], e=[0.03, 0.02], fp=[0.05, 0.05]
+        )
+        ev = evaluate_schedule(inputs)
+        # u0 = 0.2 + 0.06 = 0.26; u1 = 0.1 + 0.04 = 0.14
+        assert ev.u == pytest.approx([0.26, 0.14])
+        # p0 = 0.26 + 0.05 = 0.31; p1 = max(0.31, 0.14) + 0.05 = 0.36
+        assert ev.p == pytest.approx([0.31, 0.36])
+        # T_wait = (u0 - c0) + (u1 - p0)^+ = 0.06 + 0
+        assert ev.t_wait == pytest.approx(0.06)
+        assert ev.iteration_time == pytest.approx(0.2 + 0.1 + 0.06)
+
+    def test_late_update_adds_wait(self):
+        inputs = _inputs(
+            c=[0.2, 0.1], t=[0.2, 0.5], e=[0.01, 0.01], fp=[0.01, 0.01]
+        )
+        ev = evaluate_schedule(inputs)
+        # u1 = 0.52 > p0 = 0.23 -> gap of 0.29 counted.
+        assert ev.t_wait == pytest.approx((0.22 - 0.2) + (0.52 - 0.23))
+
+    def test_wait_time_matches_evaluate(self):
+        inputs = _inputs(c=[0.3, 0.2, 0.1], t=[0.3, 0.2, 0.1], e=[0.01] * 3)
+        assert wait_time(inputs) == pytest.approx(evaluate_schedule(inputs).t_wait)
+
+    def test_perfect_overlap_gives_minimal_wait(self):
+        """If every u(i) lands before p(i-1), only u(0)-c(0) remains."""
+        inputs = _inputs(
+            c=[0.3, 0.2, 0.1],
+            t=[0.3, 0.2, 0.1],
+            e=[0.005, 0.005, 0.005],
+            fp=[0.1, 0.1, 0.1],
+        )
+        ev = evaluate_schedule(inputs)
+        assert ev.t_wait == pytest.approx(0.01)  # 2 * E(0)
+
+
+class TestConstraints:
+    def test_valid_schedule_passes(self):
+        inputs = _inputs(c=[0.2, 0.1], t=[0.2, 0.1], e=[0.02, 0.02])
+        check_constraints(inputs)
+
+    def test_constraint7_start_before_generation(self):
+        inputs = _inputs(c=[0.2, 0.1], t=[0.15, 0.1], e=[0.01, 0.01])
+        with pytest.raises(SchedulingError, match="Constraint \\(7\\)"):
+            check_constraints(inputs)
+
+    def test_constraint8_overlap(self):
+        inputs = _inputs(c=[0.2, 0.1], t=[0.205, 0.2], e=[0.01, 0.02])
+        with pytest.raises(SchedulingError, match="Constraint \\(8\\)"):
+            check_constraints(inputs)
+
+    def test_constraint9_forward_priority_order(self):
+        # Both transfers after c(0)=0.2; grad 1 sent BEFORE grad 0 in the
+        # forward phase: a priority inversion.
+        inputs = _inputs(c=[0.2, 0.1], t=[0.30, 0.25], e=[0.01, 0.01])
+        with pytest.raises(SchedulingError, match="Constraint \\(9\\)"):
+            check_constraints(inputs)
+
+    def test_forward_priority_order_correct_direction_passes(self):
+        inputs = _inputs(c=[0.2, 0.1], t=[0.25, 0.30], e=[0.01, 0.01])
+        check_constraints(inputs)
+
+    def test_constraint11_overrun_into_generation(self):
+        # Grad 1 transfers 0.1->0.25, overrunning c(0)=0.2 while pending.
+        inputs = _inputs(c=[0.2, 0.1], t=[0.26, 0.1], e=[0.01, 0.15])
+        with pytest.raises(SchedulingError, match="Constraint \\(11\\)"):
+            check_constraints(inputs)
+
+
+class TestProphetOptimality:
+    """Prophet's plan should dominate naive schedules under Eq. (2)."""
+
+    @pytest.fixture
+    def setup(self, tiny_model, tiny_device):
+        compute = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+        sched = KVStore().generation_schedule(compute)
+        profile = JobProfile.from_generation_schedule(sched)
+        fp = per_gradient_fwd_times(compute)
+        return compute, sched, profile, fp
+
+    # Note: at severely constrained bandwidth the *gradient-granular*
+    # offline planner defers everything past c(0) (Constraint 11 leaves
+    # no whole gradient fitting an interval) and can lose to FIFO under
+    # Eq. (2) — the reason Prophet slices gradients online (Fig. 5).
+    # The guarantee below therefore targets the regime the paper evaluates,
+    # where interval capacity carries at least single gradients.
+    @pytest.mark.parametrize("gbps", [1.0, 3.0])
+    def test_prophet_wait_leq_fifo(self, setup, gbps):
+        compute, sched, profile, fp = setup
+        bandwidth = gbps * Gbps
+        plan = plan_schedule(profile, bandwidth, TCP)
+        prophet_inputs = PerfModelInputs(
+            c=profile.c, t=plan.start_times, e=plan.durations,
+            fp=fp, total_bwd=compute.total_bwd,
+        )
+        # FIFO: whole tensors, generation order, back to back.
+        t = np.empty(profile.num_gradients)
+        e = np.empty(profile.num_gradients)
+        cursor = 0.0
+        for g in sched.generation_order:
+            dur = float(transfer_time(profile.sizes[g], bandwidth, TCP))
+            start = max(cursor, float(profile.c[g]))
+            t[g], e[g] = start, dur
+            cursor = start + dur
+        fifo_inputs = PerfModelInputs(
+            c=profile.c, t=t, e=e, fp=fp, total_bwd=compute.total_bwd
+        )
+        assert wait_time(prophet_inputs) <= wait_time(fifo_inputs) + 1e-9
+
+
+class TestPerGradientFwdTimes:
+    def test_assigned_to_last_tensor_of_layer(self, tiny_model, tiny_device):
+        compute = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+        fp = per_gradient_fwd_times(compute)
+        assert fp.sum() == pytest.approx(compute.total_fwd)
+        # Layer l3 owns gradients 5,6,7: time lands on 7.
+        assert fp[7] > 0
+        assert fp[5] == 0 and fp[6] == 0
+
+    def test_paramless_layers_accrue_forward(self):
+        from repro.models.registry import get_model
+        from repro.models.device import DeviceSpec
+
+        model = get_model("resnet18")
+        dev = DeviceSpec(name="d", peak_flops=1e12)
+        compute = build_compute_profile(model, dev, batch_size=4)
+        fp = per_gradient_fwd_times(compute)
+        assert fp.sum() == pytest.approx(compute.total_fwd, rel=1e-9)
+
+
+class TestValidation:
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            PerfModelInputs(
+                c=np.zeros(3), t=np.zeros(2), e=np.zeros(3),
+                fp=np.zeros(3), total_bwd=1.0,
+            )
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            PerfModelInputs(
+                c=np.zeros(0), t=np.zeros(0), e=np.zeros(0),
+                fp=np.zeros(0), total_bwd=1.0,
+            )

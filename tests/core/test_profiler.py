@@ -1,0 +1,126 @@
+"""Unit tests for the Training Job Profiler."""
+
+import numpy as np
+import pytest
+
+from repro.agg.kvstore import KVStore
+from repro.core.profiler import JobProfile, JobProfiler
+from repro.errors import ProfileError
+from repro.models.compute import build_compute_profile
+
+
+@pytest.fixture
+def schedule(tiny_model, tiny_device):
+    prof = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+    return KVStore().generation_schedule(prof)
+
+
+class TestJobProfile:
+    def test_from_generation_schedule(self, schedule):
+        jp = JobProfile.from_generation_schedule(schedule)
+        assert np.array_equal(jp.c, schedule.c)
+        assert np.array_equal(jp.sizes, schedule.sizes)
+        assert jp.iterations == 0
+        assert jp.num_gradients == schedule.num_gradients
+
+    def test_backward_span(self):
+        jp = JobProfile(
+            c=np.array([0.3, 0.2, 0.1]), sizes=np.ones(3), iterations=5
+        )
+        assert jp.backward_span == pytest.approx(0.2)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ProfileError):
+            JobProfile(c=np.zeros(3), sizes=np.zeros(2), iterations=1)
+
+    def test_empty_profile_raises(self):
+        with pytest.raises(ProfileError):
+            JobProfile(c=np.zeros(0), sizes=np.zeros(0), iterations=1)
+
+
+class TestJobProfiler:
+    def test_averages_over_iterations(self):
+        profiler = JobProfiler(sizes=np.ones(2), min_iterations=2)
+        profiler.observe(0, 0.2)
+        profiler.observe(1, 0.1)
+        profiler.end_iteration()
+        profiler.observe(0, 0.4)
+        profiler.observe(1, 0.3)
+        profiler.end_iteration()
+        assert profiler.ready
+        profile = profiler.build()
+        assert profile.c == pytest.approx([0.3, 0.2])
+        assert profile.iterations == 2
+
+    def test_partial_iterations_discarded(self):
+        profiler = JobProfiler(sizes=np.ones(2), min_iterations=1)
+        profiler.observe(0, 0.2)  # gradient 1 never observed
+        profiler.end_iteration()
+        assert profiler.iterations_observed == 0
+        assert not profiler.ready
+
+    def test_build_before_ready_raises(self):
+        profiler = JobProfiler(sizes=np.ones(2), min_iterations=3)
+        with pytest.raises(ProfileError):
+            profiler.build()
+
+    def test_double_observation_raises(self):
+        profiler = JobProfiler(sizes=np.ones(2))
+        profiler.observe(0, 0.1)
+        with pytest.raises(ProfileError):
+            profiler.observe(0, 0.2)
+
+    def test_out_of_range_gradient_raises(self):
+        profiler = JobProfiler(sizes=np.ones(2))
+        with pytest.raises(ProfileError):
+            profiler.observe(5, 0.1)
+
+    def test_negative_time_raises(self):
+        profiler = JobProfiler(sizes=np.ones(2))
+        with pytest.raises(ProfileError):
+            profiler.observe(0, -0.1)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ProfileError):
+            JobProfiler(sizes=np.ones(0))
+        with pytest.raises(ProfileError):
+            JobProfiler(sizes=np.ones(2), min_iterations=0)
+
+
+class TestTraceIO:
+    def test_csv_roundtrip(self, schedule, tmp_path):
+        profile = JobProfile.from_generation_schedule(schedule)
+        path = profile.to_csv(tmp_path / "trace.csv")
+        loaded = JobProfile.from_csv(path)
+        assert np.allclose(loaded.c, profile.c)
+        assert np.allclose(loaded.sizes, profile.sizes)
+        assert loaded.iterations == profile.iterations
+
+    def test_iterations_metadata_preserved(self, tmp_path):
+        profile = JobProfile(
+            c=np.array([0.2, 0.1]), sizes=np.array([1e6, 2e6]), iterations=50
+        )
+        loaded = JobProfile.from_csv(profile.to_csv(tmp_path / "t.csv"))
+        assert loaded.iterations == 50
+
+    def test_from_csv_rejects_gaps(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("grad,c_seconds,size_bytes\n0,0.1,100\n2,0.2,200\n")
+        with pytest.raises(ProfileError):
+            JobProfile.from_csv(path)
+
+    def test_from_csv_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("grad,c_seconds,size_bytes\n")
+        with pytest.raises(ProfileError):
+            JobProfile.from_csv(path)
+
+    def test_trace_profile_drives_prophet(self, schedule, tmp_path):
+        """A profile loaded from disk is a drop-in Algorithm 1 input."""
+        from repro.core.algorithm import plan_schedule
+        from repro.net.tcp import TCPParams
+
+        profile = JobProfile.from_generation_schedule(schedule)
+        loaded = JobProfile.from_csv(profile.to_csv(tmp_path / "t.csv"))
+        plan = plan_schedule(loaded, 1.25e8, TCPParams())
+        assert plan.num_gradients == schedule.num_gradients

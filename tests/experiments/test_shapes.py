@@ -1,0 +1,136 @@
+"""Experiment-shape tests: the paper's qualitative findings must hold.
+
+These run the real figure/table machinery at reduced scale (fewer
+iterations, fewer sweep points) and assert the *orderings and trends* the
+paper reports — who wins, where the crossovers fall — not absolute
+numbers.  They are the regression net for the calibration in
+``repro.workloads.presets``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3, fig4, fig5, fig12, hetero, table2
+from repro.experiments.common import run_strategies
+from repro.quantities import Gbps
+from repro.workloads.presets import paper_config
+
+pytestmark = pytest.mark.shape
+
+N_ITER = 10
+
+
+@pytest.fixture(scope="module")
+def midband_rates():
+    """All four strategies on ResNet-50 bs64 at 3 Gbps (the mid band)."""
+    config = paper_config(
+        "resnet50", 64, bandwidth=3 * Gbps, n_iterations=N_ITER,
+        record_gradients=False,
+    )
+    return run_strategies(config)
+
+
+class TestMidBandOrdering:
+    def test_prophet_beats_bytescheduler(self, midband_rates):
+        assert midband_rates.improvement(over="bytescheduler") > 0.0
+
+    def test_prophet_beats_p3(self, midband_rates):
+        # Paper Table 2 @3 Gbps: 60 vs 51.2 => +17%.
+        assert midband_rates.improvement(over="p3") > 0.10
+
+    def test_prophet_beats_mxnet(self, midband_rates):
+        # Paper Sec. 5.3 text: +39% over MXNet at 3 Gbps (ResNet-18).
+        assert midband_rates.improvement(over="mxnet-fifo") > 0.20
+
+    def test_fifo_is_worst(self, midband_rates):
+        rates = midband_rates.rates
+        assert rates["mxnet-fifo"] == min(rates.values())
+
+
+class TestBandwidthSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return table2.run(
+            bandwidths_gbps=(1.0, 3.0, 10.0), n_iterations=N_ITER
+        )
+
+    def test_rates_increase_with_bandwidth(self, sweep):
+        for strategy in ("prophet", "bytescheduler", "p3", "mxnet-fifo"):
+            rates = sweep.rates(strategy)
+            assert rates[0] < rates[1] <= rates[2] * 1.02
+
+    def test_strategies_converge_at_high_bandwidth(self, sweep):
+        high = sweep.rows[-1].rates
+        assert max(high.values()) / min(high.values()) < 1.05
+
+    def test_p3_penalty_largest_at_low_bandwidth(self, sweep):
+        low, mid = sweep.rows[0], sweep.rows[1]
+        assert low.rates["p3"] < low.rates["prophet"]
+        assert mid.rates["p3"] < mid.rates["prophet"]
+
+    def test_low_bandwidth_gap_smaller_than_midband(self, sweep):
+        """Paper: Prophet's edge peaks mid-band (1G: +7%, 3G: +36%)."""
+        low_gap = sweep.rows[0].improvement(over="p3")
+        mid_gap = sweep.rows[1].improvement(over="p3")
+        assert mid_gap > low_gap
+
+
+class TestFig3Shapes:
+    def test_small_partitions_collapse_p3(self):
+        res = fig3.run_partition_sweep(
+            partitions_mb=(0.25, 4.0), n_iterations=N_ITER
+        )
+        assert res.rates[0] < res.rates[1] * 0.9  # >=10% worse at 0.25 MB
+
+    def test_autotune_fluctuates(self):
+        res = fig3.run_autotune(n_iterations=24, tune_every=2)
+        assert res.rate_spread > 0.05 * max(res.rates)
+        assert len(set(np.round(res.credits_mb, 3))) > 1
+
+
+class TestFig4Shapes:
+    def test_resnet50_staircase(self):
+        res = fig4.run()
+        assert res.resnet50_summary.num_blocks >= 10
+        assert res.resnet50_summary.num_gradients == 161
+        assert res.resnet50_summary.mean_interval > 0
+
+    def test_vgg19_matches_paper_blocks(self):
+        res = fig4.run()
+        assert res.vgg19_summary.num_blocks == 4
+        assert res.vgg19_summary.block_sizes == (10, 14, 12, 2)
+
+
+class TestFig5Shape:
+    def test_strategy_ordering_on_toy(self):
+        res = fig5.run()
+        rows = res.by_strategy()
+        # FIFO lets gradient 1 block gradient 0; Prophet does not.
+        assert rows["prophet"].grad0_wait_ms < 1.0
+        assert rows["mxnet-fifo"].grad0_wait_ms > 50.0
+        # P3 preempts within one partition (a few ms at 1 Gbps).
+        assert rows["p3"].grad0_wait_ms < rows["mxnet-fifo"].grad0_wait_ms
+        # ByteScheduler preempts within one credit batch.
+        assert rows["bytescheduler"].grad0_wait_ms < rows["mxnet-fifo"].grad0_wait_ms
+        assert rows["prophet"].grad0_wait_ms <= rows["bytescheduler"].grad0_wait_ms
+
+
+class TestScalability:
+    def test_near_linear_worker_scaling(self):
+        rows = fig12.run(worker_counts=(2, 6), n_iterations=N_ITER)
+        per_worker = [r.per_worker_rate for r in rows]
+        # Paper: 69.94 -> 68.83 from 2 to 8 workers (<2% drop).
+        assert per_worker[1] > per_worker[0] * 0.95
+
+
+class TestHeterogeneous:
+    def test_gap_collapses_with_slow_worker(self):
+        res = hetero.run(n_iterations=N_ITER)
+        # Paper: Prophet +2.3% over ByteScheduler — the optimization space
+        # collapses when one worker's channel saturates.  (The paper's +75%
+        # over MXNet reflects baseline implementation overheads beyond this
+        # substrate; our work-conserving FIFO stays within a few percent.)
+        assert abs(res.prophet_vs_bytescheduler) < 0.10
+        assert res.prophet_vs_mxnet > -0.02
+        # Absolute rates land in the paper's reported band (~24-27 s/s).
+        assert 20 < res.rates.rates["prophet"] < 30

@@ -1,0 +1,125 @@
+"""Unit tests for ASCII timelines and result export."""
+
+import json
+
+import pytest
+
+from repro.cluster.trainer import run_training
+from repro.errors import ConfigurationError
+from repro.metrics.ascii_timeline import (
+    render_channel_timeline,
+    render_gradient_waterfall,
+)
+from repro.metrics.export import (
+    gradient_records_rows,
+    result_summary_dict,
+    write_csv,
+    write_json,
+)
+from repro.metrics.timeline import GradientRecord
+from repro.net.link import TransferRecord
+from repro.workloads.presets import prophet_factory
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    tiny_config = request.getfixturevalue("tiny_config")
+    return run_training(tiny_config, prophet_factory())
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    # Module-scoped copy of the conftest fixture (function-scoped there).
+    from tests.conftest import TINY_MODEL_NAME
+    from repro.agg.policies import ExplicitGroupsPolicy
+    from repro.config import TrainingConfig
+    from repro.models.device import DeviceSpec
+    from repro.net.tcp import TCPParams
+    from repro.quantities import Gbps
+
+    return TrainingConfig(
+        model=TINY_MODEL_NAME,
+        batch_size=8,
+        n_workers=2,
+        n_iterations=6,
+        bandwidth=1 * Gbps,
+        tcp=TCPParams(rtt=0.2e-3, fixed_overhead=0.1e-3, goodput=0.8),
+        device=DeviceSpec(name="test-gpu", peak_flops=4e12, efficiency=0.25),
+        agg_policy=ExplicitGroupsPolicy(((5, 6, 7), (3, 4), (2,), (0, 1))),
+        seed=7,
+        jitter_std=0.01,
+    )
+
+
+class TestChannelTimeline:
+    def test_renders_fixed_width(self, result):
+        recs = result.topology.uplink(0).records
+        out = render_channel_timeline(recs, 0.0, result.end_time, width=60)
+        lines = out.splitlines()
+        assert len(lines[1]) == 60
+        assert set(lines[1]) <= {"#", "=", "."}
+        assert "#" in lines[1] and "=" in lines[1]
+
+    def test_idle_window_all_dots(self):
+        recs = [TransferRecord(0.0, 0.1, 100.0, ("push", 0))]
+        out = render_channel_timeline(recs, 10.0, 11.0, width=20)
+        assert set(out.splitlines()[1]) == {"."}
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            render_channel_timeline([], 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            render_channel_timeline([], 0.0, 1.0, width=5)
+
+
+class TestGradientWaterfall:
+    def test_renders_rows_in_priority_order(self, result):
+        recs = result.gradient_records(worker=0, iteration=3)
+        out = render_gradient_waterfall(recs, width=40, max_rows=8)
+        lines = out.splitlines()[1:]
+        grads = [int(line.split()[0][1:]) for line in lines]
+        assert grads == sorted(grads)
+        assert all("|" in line for line in lines)
+
+    def test_no_records_raises(self):
+        with pytest.raises(ConfigurationError):
+            render_gradient_waterfall([])
+
+    def test_incomplete_records_skipped(self):
+        recs = [GradientRecord(worker=0, iteration=0, grad=0)]  # all NaN
+        with pytest.raises(ConfigurationError):
+            render_gradient_waterfall(recs)
+
+
+class TestExport:
+    def test_summary_dict_is_json_safe(self, result):
+        data = result_summary_dict(result, skip=1)
+        json.dumps(data)  # must not raise
+        assert data["model"] == "tiny-test-model"
+        assert data["training_rate"] > 0
+        assert data["sync_mode"] == "bsp"
+
+    def test_gradient_rows_nan_to_none(self, result):
+        rows = gradient_records_rows(result, worker=0, iteration=2)
+        assert rows
+        for row in rows:
+            json.dumps(row)
+            assert row["ready"] is not None
+
+    def test_write_csv_roundtrip(self, result, tmp_path):
+        rows = gradient_records_rows(result, worker=0, iteration=2)
+        path = write_csv(rows, tmp_path / "grads.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].split(",")[:3] == ["worker", "iteration", "grad"]
+        assert len(lines) == len(rows) + 1
+
+    def test_write_csv_rejects_empty_and_ragged(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv([], tmp_path / "x.csv")
+        with pytest.raises(ConfigurationError):
+            write_csv([{"a": 1}, {"b": 2}], tmp_path / "x.csv")
+
+    def test_write_json(self, result, tmp_path):
+        path = write_json(result_summary_dict(result, skip=1), tmp_path / "s.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["n_workers"] == 2

@@ -1,0 +1,56 @@
+"""Unit tests for throughput curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.throughput import bytes_curve, windowed_throughput
+from repro.net.link import TransferRecord
+
+
+def test_bytes_curve_empty():
+    times, cum = bytes_curve([])
+    assert list(times) == [0.0]
+    assert list(cum) == [0.0]
+
+
+def test_bytes_curve_single_record():
+    recs = [TransferRecord(start=1.0, end=3.0, nbytes=200.0)]
+    times, cum = bytes_curve(recs)
+    assert np.interp(1.0, times, cum) == pytest.approx(0.0)
+    assert np.interp(2.0, times, cum) == pytest.approx(100.0)
+    assert np.interp(3.0, times, cum) == pytest.approx(200.0)
+
+
+def test_bytes_curve_unsorted_records():
+    recs = [
+        TransferRecord(start=5.0, end=6.0, nbytes=10.0),
+        TransferRecord(start=1.0, end=2.0, nbytes=20.0),
+    ]
+    times, cum = bytes_curve(recs)
+    assert cum[-1] == pytest.approx(30.0)
+    assert list(times) == sorted(times)
+
+
+def test_windowed_throughput_constant_stream():
+    recs = [TransferRecord(start=float(i), end=float(i) + 1.0, nbytes=100.0)
+            for i in range(10)]
+    thr = windowed_throughput(recs, np.array([5.0, 8.0]), window=2.0)
+    assert np.allclose(thr, 100.0)
+
+
+def test_windowed_throughput_idle_window_is_zero():
+    recs = [TransferRecord(start=0.0, end=1.0, nbytes=100.0)]
+    thr = windowed_throughput(recs, np.array([5.0]), window=1.0)
+    assert thr[0] == pytest.approx(0.0)
+
+
+def test_throughput_record_property():
+    rec = TransferRecord(start=0.0, end=2.0, nbytes=100.0)
+    assert rec.throughput == pytest.approx(50.0)
+    assert rec.duration == pytest.approx(2.0)
+
+
+def test_invalid_window_raises():
+    with pytest.raises(ConfigurationError):
+        windowed_throughput([], np.array([1.0]), window=0.0)

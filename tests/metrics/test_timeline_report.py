@@ -1,0 +1,71 @@
+"""Unit tests for the recorder and table formatting."""
+
+import numpy as np
+
+from repro.metrics.report import format_table
+from repro.metrics.timeline import Recorder
+
+
+class TestRecorder:
+    def test_gpu_intervals_filtered_and_sorted(self):
+        rec = Recorder()
+        rec.gpu_busy(0, 0, "fwd", 2.0, 3.0)
+        rec.gpu_busy(0, 0, "bwd", 0.0, 1.0)
+        rec.gpu_busy(1, 0, "fwd", 5.0, 6.0)
+        spans = rec.gpu_busy_intervals(0)
+        assert spans.shape == (2, 2)
+        assert spans[0][0] == 0.0
+
+    def test_zero_length_interval_dropped(self):
+        rec = Recorder()
+        rec.gpu_busy(0, 0, "fwd", 1.0, 1.0)
+        assert rec.gpu_busy_intervals(0).shape == (0, 2)
+
+    def test_iteration_records_sorted(self):
+        rec = Recorder()
+        r1 = rec.iteration_record(0, 1)
+        r0 = rec.iteration_record(0, 0)
+        r1.fwd_start, r0.fwd_start = 1.0, 0.0
+        recs = rec.worker_iterations(0)
+        assert [r.iteration for r in recs] == [0, 1]
+
+    def test_gradient_records_created_once(self):
+        rec = Recorder()
+        a = rec.gradient(0, 0, 5)
+        b = rec.gradient(0, 0, 5)
+        assert a is b
+
+    def test_gradient_recording_disabled(self):
+        rec = Recorder(record_gradients=False)
+        assert rec.gradient(0, 0, 5) is None
+        assert rec.gradient_records() == []
+
+    def test_gradient_record_derived_times(self):
+        rec = Recorder()
+        g = rec.gradient(0, 0, 3)
+        g.ready, g.push_start, g.push_end = 1.0, 1.2, 1.5
+        assert np.isclose(g.wait_time, 0.2)
+        assert np.isclose(g.transfer_time, 0.3)
+
+    def test_gradient_records_filters(self):
+        rec = Recorder()
+        rec.gradient(0, 0, 1)
+        rec.gradient(0, 1, 2)
+        rec.gradient(1, 0, 3)
+        assert len(rec.gradient_records(worker=0)) == 2
+        assert len(rec.gradient_records(worker=0, iteration=1)) == 1
+        assert len(rec.gradient_records()) == 3
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in out  # float formatting
+        assert "xyz" in out
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out

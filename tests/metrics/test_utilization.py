@@ -1,0 +1,59 @@
+"""Unit tests for utilization curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.utilization import busy_curve, mean_utilization, windowed_utilization
+
+
+def test_busy_curve_empty():
+    times, cum = busy_curve(np.empty((0, 2)))
+    assert list(times) == [0.0]
+    assert list(cum) == [0.0]
+
+
+def test_busy_curve_single_interval():
+    times, cum = busy_curve(np.array([[1.0, 3.0]]))
+    assert np.interp(0.5, times, cum) == 0.0
+    assert np.interp(2.0, times, cum) == pytest.approx(1.0)
+    assert np.interp(4.0, times, cum, right=cum[-1]) == pytest.approx(2.0)
+
+
+def test_busy_curve_merges_overlaps():
+    intervals = np.array([[1.0, 3.0], [2.0, 4.0]])
+    times, cum = busy_curve(intervals)
+    assert cum[-1] == pytest.approx(3.0)  # union length, not sum
+
+
+def test_windowed_utilization_full_busy():
+    intervals = np.array([[0.0, 10.0]])
+    util = windowed_utilization(intervals, np.array([5.0, 10.0]), window=1.0)
+    assert np.allclose(util, 1.0)
+
+
+def test_windowed_utilization_alternating():
+    # Busy 0-1, idle 1-2, busy 2-3, ...
+    intervals = np.array([[float(i), float(i) + 1.0] for i in range(0, 10, 2)])
+    util = windowed_utilization(intervals, np.array([2.0, 4.0, 10.0]), window=2.0)
+    assert np.allclose(util, 0.5)
+
+
+def test_windowed_utilization_clipped_early_window():
+    intervals = np.array([[0.0, 0.5]])
+    util = windowed_utilization(intervals, np.array([0.5]), window=10.0)
+    assert util[0] == pytest.approx(1.0)  # window truncated at t=0
+
+
+def test_mean_utilization():
+    intervals = np.array([[0.0, 1.0], [2.0, 3.0]])
+    assert mean_utilization(intervals, 0.0, 4.0) == pytest.approx(0.5)
+    assert mean_utilization(intervals, 0.0, 1.0) == pytest.approx(1.0)
+    assert mean_utilization(intervals, 1.0, 2.0) == pytest.approx(0.0)
+
+
+def test_invalid_args_raise():
+    with pytest.raises(ConfigurationError):
+        windowed_utilization(np.empty((0, 2)), np.array([1.0]), window=0.0)
+    with pytest.raises(ConfigurationError):
+        mean_utilization(np.empty((0, 2)), 1.0, 1.0)

@@ -1,0 +1,97 @@
+"""Unit tests for compute profiles, devices, and gradient tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.compute import build_compute_profile
+from repro.models.device import DeviceSpec, TESLA_M60
+from repro.models.gradients import gradient_sizes, gradient_table
+from repro.models.registry import get_model
+
+
+class TestDeviceSpec:
+    def test_effective_flops(self):
+        dev = DeviceSpec(name="d", peak_flops=1e12, efficiency=0.5)
+        assert dev.effective_flops == 0.5e12
+
+    def test_with_efficiency_returns_copy(self):
+        dev = TESLA_M60.with_efficiency(0.3)
+        assert dev.efficiency == 0.3
+        assert TESLA_M60.efficiency != 0.3
+        assert dev.peak_flops == TESLA_M60.peak_flops
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(peak_flops=0.0),
+            dict(efficiency=0.0),
+            dict(efficiency=1.5),
+            dict(layer_overhead=-1.0),
+            dict(bwd_fwd_ratio=0.0),
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        base = dict(name="d", peak_flops=1e12)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(**base)
+
+
+class TestComputeProfile:
+    def test_backward_is_ratio_times_forward(self, tiny_model, tiny_device):
+        prof = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+        flops = np.array([l.fwd_flops for l in tiny_model.layers])
+        expected_fwd = 8 * flops / tiny_device.effective_flops + tiny_device.layer_overhead
+        assert np.allclose(prof.fwd_times, expected_fwd)
+        compute_part = prof.bwd_times - tiny_device.layer_overhead
+        fwd_part = prof.fwd_times - tiny_device.layer_overhead
+        assert np.allclose(compute_part, tiny_device.bwd_fwd_ratio * fwd_part)
+
+    def test_totals(self, tiny_model, tiny_device):
+        prof = build_compute_profile(tiny_model, tiny_device, batch_size=4)
+        assert prof.total_fwd == pytest.approx(prof.fwd_times.sum())
+        assert prof.total_bwd == pytest.approx(prof.bwd_times.sum())
+        assert prof.compute_time == pytest.approx(prof.total_fwd + prof.total_bwd)
+
+    def test_times_scale_with_batch(self, tiny_model, tiny_device):
+        p1 = build_compute_profile(tiny_model, tiny_device, batch_size=1)
+        p8 = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+        assert p8.total_fwd > p1.total_fwd
+
+    def test_bwd_completion_times_decrease_with_layer(self, tiny_model, tiny_device):
+        prof = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+        completions = prof.bwd_completion_times()
+        # Backward runs last layer first: later layers complete earlier.
+        assert np.all(np.diff(completions) < 0)
+        assert completions[0] == pytest.approx(prof.total_bwd)
+        assert completions[-1] == pytest.approx(prof.bwd_times[-1])
+
+    def test_invalid_batch_raises(self, tiny_model, tiny_device):
+        with pytest.raises(ConfigurationError):
+            build_compute_profile(tiny_model, tiny_device, batch_size=0)
+
+
+class TestGradientTable:
+    def test_indices_are_priorities(self, tiny_model):
+        grads = gradient_table(tiny_model)
+        assert [g.index for g in grads] == list(range(8))
+        assert grads[0].layer_index == 0
+        assert grads[-1].layer_index == 3
+
+    def test_sizes_match_tensors(self, tiny_model):
+        sizes = gradient_sizes(tiny_model)
+        assert len(sizes) == 8
+        assert sizes.sum() == pytest.approx(tiny_model.param_bytes())
+
+    def test_dtype_bytes_scales_sizes(self, tiny_model):
+        fp32 = gradient_sizes(tiny_model, dtype_bytes=4)
+        fp16 = gradient_sizes(tiny_model, dtype_bytes=2)
+        assert np.allclose(fp32, 2 * fp16)
+
+    def test_real_model_layer_mapping(self):
+        grads = gradient_table(get_model("resnet18"))
+        model = get_model("resnet18")
+        for g in grads[:10]:
+            layer = model.layers[g.layer_index]
+            assert any(t.name == g.name for t in layer.params)

@@ -1,0 +1,102 @@
+"""Unit tests for model-description primitives."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.layers import (
+    LayerSpec,
+    ModelSpec,
+    ParamTensor,
+    batchnorm,
+    conv2d,
+    conv_out_size,
+    linear,
+)
+
+
+class TestParamTensor:
+    def test_num_params(self):
+        t = ParamTensor("w", (64, 3, 7, 7))
+        assert t.num_params == 64 * 3 * 7 * 7
+
+    def test_nbytes_fp32(self):
+        assert ParamTensor("b", (128,)).nbytes() == 512
+
+    def test_nbytes_fp16(self):
+        assert ParamTensor("b", (128,)).nbytes(dtype_bytes=2) == 256
+
+
+class TestConvOutSize:
+    @pytest.mark.parametrize(
+        "in_size,k,s,p,expected",
+        [
+            (224, 7, 2, 3, 112),
+            (224, 3, 1, 1, 224),
+            (56, 1, 1, 0, 56),
+            (56, 3, 2, 1, 28),
+            (299, 3, 2, 0, 149),
+        ],
+    )
+    def test_standard_cases(self, in_size, k, s, p, expected):
+        assert conv_out_size(in_size, k, s, p) == expected
+
+
+class TestConv2d:
+    def test_param_count_no_bias(self):
+        layer, out = conv2d("c", 3, 64, 7, 224, stride=2, padding=3)
+        assert layer.num_params == 64 * 3 * 7 * 7
+        assert out == 112
+        assert len(layer.params) == 1
+
+    def test_bias_adds_tensor(self):
+        layer, _ = conv2d("c", 3, 64, 3, 32, padding=1, bias=True)
+        assert len(layer.params) == 2
+        assert layer.num_params == 64 * 3 * 9 + 64
+
+    def test_flops_are_2_mac(self):
+        layer, out = conv2d("c", 8, 16, 3, 10, padding=1)
+        assert out == 10
+        assert layer.fwd_flops == 2.0 * 9 * 8 * 16 * 100
+
+    def test_rectangular_kernel(self):
+        layer, out = conv2d("c", 32, 32, (1, 7), 17, padding=3)
+        assert out == 17  # 'same' padding on the long dimension
+        assert layer.num_params == 32 * 32 * 1 * 7
+
+
+class TestBatchnormAndLinear:
+    def test_batchnorm_two_tensors(self):
+        layer = batchnorm("bn", 64, 56)
+        assert [p.name for p in layer.params] == ["bn.weight", "bn.bias"]
+        assert layer.num_params == 128
+
+    def test_linear(self):
+        layer = linear("fc", 2048, 1000)
+        assert layer.num_params == 2048 * 1000 + 1000
+        assert layer.fwd_flops == 2.0 * 2048 * 1000
+
+    def test_linear_no_bias(self):
+        layer = linear("fc", 10, 10, bias=False)
+        assert layer.num_params == 100
+
+
+class TestModelSpec:
+    def test_aggregates(self):
+        layers = (
+            linear("a", 4, 8),
+            LayerSpec("pool", "pool"),
+            linear("b", 8, 2),
+        )
+        model = ModelSpec(name="m", input_size=4, layers=layers)
+        assert model.num_params == (4 * 8 + 8) + (8 * 2 + 2)
+        assert model.num_tensors == 4
+        assert model.param_bytes() == model.num_params * 4
+        assert model.parameterized_layers() == [0, 2]
+
+    def test_duplicate_layer_names_raise(self):
+        with pytest.raises(ConfigurationError):
+            ModelSpec(name="m", input_size=4, layers=(linear("a", 2, 2), linear("a", 2, 2)))
+
+    def test_fwd_flops_sum(self):
+        model = ModelSpec(name="m", input_size=4, layers=(linear("a", 4, 4),))
+        assert model.fwd_flops == 32.0

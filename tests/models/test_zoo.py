@@ -1,0 +1,102 @@
+"""Architecture-accuracy tests: tensor counts and parameter totals match
+the torchvision reference implementations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.gradients import gradient_table
+from repro.models.registry import available_models, get_model, register_model
+from repro.models.resnet import build_resnet
+from repro.models.vgg import build_vgg
+
+# (model, reference #tensors, reference #params)
+REFERENCE = [
+    ("resnet18", 62, 11_689_512),
+    ("resnet34", 110, 21_797_672),
+    ("resnet50", 161, 25_557_032),
+    ("resnet101", 314, 44_549_160),
+    ("resnet152", 467, 60_192_808),
+    ("vgg11", 22, 132_863_336),
+    ("vgg16", 32, 138_357_544),
+    ("vgg19", 38, 143_667_240),
+    ("alexnet", 16, 61_100_840),
+]
+
+
+@pytest.mark.parametrize("name,tensors,params", REFERENCE)
+def test_reference_tensor_and_param_counts(name, tensors, params):
+    model = get_model(name)
+    assert model.num_tensors == tensors
+    assert model.num_params == params
+
+
+def test_inception_v3_structure():
+    model = get_model("inception_v3")
+    # 94 BasicConv2d (conv + affine BN) + fc weight/bias.
+    convs = [l for l in model.layers if l.kind == "conv"]
+    bns = [l for l in model.layers if l.kind == "bn"]
+    assert len(convs) == 94
+    assert len(bns) == 94
+    assert model.num_tensors == 94 * 3 + 2
+    # Torchvision inception_v3(aux_logits=False) has 23.8 M params.
+    assert model.num_params == pytest.approx(23.8e6, rel=0.01)
+    assert model.input_size == 299
+
+
+@pytest.mark.parametrize(
+    "name,gflops",
+    [
+        ("resnet18", 3.6),
+        ("resnet50", 8.2),
+        ("resnet152", 23.1),
+        ("vgg16", 30.9),
+        ("vgg19", 39.3),
+    ],
+)
+def test_forward_flops_near_reference(name, gflops):
+    """2*MAC forward FLOP counts at 224x224 match published numbers."""
+    model = get_model(name)
+    assert model.fwd_flops == pytest.approx(gflops * 1e9, rel=0.03)
+
+
+def test_resnet50_gradient_priorities_follow_forward_order():
+    grads = gradient_table(get_model("resnet50"))
+    assert grads[0].name == "conv1.weight"
+    assert grads[-1].name == "fc.bias"
+    assert [g.index for g in grads] == list(range(len(grads)))
+
+
+def test_vgg19_has_38_gradients_matching_fig4_index_space():
+    grads = gradient_table(get_model("vgg19"))
+    assert len(grads) == 38
+    assert grads[37].name == "classifier.6.bias"
+
+
+def test_unknown_resnet_depth_raises():
+    with pytest.raises(ValueError):
+        build_resnet(42)
+
+
+def test_unknown_vgg_depth_raises():
+    with pytest.raises(ValueError):
+        build_vgg(13)
+
+
+def test_registry_unknown_model_raises():
+    with pytest.raises(ConfigurationError):
+        get_model("not-a-model")
+
+
+def test_registry_caches_instances():
+    assert get_model("resnet18") is get_model("resnet18")
+
+
+def test_register_duplicate_raises():
+    with pytest.raises(ConfigurationError):
+        register_model("resnet18", lambda: get_model("resnet18"))
+
+
+def test_available_models_sorted():
+    models = available_models()
+    assert models == sorted(models)
+    assert "resnet50" in models

@@ -1,0 +1,166 @@
+"""Unit tests for serialized links and bandwidth schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.link import BandwidthSchedule, Link
+from repro.net.tcp import TCPParams, transfer_time
+from repro.quantities import Gbps, MB
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def link(engine):
+    return Link(engine, BandwidthSchedule.constant(1 * Gbps), TCPParams(), name="t")
+
+
+class TestBandwidthSchedule:
+    def test_constant(self):
+        sched = BandwidthSchedule.constant(5.0)
+        assert sched.value(0.0) == 5.0
+        assert sched.value(100.0) == 5.0
+
+    def test_piecewise_lookup(self):
+        sched = BandwidthSchedule([(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)])
+        assert sched.value(5.0) == 1.0
+        assert sched.value(10.0) == 2.0
+        assert sched.value(15.0) == 2.0
+        assert sched.value(25.0) == 3.0
+
+    def test_time_before_first_point_extends_back(self):
+        sched = BandwidthSchedule([(5.0, 2.0)])
+        assert sched.value(0.0) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthSchedule([])
+
+    def test_nonpositive_bandwidth_raises(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthSchedule([(0.0, 0.0)])
+
+    def test_non_increasing_times_raise(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthSchedule([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_mean(self):
+        sched = BandwidthSchedule([(0.0, 1.0), (1.0, 3.0)])
+        assert sched.mean == 2.0
+
+
+class TestLink:
+    def test_send_completes_and_records(self, engine, link):
+        done = []
+        end = link.send(4 * MB, tag="x", on_complete=lambda: done.append(engine.now))
+        assert link.busy
+        engine.run()
+        assert done == [end]
+        assert not link.busy
+        assert len(link.records) == 1
+        rec = link.records[0]
+        assert rec.tag == "x"
+        assert rec.nbytes == 4 * MB
+        assert rec.duration == pytest.approx(end)
+
+    def test_send_while_busy_raises(self, engine, link):
+        link.send(1 * MB)
+        with pytest.raises(SimulationError):
+            link.send(1 * MB)
+
+    def test_on_idle_fires_after_completion(self, engine, link):
+        idles = []
+        link.on_idle = lambda: idles.append(engine.now)
+        link.send(1 * MB)
+        engine.run()
+        assert len(idles) == 1
+
+    def test_back_to_back_sends_are_warm(self, engine, link):
+        """Second send right after the first skips slow-start."""
+        params = link.tcp
+        link.send(8 * MB)
+        engine.run()
+        first = link.records[0].duration
+        link.send(8 * MB)
+        engine.run()
+        second = link.records[1].duration
+        assert second <= first
+        warm_expected = float(
+            transfer_time(8 * MB, 1 * Gbps, params, warm=True)
+        )
+        assert second == pytest.approx(warm_expected)
+
+    def test_idle_gap_restores_cold_path(self, engine, link):
+        link.send(8 * MB)
+        engine.run()
+        cold = link.records[0].duration
+        # Wait longer than the warm threshold, then send again.
+        engine.schedule_after(link.tcp.warm_threshold * 10, lambda: link.send(8 * MB))
+        engine.run()
+        assert link.records[1].duration == pytest.approx(cold)
+
+    def test_bandwidth_schedule_respected(self, engine):
+        sched = BandwidthSchedule([(0.0, 1 * Gbps), (1.0, 2 * Gbps)])
+        link = Link(engine, sched, TCPParams())
+        link.send(10 * MB)
+        engine.run()
+        slow = link.records[0].duration
+        engine.schedule(2.0, lambda: link.send(10 * MB))
+        engine.run()
+        fast = link.records[1].duration
+        assert fast < slow
+
+    def test_extra_time_extends_occupancy(self, engine, link):
+        base_end = link.send(1 * MB)
+        engine.run()
+        base = link.records[0].duration
+        engine.schedule_after(1.0, lambda: link.send(1 * MB, extra_time=0.01))
+        engine.run()
+        assert link.records[1].duration == pytest.approx(base + 0.01, rel=1e-6)
+        assert base_end > 0
+
+    def test_negative_size_raises(self, engine, link):
+        with pytest.raises(SimulationError):
+            link.send(-1.0)
+
+    def test_busy_time_accounts_transfers(self, engine, link):
+        link.send(4 * MB)
+        engine.run()
+        assert link.busy_time() == pytest.approx(link.records[0].duration)
+
+    def test_total_bytes_accumulates(self, engine, link):
+        link.send(1 * MB)
+        engine.run()
+        link.send(2 * MB)
+        engine.run()
+        assert link.total_bytes == pytest.approx(3 * MB)
+
+    def test_noise_requires_valid_std(self, engine):
+        with pytest.raises(ConfigurationError):
+            Link(
+                engine,
+                BandwidthSchedule.constant(1 * Gbps),
+                TCPParams(),
+                noise_std=1.5,
+            )
+
+    def test_noise_perturbs_duration(self, engine):
+        rng = np.random.default_rng(3)
+        link = Link(
+            engine,
+            BandwidthSchedule.constant(1 * Gbps),
+            TCPParams(),
+            noise_rng=rng,
+            noise_std=0.2,
+        )
+        durations = []
+        for i in range(5):
+            engine.schedule(float(i), lambda: link.send(4 * MB))
+            engine.run(until=float(i) + 0.9)
+        durations = [r.duration for r in link.records]
+        assert len(set(round(d, 9) for d in durations)) > 1

@@ -1,0 +1,79 @@
+"""Unit tests for the periodic bandwidth monitor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import BandwidthSchedule, Link
+from repro.net.monitor import BandwidthMonitor
+from repro.net.tcp import TCPParams
+from repro.quantities import Gbps
+from repro.sim.engine import Engine
+from repro.sim.rng import make_rng
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def _link(engine, schedule):
+    return Link(engine, schedule, TCPParams())
+
+
+def test_initial_sample_taken_immediately(engine):
+    link = _link(engine, BandwidthSchedule.constant(2 * Gbps))
+    mon = BandwidthMonitor(engine, link, interval=5.0)
+    assert mon.bandwidth == pytest.approx(2 * Gbps)
+    assert mon.last_sample_time == 0.0
+
+
+def test_periodic_sampling_follows_schedule(engine):
+    sched = BandwidthSchedule([(0.0, 1 * Gbps), (7.0, 3 * Gbps)])
+    link = _link(engine, sched)
+    mon = BandwidthMonitor(engine, link, interval=5.0)
+    engine.run(until=12.0)
+    times = [t for t, _ in mon.history]
+    values = [v for _, v in mon.history]
+    assert times == [0.0, 5.0, 10.0]
+    assert values[0] == pytest.approx(1 * Gbps)
+    assert values[1] == pytest.approx(1 * Gbps)
+    assert values[2] == pytest.approx(3 * Gbps)
+
+
+def test_monitor_is_stale_between_samples(engine):
+    """The monitor only sees bandwidth changes at its next sample."""
+    sched = BandwidthSchedule([(0.0, 1 * Gbps), (1.0, 9 * Gbps)])
+    link = _link(engine, sched)
+    mon = BandwidthMonitor(engine, link, interval=5.0)
+    engine.run(until=2.0)
+    assert mon.bandwidth == pytest.approx(1 * Gbps)  # change not yet observed
+
+
+def test_stop_halts_sampling(engine):
+    link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
+    mon = BandwidthMonitor(engine, link, interval=1.0)
+    engine.run(until=2.5)
+    mon.stop()
+    engine.run(until=10.0)
+    assert mon.last_sample_time <= 3.0
+
+
+def test_noise_needs_rng(engine):
+    link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
+    with pytest.raises(ConfigurationError):
+        BandwidthMonitor(engine, link, noise_std=0.1)
+
+
+def test_noisy_samples_vary(engine):
+    link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
+    mon = BandwidthMonitor(engine, link, interval=1.0, noise_std=0.1, rng=make_rng(5))
+    engine.run(until=6.0)
+    values = [v for _, v in mon.history]
+    assert len(set(values)) > 1
+    assert all(0.5 * Gbps < v < 1.5 * Gbps for v in values)
+
+
+def test_invalid_interval_raises(engine):
+    link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
+    with pytest.raises(ConfigurationError):
+        BandwidthMonitor(engine, link, interval=0.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the star topology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import BandwidthSchedule
+from repro.net.topology import StarTopology
+from repro.quantities import Gbps, Mbps
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def test_builds_duplex_links_per_worker(engine):
+    topo = StarTopology(engine, n_workers=3, bandwidth=1 * Gbps)
+    assert len(topo.uplinks) == 3
+    assert len(topo.downlinks) == 3
+    assert topo.uplink(2).name == "worker2-up"
+    assert topo.downlink(0).name == "worker0-down"
+
+
+def test_per_worker_override(engine):
+    topo = StarTopology(
+        engine,
+        n_workers=3,
+        bandwidth=3 * Gbps,
+        worker_bandwidth={1: 500 * Mbps},
+    )
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(3 * Gbps)
+    assert topo.uplink(1).current_bandwidth() == pytest.approx(500 * Mbps)
+
+
+def test_override_unknown_worker_raises(engine):
+    with pytest.raises(ConfigurationError):
+        StarTopology(engine, n_workers=2, bandwidth=1 * Gbps, worker_bandwidth={5: 1.0})
+
+
+def test_ps_bandwidth_caps_per_worker_share(engine):
+    topo = StarTopology(engine, n_workers=4, bandwidth=10 * Gbps, ps_bandwidth=4 * Gbps)
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(1 * Gbps)
+
+
+def test_ps_cap_does_not_raise_slow_workers(engine):
+    topo = StarTopology(
+        engine,
+        n_workers=2,
+        bandwidth=10 * Gbps,
+        worker_bandwidth={0: 1 * Gbps},
+        ps_bandwidth=40 * Gbps,
+    )
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(1 * Gbps)
+
+
+def test_schedule_bandwidth(engine):
+    sched = BandwidthSchedule([(0.0, 1 * Gbps), (5.0, 2 * Gbps)])
+    topo = StarTopology(engine, n_workers=1, bandwidth=sched)
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(1 * Gbps)
+
+
+def test_min_bandwidth_reflects_slowest_worker(engine):
+    topo = StarTopology(
+        engine,
+        n_workers=3,
+        bandwidth=3 * Gbps,
+        worker_bandwidth={2: 500 * Mbps},
+    )
+    assert topo.min_bandwidth() == pytest.approx(500 * Mbps)
+
+
+def test_invalid_worker_count_raises(engine):
+    with pytest.raises(ConfigurationError):
+        StarTopology(engine, n_workers=0, bandwidth=1 * Gbps)
+
+
+def test_invalid_ps_bandwidth_raises(engine):
+    with pytest.raises(ConfigurationError):
+        StarTopology(engine, n_workers=1, bandwidth=1 * Gbps, ps_bandwidth=0.0)

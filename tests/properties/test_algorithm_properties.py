@@ -1,0 +1,99 @@
+"""Property-based tests: Algorithm 1 and the stepwise machinery uphold
+their invariants on arbitrary synthetic jobs."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.agg.stepwise import detect_blocks
+from repro.core.algorithm import plan_schedule
+from repro.core.intervals import block_intervals
+from repro.core.perf_model import PerfModelInputs, check_constraints
+from repro.core.profiler import JobProfile
+from repro.net.tcp import TCPParams
+from repro.quantities import MB
+
+TCP = TCPParams(rtt=0.2e-3, fixed_overhead=0.1e-3, goodput=1.0)
+
+
+@st.composite
+def synthetic_profiles(draw):
+    """A stepwise job: random block structure, sizes, and intervals."""
+    n_blocks = draw(st.integers(2, 6))
+    block_sizes = [draw(st.integers(1, 5)) for _ in range(n_blocks)]
+    n = sum(block_sizes)
+    intervals = [draw(st.floats(1e-3, 0.2)) for _ in range(n_blocks)]
+    # Build c: gradient 0 generated last; blocks in generation order carry
+    # descending index ranges.
+    c = np.empty(n)
+    idx = n
+    t = 0.0
+    for size, gap in zip(block_sizes, intervals):
+        t += gap
+        for _ in range(size):
+            idx -= 1
+            c[idx] = t
+    sizes = np.array([draw(st.floats(1e3, 32 * MB)) for _ in range(n)])
+    return JobProfile(c=c, sizes=sizes, iterations=1)
+
+
+@given(profile=synthetic_profiles(), gbps_tenths=st.integers(2, 100))
+@settings(max_examples=100, deadline=None)
+def test_plan_always_satisfies_paper_constraints(profile, gbps_tenths):
+    bandwidth = gbps_tenths * 1.25e7  # 0.2 .. 10 Gbps in bytes/s
+    plan = plan_schedule(profile, bandwidth, TCP)
+    inputs = PerfModelInputs(
+        c=profile.c,
+        t=plan.start_times,
+        e=plan.durations,
+        fp=np.zeros(profile.num_gradients),
+        total_bwd=float(profile.c.max()),
+    )
+    check_constraints(inputs, tol=1e-7)
+
+
+@given(profile=synthetic_profiles())
+@settings(max_examples=100, deadline=None)
+def test_plan_partitions_gradients(profile):
+    plan = plan_schedule(profile, 1.25e8, TCP)
+    grads = sorted(t.grad for t in plan.transfers)
+    assert grads == list(range(profile.num_gradients))
+    block_grads = sorted(g for b in plan.blocks for g in b.grads)
+    assert block_grads == grads
+
+
+@given(profile=synthetic_profiles())
+@settings(max_examples=100, deadline=None)
+def test_block_intervals_match_staircase(profile):
+    a = block_intervals(profile.c)
+    blocks = detect_blocks(profile.c)
+    # Inside one block, all gradients share one interval value.
+    for block in blocks:
+        vals = a[block]
+        assert np.all(vals == vals[0])
+    # Final block (containing gradient 0) is unbounded.
+    assert np.all(np.isinf(a[blocks[-1]]))
+    # Finite intervals are positive.
+    finite = a[np.isfinite(a)]
+    assert np.all(finite > 0)
+
+
+@given(
+    c=st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=40),
+    eps=st.floats(0.0, 0.5),
+)
+@settings(max_examples=200, deadline=None)
+def test_detect_blocks_is_a_partition_in_generation_order(c, eps):
+    arr = np.asarray(c)
+    assume(len(arr) > 0)
+    blocks = detect_blocks(arr, eps=eps)
+    flat = [i for b in blocks for i in b]
+    assert sorted(flat) == list(range(len(arr)))
+    # Block representative times are nondecreasing.
+    reps = [arr[b[0]] for b in blocks]
+    assert reps == sorted(reps)
+    # Members within a block are within eps * (block span chain) of its head
+    # under the chaining rule: each member within eps of the block's first.
+    for b in blocks:
+        head = arr[b[0]]
+        assert np.all(np.abs(arr[b] - head) <= eps + 1e-12)

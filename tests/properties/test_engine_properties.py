@@ -1,0 +1,50 @@
+"""Property-based tests for the event engine and RNG streams."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.rng import spawn_rng
+
+
+@given(times=st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(times):
+    eng = Engine()
+    fired: list[float] = []
+    for t in times:
+        eng.schedule(t, lambda t=t: fired.append(eng.now))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    times=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=30),
+    cancel_mask=st.lists(st.booleans(), min_size=2, max_size=30),
+)
+@settings(max_examples=200, deadline=None)
+def test_cancellation_removes_exactly_the_cancelled(times, cancel_mask):
+    eng = Engine()
+    fired: list[int] = []
+    events = [eng.schedule(t, fired.append, i) for i, t in enumerate(times)]
+    kept = set(range(len(times)))
+    for i, (ev, cancel) in enumerate(zip(events, cancel_mask)):
+        if cancel:
+            ev.cancel()
+            kept.discard(i)
+    eng.run()
+    assert set(fired) == kept
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    label=st.text(min_size=0, max_size=20),
+    idx=st.integers(0, 1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_spawned_streams_reproducible(seed, label, idx):
+    a = spawn_rng(seed, label, idx).random(4)
+    b = spawn_rng(seed, label, idx).random(4)
+    assert np.array_equal(a, b)

@@ -1,0 +1,90 @@
+"""Property-based tests: performance-model recursion and metric curves."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perf_model import PerfModelInputs, evaluate_schedule, wait_time
+from repro.metrics.utilization import busy_curve, windowed_utilization
+
+
+@st.composite
+def schedule_inputs(draw):
+    n = draw(st.integers(1, 30))
+    c = np.sort(draw(st.lists(
+        st.floats(0.0, 5.0), min_size=n, max_size=n
+    )))[::-1].copy()  # c decreasing in index (gradient 0 last)
+    t = c + np.array(draw(st.lists(st.floats(0.0, 2.0), min_size=n, max_size=n)))
+    e = np.array(draw(st.lists(st.floats(1e-6, 1.0), min_size=n, max_size=n)))
+    fp = np.array(draw(st.lists(st.floats(0.0, 0.5), min_size=n, max_size=n)))
+    return PerfModelInputs(c=c, t=t, e=e, fp=fp, total_bwd=float(c.max()))
+
+
+@given(inputs=schedule_inputs())
+@settings(max_examples=200, deadline=None)
+def test_wait_time_at_least_first_update_latency(inputs):
+    """T_wait >= u(0) - c(0) = (t(0)-c(0)) + 2E(0) > 0."""
+    w = wait_time(inputs)
+    assert w >= (inputs.t[0] - inputs.c[0]) + 2 * inputs.e[0] - 1e-9
+
+
+@given(inputs=schedule_inputs())
+@settings(max_examples=200, deadline=None)
+def test_forward_completions_monotone(inputs):
+    ev = evaluate_schedule(inputs)
+    assert np.all(np.diff(ev.p) >= -1e-12)
+    assert np.all(ev.p >= ev.u - 1e-12 + 0.0)  # p(i) >= u(i) + fp(i) >= u(i)
+
+
+@given(inputs=schedule_inputs())
+@settings(max_examples=200, deadline=None)
+def test_delaying_a_transfer_never_reduces_wait(inputs):
+    """Monotonicity: pushing any single start time later cannot help."""
+    base = wait_time(inputs)
+    idx = len(inputs.t) // 2
+    t2 = inputs.t.copy()
+    t2[idx] += 0.5
+    delayed = wait_time(
+        PerfModelInputs(
+            c=inputs.c, t=t2, e=inputs.e, fp=inputs.fp, total_bwd=inputs.total_bwd
+        )
+    )
+    assert delayed >= base - 1e-9
+
+
+@given(
+    intervals=st.lists(
+        st.tuples(st.floats(0.0, 50.0), st.floats(0.0, 10.0)).map(
+            lambda p: (p[0], p[0] + p[1])
+        ),
+        min_size=0,
+        max_size=30,
+    ),
+    window=st.floats(0.1, 10.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_windowed_utilization_always_in_unit_interval(intervals, window):
+    arr = np.asarray(sorted(intervals)) if intervals else np.empty((0, 2))
+    samples = np.linspace(0.1, 60.0, 25)
+    util = windowed_utilization(arr, samples, window)
+    assert np.all(util >= 0.0)
+    assert np.all(util <= 1.0)
+
+
+@given(
+    intervals=st.lists(
+        st.tuples(st.floats(0.0, 50.0), st.floats(1e-3, 10.0)).map(
+            lambda p: (p[0], p[0] + p[1])
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_busy_curve_nondecreasing(intervals):
+    arr = np.asarray(sorted(intervals))
+    times, cum = busy_curve(arr)
+    assert np.all(np.diff(cum) >= -1e-12)
+    assert np.all(np.diff(times) >= -1e-12)
+    # Total busy equals union length, bounded by the sum of durations.
+    assert cum[-1] <= sum(e - s for s, e in arr) + 1e-9

@@ -1,0 +1,91 @@
+"""Property-based tests for the TCP model (the paper's f(s, B))."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.tcp import TCPParams, effective_bandwidth, transfer_time
+from repro.quantities import Gbps
+
+params_strategy = st.builds(
+    TCPParams,
+    rtt=st.floats(1e-5, 5e-3),
+    mss=st.floats(500, 9000),
+    init_cwnd_segments=st.floats(1, 40),
+    handshake_rtts=st.floats(0, 4),
+    fixed_overhead=st.floats(0, 2e-3),
+    goodput=st.floats(0.2, 1.0),
+)
+
+sizes = st.floats(min_value=0.0, max_value=1e10, allow_nan=False)
+bandwidths = st.floats(min_value=1e5, max_value=1e11)
+
+
+@given(s=sizes, b=bandwidths, p=params_strategy)
+@settings(max_examples=200, deadline=None)
+def test_transfer_time_nonnegative_and_finite(s, b, p):
+    t = transfer_time(s, b, p)
+    assert np.isfinite(t)
+    assert t >= 0.0
+    if s >= 1.0:  # sub-byte denormals may underflow to a zero duration
+        assert t > 0.0
+
+
+@given(
+    s1=st.floats(1.0, 1e9),
+    s2=st.floats(1.0, 1e9),
+    b=bandwidths,
+    p=params_strategy,
+)
+@settings(max_examples=200, deadline=None)
+def test_transfer_time_monotone_in_size(s1, s2, b, p):
+    lo, hi = sorted((s1, s2))
+    assert transfer_time(lo, b, p) <= transfer_time(hi, b, p) + 1e-12
+
+
+@given(
+    s=st.floats(1.0, 1e9),
+    b1=bandwidths,
+    b2=bandwidths,
+    p=params_strategy,
+)
+@settings(max_examples=200, deadline=None)
+def test_transfer_time_antitone_in_bandwidth(s, b1, b2, p):
+    lo, hi = sorted((b1, b2))
+    assert transfer_time(s, hi, p) <= transfer_time(s, lo, p) + 1e-12
+
+
+@given(s=st.floats(1.0, 1e9), b=bandwidths, p=params_strategy)
+@settings(max_examples=200, deadline=None)
+def test_effective_bandwidth_bounded_by_goodput_line_rate(s, b, p):
+    eff = effective_bandwidth(s, b, p)
+    assert 0.0 <= eff <= b * p.goodput * (1 + 1e-9)
+
+
+@given(s=st.floats(1.0, 1e9), b=bandwidths, p=params_strategy)
+@settings(max_examples=200, deadline=None)
+def test_warm_never_slower_than_cold(s, b, p):
+    assert transfer_time(s, b, p, warm=True) <= transfer_time(s, b, p) + 1e-12
+
+
+@given(
+    s1=st.floats(1.0, 5e8),
+    s2=st.floats(1.0, 5e8),
+    b=bandwidths,
+    p=params_strategy,
+)
+@settings(max_examples=200, deadline=None)
+def test_batching_subadditive(s1, s2, b, p):
+    """One message carrying s1+s2 is never slower than two messages."""
+    combined = transfer_time(s1 + s2, b, p, warm=True)
+    split = transfer_time(s1, b, p, warm=True) + transfer_time(s2, b, p, warm=True)
+    assert combined <= split * (1 + 1e-9) + 1e-12
+
+
+@given(s=st.lists(st.floats(0.0, 1e8), min_size=1, max_size=20), p=params_strategy)
+@settings(max_examples=100, deadline=None)
+def test_vectorization_consistency(s, p):
+    arr = np.asarray(s)
+    vec = np.atleast_1d(transfer_time(arr, 1 * Gbps, p))
+    for size, t in zip(s, vec):
+        assert transfer_time(float(size), 1 * Gbps, p) == float(t)

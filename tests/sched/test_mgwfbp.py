@@ -1,0 +1,75 @@
+"""Unit tests for the MG-WFBP merged-gradient baseline."""
+
+import pytest
+
+from repro.agg.kvstore import KVStore
+from repro.errors import ConfigurationError
+from repro.models.compute import build_compute_profile
+from repro.quantities import MB
+from repro.sched.mgwfbp import MGWFBPScheduler
+
+
+@pytest.fixture
+def schedule(tiny_model, tiny_device):
+    prof = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+    return KVStore().generation_schedule(prof)
+
+
+def test_merges_consecutive_ready_gradients(schedule):
+    s = MGWFBPScheduler(merge_bytes=32 * MB)
+    s.begin_iteration(0, schedule, 0.0)
+    for g in (7, 6, 5):
+        s.gradient_ready(g, 0.0)
+    unit = s.propose_unit(0.0)
+    assert unit.grads == (7, 6, 5)  # generation order, merged
+    s.commit_unit(unit, 0.0)
+    assert s.propose_unit(0.0) is None
+
+
+def test_merge_capped_by_merge_bytes(schedule):
+    s = MGWFBPScheduler(merge_bytes=9 * MB)
+    s.begin_iteration(0, schedule, 0.0)
+    for g in (7, 6, 5, 4, 3):  # sizes 4KB, 4KB, 8MB, 64KB, 3MB
+        s.gradient_ready(g, 0.0)
+    unit = s.propose_unit(0.0)
+    assert unit.total_bytes <= 9 * MB
+    s.commit_unit(unit, 0.0)
+    rest = s.propose_unit(0.0)
+    assert rest is not None  # remainder follows in a second message
+
+
+def test_priority_blind_ordering(schedule):
+    """Unlike P3/Prophet, a late high-priority gradient waits its turn."""
+    s = MGWFBPScheduler(merge_bytes=1)  # no merging: one tensor per message
+    s.begin_iteration(0, schedule, 0.0)
+    s.gradient_ready(7, 0.0)
+    s.gradient_ready(0, 0.1)  # gradient 0 arrives second
+    unit = s.propose_unit(0.1)
+    assert unit.grads == (7,)
+
+
+def test_whole_tensors_only(schedule):
+    s = MGWFBPScheduler()
+    s.begin_iteration(0, schedule, 0.0)
+    s.gradient_ready(5, 0.0)
+    unit = s.propose_unit(0.0)
+    assert unit.segments[0].offset == 0.0
+    assert unit.segments[0].nbytes == pytest.approx(schedule.sizes[5])
+
+
+def test_pull_batch_limit_matches_merge(schedule):
+    s = MGWFBPScheduler(merge_bytes=7 * MB)
+    assert s.pull_batch_limit(0.0) == 7 * MB
+
+
+def test_invalid_merge_bytes():
+    with pytest.raises(ConfigurationError):
+        MGWFBPScheduler(merge_bytes=0.0)
+
+
+def test_full_training_run(tiny_config):
+    from repro.cluster.trainer import run_training
+    from repro.workloads.presets import mgwfbp_factory
+
+    result = run_training(tiny_config, mgwfbp_factory())
+    assert result.training_rate(skip=1) > 0

@@ -1,0 +1,149 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.schedule(2.0, fired.append, "b")
+    eng.schedule(1.0, fired.append, "a")
+    eng.schedule(3.0, fired.append, "c")
+    eng.run()
+    assert fired == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_same_time_events_fire_in_insertion_order():
+    eng = Engine()
+    fired = []
+    for tag in range(5):
+        eng.schedule(1.0, fired.append, tag)
+    eng.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_schedule_after_uses_relative_delay():
+    eng = Engine()
+    seen = []
+    eng.schedule(1.0, lambda: eng.schedule_after(0.5, lambda: seen.append(eng.now)))
+    eng.run()
+    assert seen == [1.5]
+
+
+def test_schedule_in_past_raises():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule_after(-0.1, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, fired.append, "cancelled")
+    eng.schedule(2.0, fired.append, "kept")
+    ev.cancel()
+    eng.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    eng.run()
+    assert eng.events_processed == 0
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, fired.append, 1)
+    eng.schedule(2.0, fired.append, 2)
+    eng.schedule(5.0, fired.append, 5)
+    eng.run(until=2.0)
+    assert fired == [1, 2]
+    assert eng.now == 2.0
+    eng.run()
+    assert fired == [1, 2, 5]
+
+
+def test_run_until_beyond_queue_advances_to_horizon():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run(until=10.0)
+    assert eng.now == 10.0
+
+
+def test_max_events_guard_raises():
+    eng = Engine()
+
+    def reschedule():
+        eng.schedule_after(1.0, reschedule)
+
+    eng.schedule(0.0, reschedule)
+    with pytest.raises(SimulationError, match="budget"):
+        eng.run(max_events=100)
+
+
+def test_step_fires_single_event():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, fired.append, "a")
+    eng.schedule(2.0, fired.append, "b")
+    assert eng.step() is True
+    assert fired == ["a"]
+    assert eng.step() is True
+    assert eng.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert eng.peek_time() == 2.0
+
+
+def test_pending_counts_live_events():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    assert eng.pending() == 2
+    ev.cancel()
+    assert eng.pending() == 1
+
+
+def test_run_not_reentrant():
+    eng = Engine()
+    errors = []
+
+    def nested():
+        try:
+            eng.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    eng.schedule(1.0, nested)
+    eng.run()
+    assert len(errors) == 1
+
+
+def test_events_scheduled_at_now_fire_in_same_run():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: eng.schedule(eng.now, fired.append, "same-time"))
+    eng.run()
+    assert fired == ["same-time"]

@@ -1,0 +1,81 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "lenet"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.model == "resnet50"
+        assert args.gbps == 3.0
+        assert args.sync == "bsp"
+
+    def test_sweep_accepts_multiple_bandwidths(self):
+        args = build_parser().parse_args(["sweep", "--gbps", "1", "2.5"])
+        assert args.gbps == [1.0, 2.5]
+
+    def test_experiments_list_matches_package(self):
+        import repro.experiments as ex
+
+        for name in EXPERIMENTS:
+            assert hasattr(ex, name)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out
+        assert "prophet" in out
+        assert "table2" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "resnet50"]) == 0
+        out = capsys.readouterr().out
+        assert "25,557,032" in out
+        assert "161" in out
+
+    def test_compare_runs_tiny_sweep(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--gbps", "4",
+                "--workers", "2",
+                "--iterations", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prophet" in out
+        assert "mg-wfbp" in out
+
+    def test_sweep_prints_all_bandwidth_rows(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--gbps", "2", "8",
+                "--workers", "2",
+                "--iterations", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4
