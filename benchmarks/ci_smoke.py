@@ -1,0 +1,179 @@
+"""CI benchmark smoke test — reduced-mode scalars vs committed baselines.
+
+Runs a cut-down Fig. 8 comparison plus the substrate micro-benchmarks and
+compares a handful of key scalars against ``benchmarks/baselines.json``:
+
+* **Deterministic scalars** (simulated training rates) must match the
+  baseline within a tight relative tolerance — the simulator is a seeded
+  discrete-event system, so any drift here is a real behavioural change.
+* **Timing scalars** (engine events/second) only enforce a loose floor —
+  CI runners are noisy, so we only fail on order-of-magnitude regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ci_smoke.py           # check
+    PYTHONPATH=src python benchmarks/ci_smoke.py --update  # rewrite baselines
+
+Regenerate baselines (and commit the diff) whenever an intentional change
+shifts simulation results; see EXPERIMENTS.md for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines.json"
+
+#: Relative tolerance for deterministic simulation scalars.
+DETERMINISTIC_RTOL = 0.02
+#: Timing scalars may be this much slower than baseline before failing.
+TIMING_FLOOR_FRACTION = 0.15
+
+#: Reduced Fig. 8 workloads: one compute-bound and one comm-bound point.
+SMOKE_WORKLOADS = (("resnet18", 32), ("resnet50", 64))
+SMOKE_ITERATIONS = 8
+
+
+def measure() -> tuple[dict[str, float], dict[str, float]]:
+    """Return (deterministic scalars, timing scalars)."""
+    from repro.experiments import fig8
+    from repro.quantities import Gbps
+    from repro.sim.engine import Engine
+
+    deterministic: dict[str, float] = {}
+
+    rows = fig8.run(
+        workloads=SMOKE_WORKLOADS,
+        bandwidth=3 * Gbps,
+        n_iterations=SMOKE_ITERATIONS,
+        seed=0,
+    )
+    for row in rows:
+        key = f"fig8.{row.model}.bs{row.batch_size}"
+        deterministic[f"{key}.prophet_rate"] = row.prophet_rate
+        deterministic[f"{key}.bytescheduler_rate"] = row.bytescheduler_rate
+
+    timing: dict[str, float] = {}
+    n_events = 50_000
+
+    def chain() -> None:
+        eng = Engine()
+        count = 0
+
+        def tick() -> None:
+            nonlocal count
+            count += 1
+            if count < n_events:
+                eng.schedule_after(1e-6, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+
+    chain()  # warmup
+    best = min(_timed(chain) for _ in range(3))
+    timing["engine.events_per_s"] = n_events / best
+
+    return deterministic, timing
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def compare(
+    baseline: dict[str, dict[str, float]],
+    deterministic: dict[str, float],
+    timing: dict[str, float],
+) -> list[str]:
+    """Return a list of human-readable failures (empty == pass)."""
+    failures: list[str] = []
+
+    base_det = baseline.get("deterministic", {})
+    for key, value in deterministic.items():
+        if key not in base_det:
+            failures.append(f"{key}: no baseline (run with --update)")
+            continue
+        ref = base_det[key]
+        rel = abs(value - ref) / abs(ref) if ref else abs(value)
+        status = "ok" if rel <= DETERMINISTIC_RTOL else "FAIL"
+        print(f"  {status:4s} {key}: {value:.3f} vs baseline {ref:.3f} "
+              f"({rel * 100:+.2f}%)")
+        if rel > DETERMINISTIC_RTOL:
+            failures.append(
+                f"{key}: {value:.3f} deviates {rel * 100:.2f}% from "
+                f"baseline {ref:.3f} (tolerance {DETERMINISTIC_RTOL * 100:.0f}%)"
+            )
+    for key in base_det:
+        if key not in deterministic:
+            failures.append(f"{key}: in baseline but not measured")
+
+    base_timing = baseline.get("timing", {})
+    for key, value in timing.items():
+        if key not in base_timing:
+            failures.append(f"{key}: no baseline (run with --update)")
+            continue
+        ref = base_timing[key]
+        floor = ref * TIMING_FLOOR_FRACTION
+        status = "ok" if value >= floor else "FAIL"
+        print(f"  {status:4s} {key}: {value:,.0f} vs baseline {ref:,.0f} "
+              f"(floor {floor:,.0f})")
+        if value < floor:
+            failures.append(
+                f"{key}: {value:,.0f} is below {TIMING_FLOOR_FRACTION:.0%} "
+                f"of baseline {ref:,.0f}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite baselines.json with freshly measured scalars",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"measuring smoke scalars ({len(SMOKE_WORKLOADS)} fig8 workloads, "
+          f"{SMOKE_ITERATIONS} iterations each)...")
+    deterministic, timing = measure()
+
+    if args.update:
+        payload = {
+            "_comment": (
+                "CI benchmark-smoke baselines. Regenerate with "
+                "`PYTHONPATH=src python benchmarks/ci_smoke.py --update` "
+                "and commit the diff when a change intentionally shifts "
+                "simulation results."
+            ),
+            "deterministic": {k: round(v, 6) for k, v in sorted(deterministic.items())},
+            "timing": {k: round(v, 1) for k, v in sorted(timing.items())},
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baselines written to {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"error: {BASELINE_PATH} missing; run with --update", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    failures = compare(baseline, deterministic, timing)
+    if failures:
+        print(f"\nbenchmark smoke FAILED ({len(failures)} regressions):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

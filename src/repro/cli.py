@@ -7,10 +7,13 @@ Subcommands::
     python -m repro run table2               # regenerate a paper artifact
     python -m repro compare --model resnet50 --batch 64 --gbps 3
     python -m repro sweep --model resnet50 --gbps 1 3 10
+    python -m repro sched prophet --trace out.json   # traced single run
 
 ``run`` accepts any experiment name from :mod:`repro.experiments` and
 invokes its ``main()``; ``compare`` and ``sweep`` build ad-hoc configs on
-the paper's calibrated presets.
+the paper's calibrated presets.  ``sched`` runs one strategy on one preset
+workload and can export the structured trace as Chrome trace-event JSON
+(open in Perfetto / ``chrome://tracing``) and/or compact JSONL.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import sys
 from typing import Sequence
 
 from repro.cluster.trainer import run_training
-from repro.metrics.report import format_table
+from repro.metrics.report import format_table, format_trace_summary
 from repro.models.gradients import gradient_table
 from repro.models.registry import available_models, get_model
 from repro.quantities import Gbps, fmt_bytes
@@ -61,6 +64,32 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--iterations", type=int, default=12)
     compare.add_argument("--sync", default="bsp", choices=("bsp", "asp", "ssp"))
     compare.add_argument("--seed", type=int, default=0)
+
+    sched = sub.add_parser(
+        "sched", help="run one scheduling strategy, optionally tracing it"
+    )
+    sched.add_argument(
+        "strategy",
+        choices=sorted(EXTENDED_FACTORIES),
+        help="communication-scheduling strategy to simulate",
+    )
+    sched.add_argument("--model", default="resnet50", choices=available_models())
+    sched.add_argument("--batch", type=int, default=64)
+    sched.add_argument("--gbps", type=float, default=3.0)
+    sched.add_argument("--workers", type=int, default=3)
+    sched.add_argument("--iterations", type=int, default=12)
+    sched.add_argument("--sync", default="bsp", choices=("bsp", "asp", "ssp"))
+    sched.add_argument("--seed", type=int, default=0)
+    sched.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="write the run's Chrome trace-event JSON here",
+    )
+    sched.add_argument(
+        "--trace-jsonl",
+        metavar="OUT.jsonl",
+        help="write the run's trace as compact JSONL here",
+    )
 
     sweep = sub.add_parser("sweep", help="bandwidth sweep for one workload")
     sweep.add_argument("--model", default="resnet50", choices=available_models())
@@ -140,6 +169,50 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    tracing = bool(args.trace or args.trace_jsonl)
+    config = paper_config(
+        args.model,
+        args.batch,
+        bandwidth=args.gbps * Gbps,
+        n_workers=args.workers,
+        n_iterations=args.iterations,
+        seed=args.seed,
+        sync_mode=args.sync,
+        trace=tracing,
+    )
+    result = run_training(config, EXTENDED_FACTORIES[args.strategy])
+    summary = result.summary()
+    comm = result.gradient_comm_stats()
+    rows = [
+        ["training rate", f"{summary['training_rate']:.1f} samples/s"],
+        ["iteration", f"{summary['mean_iteration_s'] * 1e3:.0f} ms"],
+        ["GPU utilization", f"{summary['gpu_utilization'] * 100:.1f}%"],
+        ["mean gradient wait", f"{comm.mean_wait * 1e3:.2f} ms"],
+        ["mean gradient transfer", f"{comm.mean_transfer * 1e3:.2f} ms"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"{args.strategy} — {args.model} bs{args.batch} @ "
+                f"{args.gbps:g} Gbps, {args.workers} workers, {args.sync}"
+            ),
+        )
+    )
+    if tracing:
+        print()
+        print(format_trace_summary(result.trace_summary()))
+        if args.trace:
+            path = result.write_chrome_trace(args.trace)
+            print(f"chrome trace written to {path} (open in https://ui.perfetto.dev)")
+        if args.trace_jsonl:
+            path = result.write_trace_jsonl(args.trace_jsonl)
+            print(f"trace JSONL written to {path}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = []
     for gbps in args.gbps:
@@ -178,6 +251,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args.experiment)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "sched":
+        return _cmd_sched(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     raise AssertionError("unreachable")  # pragma: no cover

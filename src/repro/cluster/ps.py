@@ -145,6 +145,16 @@ class ParameterServer:
             else:
                 del self._waiting[grad]
 
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.counter(
+                "ps.pending_pulls",
+                "ps",
+                self.engine.now,
+                "ps",
+                {"pending": self.pending_pulls},
+            )
+
     # ------------------------------------------------------------------
     def _range_covered(self, iteration: int, seg: Segment, workers) -> bool:
         received = self._received.get((iteration, seg.grad))
@@ -175,6 +185,20 @@ class ParameterServer:
             progress = self._progress.get(pull.segment.grad)
             slowest = int(progress.min()) if progress is not None else -1
             self.staleness_samples.append(max(0, pull.iteration - 1 - slowest))
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.instant(
+                f"release g{pull.segment.grad}",
+                "ps",
+                self.engine.now,
+                "ps",
+                {
+                    "worker": pull.worker,
+                    "iteration": pull.iteration,
+                    "grad": pull.segment.grad,
+                    "nbytes": pull.segment.nbytes,
+                },
+            )
         delay = self.update_fixed + self.update_per_byte * pull.total_bytes
         worker = self._workers[pull.worker]
         self.engine.schedule_after(delay, worker.enqueue_pull, pull)

@@ -11,6 +11,7 @@ All of the paper's reported quantities are methods here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -23,6 +24,8 @@ from repro.metrics.utilization import mean_utilization, windowed_utilization
 from repro.models.compute import ComputeProfile
 from repro.net.link import TransferRecord
 from repro.net.topology import StarTopology
+from repro.trace.export import summarize_trace, write_chrome_trace, write_trace_jsonl
+from repro.trace.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 
 __all__ = ["TrainingResult", "GradientCommStats"]
 
@@ -49,6 +52,9 @@ class TrainingResult:
     gen_schedule: GenerationSchedule
     compute: ComputeProfile
     end_time: float
+    #: Structured trace of the run (the no-op recorder when tracing was
+    #: off — check ``trace.enabled`` before expecting events).
+    trace: TraceRecorder | NullRecorder = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Iteration timing and rates
@@ -181,6 +187,45 @@ class TrainingResult:
             p95_transfer=float(np.percentile(transfers, 95)),
             count=len(recs),
         )
+
+    # ------------------------------------------------------------------
+    # Structured trace
+    # ------------------------------------------------------------------
+    def _trace_metadata(self) -> dict[str, object]:
+        strategies = sorted({s.name for s in self.schedulers})
+        return {
+            "model": self.config.model,
+            "batch_size": self.config.batch_size,
+            "n_workers": self.config.n_workers,
+            "n_iterations": self.config.n_iterations,
+            "seed": self.config.seed,
+            "strategy": strategies[0] if len(strategies) == 1 else strategies,
+        }
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Export the run's trace as Chrome trace-event JSON.
+
+        The file loads directly in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``.  Raises if the run was not traced.
+        """
+        self._require_trace()
+        return write_chrome_trace(self.trace, path, metadata=self._trace_metadata())
+
+    def write_trace_jsonl(self, path: str | Path) -> Path:
+        """Export the run's trace as compact JSONL (one event per line)."""
+        self._require_trace()
+        return write_trace_jsonl(self.trace, path)
+
+    def trace_summary(self) -> dict[str, object]:
+        """Aggregate trace statistics (span totals, counters, tracks)."""
+        self._require_trace()
+        return summarize_trace(self.trace)
+
+    def _require_trace(self) -> None:
+        if not self.trace.enabled:
+            raise ConfigurationError(
+                "this run was not traced (set TrainingConfig.trace=True)"
+            )
 
     # ------------------------------------------------------------------
     def summary(self, skip: int = 2) -> dict[str, float]:

@@ -25,6 +25,7 @@ from repro.net.monitor import BandwidthMonitor
 from repro.net.topology import StarTopology
 from repro.sim.engine import Engine
 from repro.sim.rng import spawn_rng
+from repro.trace.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 
 __all__ = ["Trainer", "run_training"]
 
@@ -35,7 +36,16 @@ class Trainer:
     def __init__(self, config: TrainingConfig, scheduler_factory: SchedulerFactory):
         self.config = config
         self.engine = Engine()
-        self.recorder = Recorder(record_gradients=config.record_gradients)
+        if config.trace:
+            self.trace: TraceRecorder | NullRecorder = TraceRecorder(
+                clock=lambda: self.engine.now
+            )
+        else:
+            self.trace = NULL_RECORDER
+        self.engine.trace = self.trace
+        self.recorder = Recorder(
+            record_gradients=config.record_gradients, trace=self.trace
+        )
 
         model = get_model(config.model)
         self.compute = build_compute_profile(model, config.device, config.batch_size)
@@ -152,6 +162,7 @@ class Trainer:
             gen_schedule=self.gen_schedule,
             compute=self.compute,
             end_time=self.engine.now,
+            trace=self.trace,
         )
 
 

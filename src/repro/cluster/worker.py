@@ -202,12 +202,19 @@ class Worker:
 
     def _bucket_ready(self, iteration: int, bucket: tuple[int, ...]) -> None:
         now = self.engine.now
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.instant(
+                f"flush g{bucket[0]}" if len(bucket) == 1 else f"flush g{bucket[0]}+",
+                "kv",
+                now,
+                f"worker{self.worker_id}/assembly",
+                {"iteration": iteration, "grads": list(bucket)},
+            )
         for grad in bucket:
             self.scheduler.gradient_ready(grad, now)
             self._ready_time[grad] = now
-            rec = self.recorder.gradient(self.worker_id, iteration, grad)
-            if rec is not None:
-                rec.ready = now
+            self.recorder.mark_ready(self.worker_id, iteration, grad, now)
         self._pump()
 
     def _backward_done(self, iteration: int) -> None:
@@ -288,6 +295,15 @@ class Worker:
             or self.scheduler.pending_bytes <= 0
         ):
             return
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.instant(
+                "stall.probe",
+                "sched",
+                self.engine.now,
+                f"worker{self.worker_id}/comm",
+                {"pending_bytes": self.scheduler.pending_bytes},
+            )
         self.scheduler.grant_probe(self.engine.now)
         self._pump()
 
@@ -321,7 +337,7 @@ class Worker:
         link.send(
             total,
             tag=("pull", batch[0].iteration),
-            on_complete=partial(self._pulls_done, batch),
+            on_complete=partial(self._pulls_done, batch, self.engine.now),
             extra_time=self._unit_sync_time(),
         )
 
@@ -334,29 +350,87 @@ class Worker:
         self.scheduler.commit_unit(unit, now)
         for seg in unit.segments:
             if seg.offset <= _TOL:
-                rec = self.recorder.gradient(self.worker_id, self._comm_iter, seg.grad)
-                if rec is not None:
-                    rec.push_start = now
+                self.recorder.mark_push_start(
+                    self.worker_id, self._comm_iter, seg.grad, now
+                )
+        desc: dict[str, object] | None = None
+        if self.engine.trace.enabled:
+            desc = self.scheduler.describe_unit(unit)
+            self._trace_push_spans(unit, desc, now)
         self.channel.send(
             unit.total_bytes,
             tag=("push", self._comm_iter),
-            on_complete=partial(self._push_done, self._comm_iter, unit),
+            on_complete=partial(self._push_done, self._comm_iter, unit, now, desc),
             extra_time=self._unit_sync_time(),
         )
 
-    def _push_done(self, iteration: int, unit: TransferUnit) -> None:
+    def _trace_push_spans(
+        self, unit: TransferUnit, desc: dict[str, object], now: float
+    ) -> None:
+        """Block-assembly and per-gradient queue-wait spans for one push.
+
+        The assembly span stretches from the first flush of any gradient in
+        the unit to the send — the window the scheduler spent packing (or
+        deliberately idling, for Prophet).  Each gradient entering the
+        channel for the first time additionally gets a wait span (the
+        paper's ``t(i) − c(i)``, Fig. 11's wait time) on its own track.
+        """
+        trace = self.engine.trace
+        prefix = f"worker{self.worker_id}"
+        readies = [
+            float(self._ready_time[seg.grad])
+            for seg in unit.segments
+            if np.isfinite(self._ready_time[seg.grad])
+        ]
+        trace.complete(
+            f"assemble p{unit.priority}",
+            "assembly",
+            min(readies) if readies else now,
+            now,
+            f"{prefix}/assembly",
+            desc,
+        )
+        for seg in unit.segments:
+            if seg.offset > _TOL:
+                continue
+            ready = float(self._ready_time[seg.grad])
+            if np.isfinite(ready) and now > ready:
+                trace.complete(
+                    f"wait g{seg.grad}",
+                    "wait",
+                    ready,
+                    now,
+                    f"{prefix}/wait",
+                    {"grad": seg.grad, "iteration": self._comm_iter},
+                )
+
+    def _push_done(
+        self,
+        iteration: int,
+        unit: TransferUnit,
+        start: float,
+        desc: dict[str, object] | None,
+    ) -> None:
         now = self.engine.now
         for seg in unit.segments:
             self._pushed[seg.grad] += seg.nbytes
             if self._pushed[seg.grad] >= self._sizes[seg.grad] - _TOL:
-                rec = self.recorder.gradient(self.worker_id, iteration, seg.grad)
-                if rec is not None:
-                    rec.push_end = now
+                self.recorder.mark_push_end(self.worker_id, iteration, seg.grad, now)
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.complete(
+                f"push i{iteration}",
+                "comm",
+                start,
+                now,
+                f"worker{self.worker_id}/comm",
+                desc if desc is not None else {},
+            )
         self.scheduler.unit_sent(unit, now)
         self.ps.receive_push(self.worker_id, iteration, unit)
         # Link on_idle already re-pumps; nothing else to do here.
 
-    def _pulls_done(self, batch: list[PullUnit]) -> None:
+    def _pulls_done(self, batch: list[PullUnit], start: float) -> None:
         now = self.engine.now
         forward_was_blocked = (
             self._fwd_layer < len(self.compute.fwd_times)
@@ -372,15 +446,29 @@ class Worker:
             self.scheduler.pull_completed(seg.grad, seg.nbytes, now)
             self._pulled[seg.grad] += seg.nbytes
             if self._pulled[seg.grad] >= self._sizes[seg.grad] - _TOL:
-                rec = self.recorder.gradient(self.worker_id, pull.iteration, seg.grad)
-                if rec is not None:
-                    rec.pull_end = now
+                self.recorder.mark_pull_end(
+                    self.worker_id, pull.iteration, seg.grad, now
+                )
                 layer = self._layer_of[seg.grad]
                 self._layer_pending[layer] -= 1
                 if self._layer_pending[layer] < 0:
                     raise SimulationError(
                         f"worker {self.worker_id}: layer {layer} over-updated"
                     )
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.complete(
+                f"pull i{batch[0].iteration}",
+                "comm",
+                start,
+                now,
+                f"worker{self.worker_id}/comm",
+                {
+                    "grads": [p.segment.grad for p in batch],
+                    "nbytes": sum(p.total_bytes for p in batch),
+                    "unblocked_forward": forward_was_blocked,
+                },
+            )
         if forward_was_blocked and self._iter == self._comm_iter + 1:
             self._advance_forward()
         self._check_done()

@@ -69,6 +69,11 @@ class TrainingConfig:
     ps_update_fixed: float = 100e-6
     ps_update_per_byte: float = 0.0
     record_gradients: bool = True
+    #: Enable the structured trace layer (:mod:`repro.trace`): spans for
+    #: compute, block assembly, queue waits, and every transfer, plus link
+    #: and queue-depth counters.  Off by default — the no-op recorder keeps
+    #: hot-path event processing at full speed.
+    trace: bool = False
     worker_compute_scale: Mapping[int, float] | None = None
     dtype_bytes: int = 4
     stall_timeout: float = 5e-3

@@ -17,6 +17,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "ProfileError",
+    "TracingError",
 ]
 
 
@@ -44,3 +45,7 @@ class SimulationError(ReproError, RuntimeError):
 
 class ProfileError(ReproError):
     """A job profile is missing or insufficient for Prophet's Algorithm 1."""
+
+
+class TracingError(ReproError):
+    """A trace event was malformed (negative duration, unbalanced span)."""

@@ -13,10 +13,12 @@ from repro.metrics.timeline import (
     GpuInterval,
     IterationRecord,
     GradientRecord,
+    recorder_from_trace,
 )
 from repro.metrics.utilization import busy_curve, windowed_utilization, mean_utilization
 from repro.metrics.throughput import bytes_curve, windowed_throughput
-from repro.metrics.report import format_table
+from repro.metrics.report import format_table, format_trace_summary
+from repro.trace.export import summarize_trace
 from repro.metrics.ascii_timeline import render_channel_timeline, render_gradient_waterfall
 from repro.metrics.export import (
     result_summary_dict,
@@ -30,6 +32,9 @@ __all__ = [
     "GpuInterval",
     "IterationRecord",
     "GradientRecord",
+    "recorder_from_trace",
+    "summarize_trace",
+    "format_trace_summary",
     "busy_curve",
     "windowed_utilization",
     "mean_utilization",

@@ -7,9 +7,9 @@ benchmark output lines up with the paper's tables for eyeball comparison
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "format_trace_summary"]
 
 
 def format_table(
@@ -40,3 +40,26 @@ def format_table(
     for row in str_rows:
         lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_trace_summary(summary: Mapping[str, object]) -> str:
+    """Render a :func:`repro.trace.export.summarize_trace` dict as a table.
+
+    One row per span category (count and total seconds), then one per
+    instant category and counter series — the quick sanity read before
+    opening the full trace in Perfetto.
+    """
+    rows: list[list[object]] = []
+    for cat, agg in summary.get("spans", {}).items():  # type: ignore[union-attr]
+        rows.append(["span", cat, agg["count"], f"{agg['total_s']:.4f} s"])
+    for cat, count in summary.get("instants", {}).items():  # type: ignore[union-attr]
+        rows.append(["instant", cat, count, ""])
+    for name, agg in summary.get("counters", {}).items():  # type: ignore[union-attr]
+        last = ", ".join(f"{k}={v:.3g}" for k, v in agg["last"].items())
+        rows.append(["counter", name, agg["samples"], last])
+    title = (
+        f"trace: {summary.get('n_events', 0)} events over "
+        f"{float(summary.get('time_span_s', 0.0)):.3f} simulated seconds, "
+        f"{len(summary.get('tracks', []))} tracks"
+    )
+    return format_table(["kind", "category", "count", "detail"], rows, title=title)

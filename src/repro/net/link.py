@@ -126,6 +126,8 @@ class Link:
         self.total_bytes = 0.0
         self.on_idle: Callable[[], None] | None = None
         self._last_end: float | None = None
+        # Running busy-time total: O(1) utilization for the trace counter.
+        self._busy_accum = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -206,6 +208,33 @@ class Link:
             TransferRecord(inflight.start, inflight.end, inflight.nbytes, inflight.tag)
         )
         self.total_bytes += inflight.nbytes
+        self._busy_accum += inflight.end - inflight.start
+        trace = self.engine.trace
+        if trace.enabled:
+            tag = inflight.tag
+            name = (
+                f"{tag[0]} i{tag[1]}"
+                if isinstance(tag, tuple) and len(tag) == 2
+                else "transfer"
+            )
+            track = f"net/{self.name}"
+            trace.complete(
+                name,
+                "transfer",
+                inflight.start,
+                inflight.end,
+                track,
+                {"nbytes": inflight.nbytes},
+            )
+            now = self.engine.now
+            if now > 0:
+                trace.counter(
+                    "link.utilization",
+                    "net",
+                    now,
+                    track,
+                    {"busy_fraction": self._busy_accum / now},
+                )
         if inflight.on_complete is not None:
             inflight.on_complete()
         if self.on_idle is not None:

@@ -60,6 +60,15 @@ class BandwidthMonitor:
             factor = 1.0 + self._noise_std * float(self._rng.standard_normal())
             value *= min(max(factor, 0.5), 1.5)
         self.history.append((self.engine.now, value))
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.counter(
+                "bandwidth.monitored",
+                "net",
+                self.engine.now,
+                f"net/{self.link.name}",
+                {"bytes_per_s": value},
+            )
         self.engine.schedule_after(self.interval, self._sample)
 
     @property

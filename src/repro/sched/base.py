@@ -172,6 +172,27 @@ class CommScheduler:
         """Notification of a completed iteration (for auto-tuners)."""
 
     # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def describe_unit(self, unit: TransferUnit) -> dict[str, object]:
+        """Strategy metadata attached to the unit's trace spans.
+
+        The worker calls this (only while tracing) when it commits a push,
+        and stores the result in the block-assembly and transfer spans.
+        Subclasses extend the base payload with the knobs that explain
+        *why* this unit looks the way it does — partition size, credit,
+        predicted interval phase — so a Perfetto view of two strategies is
+        directly comparable.
+        """
+        return {
+            "strategy": self.name,
+            "grads": list(unit.grads),
+            "nbytes": unit.total_bytes,
+            "priority": unit.priority,
+            "segments": len(unit.segments),
+        }
+
+    # ------------------------------------------------------------------
     # State helpers available to strategies
     # ------------------------------------------------------------------
     @property

@@ -134,6 +134,15 @@ class ByteSchedulerScheduler(CommScheduler):
     def grant_probe(self, now: float) -> None:
         self._probe_allowance += self.partition_size
 
+    def describe_unit(self, unit: TransferUnit) -> dict[str, object]:
+        desc = super().describe_unit(unit)
+        # Window state at commit time: how much of the credit this batch
+        # consumes explains both deep-pipeline wins and preemption stalls.
+        desc["credit_bytes"] = self.credit
+        desc["outstanding_bytes"] = self._outstanding
+        desc["auto_tune"] = self.auto_tune
+        return desc
+
     # ------------------------------------------------------------------
     def end_iteration(self, iteration: int, iteration_time: float, now: float) -> None:
         if self._optimizer is None:

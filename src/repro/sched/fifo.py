@@ -50,3 +50,10 @@ class FIFOScheduler(CommScheduler):
         head = self._queue.popleft()
         if head != unit.segments[0].grad:  # pragma: no cover - defensive
             raise AssertionError("FIFO commit does not match proposal")
+
+    def describe_unit(self, unit: TransferUnit) -> dict[str, object]:
+        desc = super().describe_unit(unit)
+        # Depth of the arrival-order queue behind this tensor: the blocked
+        # work a priority scheduler would have reordered past it.
+        desc["queue_depth"] = len(self._queue)
+        return desc

@@ -77,3 +77,9 @@ class MGWFBPScheduler(CommScheduler):
             head = self._queue.popleft()
             if head != seg.grad:  # pragma: no cover - defensive
                 raise AssertionError("MG-WFBP commit does not match queue head")
+
+    def describe_unit(self, unit: TransferUnit) -> dict[str, object]:
+        desc = super().describe_unit(unit)
+        desc["merge_bytes"] = self.merge_bytes
+        desc["merged_tensors"] = len(unit.segments)
+        return desc

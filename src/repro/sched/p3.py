@@ -43,3 +43,10 @@ class P3Scheduler(CommScheduler):
         grad = ready[0]  # most urgent
         seg = self._segment_for(grad, self.partition_size)
         return TransferUnit(segments=(seg,))
+
+    def describe_unit(self, unit: TransferUnit) -> dict[str, object]:
+        desc = super().describe_unit(unit)
+        seg = unit.segments[0]
+        desc["partition_bytes"] = self.partition_size
+        desc["partition_index"] = int(seg.offset // self.partition_size)
+        return desc

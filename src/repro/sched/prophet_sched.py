@@ -247,3 +247,18 @@ class ProphetScheduler(CommScheduler):
         if self._profile is None and self._fallback_queue:
             if self._fallback_queue[0] == unit.segments[0].grad:
                 self._fallback_queue.popleft()
+
+    def describe_unit(self, unit: TransferUnit) -> dict[str, object]:
+        """Label each block with the Algorithm-1 phase that assembled it."""
+        desc = super().describe_unit(unit)
+        if self._profile is None:
+            phase = "warmup-fifo"
+        elif unit.grads == (0,):
+            phase = "gradient0"  # line 17: pushed alone, immediately
+        elif self._signalled is not None and self._signalled[0]:
+            phase = "forward-drain"
+        else:
+            phase = "backward-block"
+        desc["phase"] = phase
+        desc["planned"] = self._profile is not None
+        return desc

@@ -1,0 +1,52 @@
+"""Structured tracing: spans, instants, and counters with Chrome export.
+
+This package is the simulator's flight recorder.  Every layer that does
+timed work — the event engine, the network links, the parameter server,
+the workers, and the communication schedulers — emits *trace events* into
+one :class:`TraceRecorder`:
+
+* **spans** (Chrome phase ``X``): forward/backward compute chunks,
+  gradient-block assembly windows, per-gradient queue waits, and every
+  push/pull transfer on every link;
+* **instants** (phase ``i``): KV-store bucket flushes, scheduler
+  decisions, stall probes;
+* **counters** (phase ``C``): link utilization, PS pull-queue depth,
+  monitored bandwidth.
+
+The recorder is deliberately dumb — an append-only list of
+:class:`~repro.trace.events.TraceEvent` ordered by a monotone sequence
+number — so recording costs one object append per event.  When tracing is
+off, every emission site holds the module-level :data:`NULL_RECORDER`,
+whose ``enabled`` flag lets hot paths skip argument construction entirely
+(``benchmarks/bench_trace.py`` guards this stays free).
+
+Exporters (:mod:`repro.trace.export`) turn the event list into the Chrome
+trace-event JSON format (open in Perfetto / ``chrome://tracing``), a
+compact JSONL stream, or an aggregate summary dict reused by
+:mod:`repro.metrics` and the CLI.
+"""
+
+from repro.trace.events import COUNTER, INSTANT, SPAN, TraceEvent
+from repro.trace.export import (
+    chrome_trace_dict,
+    read_chrome_trace,
+    summarize_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.trace.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+
+__all__ = [
+    "TraceEvent",
+    "SPAN",
+    "INSTANT",
+    "COUNTER",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "read_chrome_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,53 @@
+"""The trace event model.
+
+One flat record type covers all three Chrome trace-event phases the
+simulator uses.  Times are simulation seconds (the exporter converts to
+the microseconds Chrome expects).  ``track`` is a free-form
+``"process/thread"`` path — e.g. ``"worker0/gpu"`` or ``"net/uplink0"`` —
+that the exporter maps onto Chrome's pid/tid rows.
+
+Events carry a monotone ``seq`` assigned by the recorder; sorting by
+``(ts, -dur, seq)`` reproduces the exact deterministic interleaving of the
+simulation (parents before their zero-gap children, ties in emission
+order), which is what makes trace diffs meaningful across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["SPAN", "INSTANT", "COUNTER", "TraceEvent"]
+
+#: Chrome trace-event phase codes (the subset this simulator emits).
+SPAN = "X"
+INSTANT = "i"
+COUNTER = "C"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One span, instant, or counter sample.
+
+    ``dur`` is meaningful only for spans (0 otherwise); ``args`` holds the
+    phase-specific payload — span/instant metadata, or the series values of
+    a counter sample.
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    track: str
+    seq: int
+    dur: float = 0.0
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """Span end time (``ts`` itself for instants and counters)."""
+        return self.ts + self.dur
+
+    def sort_key(self) -> tuple[float, float, int]:
+        """Deterministic ordering: time, longest-span-first, emission order."""
+        return (self.ts, -self.dur, self.seq)

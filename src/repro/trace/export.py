@@ -1,0 +1,241 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, and summaries.
+
+The Chrome trace-event format (the JSON flavour understood by Perfetto and
+``chrome://tracing``) wants timestamps in microseconds and rows addressed
+by ``(pid, tid)``.  This module maps the recorder's free-form
+``"process/thread"`` track names onto stable pid/tid pairs (lexicographic
+order, so two runs of the same workload produce byte-identical files) and
+emits the matching ``process_name``/``thread_name`` metadata records.
+
+:func:`read_chrome_trace` inverts the export back into
+:class:`~repro.trace.events.TraceEvent` records — the round-trip the trace
+tests pin down — and :func:`summarize_trace` reduces any event list to the
+aggregate dict reused by :mod:`repro.metrics` reports and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import TracingError
+from repro.trace.events import COUNTER, INSTANT, SPAN, TraceEvent
+
+__all__ = [
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "read_chrome_trace",
+    "summarize_trace",
+]
+
+#: Simulation seconds → Chrome microseconds.
+_US = 1e6
+
+
+def _events_of(trace) -> list[TraceEvent]:
+    """Accept a recorder or a plain event iterable; deterministic order."""
+    if hasattr(trace, "sorted_events"):
+        return trace.sorted_events()
+    return sorted(trace, key=TraceEvent.sort_key)
+
+
+def _split_track(track: str) -> tuple[str, str]:
+    """``"worker0/gpu"`` → ``("worker0", "gpu")``; bare names own a row."""
+    process, sep, thread = track.partition("/")
+    return (process, thread) if sep else (track, track)
+
+
+def _track_ids(events: Iterable[TraceEvent]) -> dict[str, tuple[int, int]]:
+    """Stable ``track -> (pid, tid)`` assignment (lexicographic)."""
+    processes: dict[str, list[str]] = {}
+    for ev in events:
+        process, _ = _split_track(ev.track)
+        processes.setdefault(process, [])
+    for ev in events:
+        process, _ = _split_track(ev.track)
+        if ev.track not in processes[process]:
+            processes[process].append(ev.track)
+    ids: dict[str, tuple[int, int]] = {}
+    for pid, process in enumerate(sorted(processes), start=1):
+        for tid, track in enumerate(sorted(processes[process]), start=1):
+            ids[track] = (pid, tid)
+    return ids
+
+
+def chrome_trace_dict(
+    trace, metadata: Mapping[str, object] | None = None
+) -> dict[str, object]:
+    """The full Chrome trace-event JSON object for a recorder/event list."""
+    events = _events_of(trace)
+    ids = _track_ids(events)
+    out: list[dict[str, object]] = []
+    for track, (pid, tid) in sorted(ids.items(), key=lambda kv: kv[1]):
+        process, thread = _split_track(track)
+        if tid == 1:
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+        out.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    for ev in events:
+        pid, tid = ids[ev.track]
+        record: dict[str, object] = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": ev.ph,
+            "ts": ev.ts * _US,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(ev.args),
+        }
+        if ev.ph == SPAN:
+            record["dur"] = ev.dur * _US
+        elif ev.ph == INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+        out.append(record)
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata) if metadata is not None else {},
+    }
+
+
+def write_chrome_trace(
+    trace, path: str | Path, metadata: Mapping[str, object] | None = None
+) -> Path:
+    """Write the Chrome trace-event JSON file; returns the path."""
+    path = Path(path)
+    with path.open("w") as fh:
+        json.dump(chrome_trace_dict(trace, metadata), fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def write_trace_jsonl(trace, path: str | Path) -> Path:
+    """Write one compact JSON object per event (streaming-friendly)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for ev in _events_of(trace):
+            fh.write(
+                json.dumps(
+                    {
+                        "name": ev.name,
+                        "cat": ev.cat,
+                        "ph": ev.ph,
+                        "ts": ev.ts,
+                        "dur": ev.dur,
+                        "track": ev.track,
+                        "seq": ev.seq,
+                        "args": dict(ev.args),
+                    },
+                    separators=(",", ":"),
+                )
+            )
+            fh.write("\n")
+    return path
+
+
+def read_chrome_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a Chrome trace-event JSON file back into trace events.
+
+    Track names are rebuilt from the ``process_name``/``thread_name``
+    metadata the exporter wrote; timestamps come back in seconds.  Only the
+    phases this package emits are reconstructed (metadata is consumed, any
+    foreign phase raises).
+    """
+    with Path(path).open() as fh:
+        data = json.load(fh)
+    records = data["traceEvents"] if isinstance(data, dict) else data
+    process_names: dict[int, str] = {}
+    thread_names: dict[tuple[int, int], str] = {}
+    payload = []
+    for rec in records:
+        if rec["ph"] == "M":
+            if rec["name"] == "process_name":
+                process_names[rec["pid"]] = rec["args"]["name"]
+            elif rec["name"] == "thread_name":
+                thread_names[(rec["pid"], rec["tid"])] = rec["args"]["name"]
+            continue
+        if rec["ph"] not in (SPAN, INSTANT, COUNTER):
+            raise TracingError(f"unsupported trace phase {rec['ph']!r}")
+        payload.append(rec)
+    events = []
+    for seq, rec in enumerate(payload):
+        process = process_names.get(rec["pid"], str(rec["pid"]))
+        thread = thread_names.get((rec["pid"], rec["tid"]), str(rec["tid"]))
+        track = process if thread == process else f"{process}/{thread}"
+        events.append(
+            TraceEvent(
+                name=rec["name"],
+                cat=rec.get("cat", ""),
+                ph=rec["ph"],
+                ts=rec["ts"] / _US,
+                dur=rec.get("dur", 0.0) / _US,
+                track=track,
+                seq=seq,
+                args=rec.get("args", {}),
+            )
+        )
+    return events
+
+
+def summarize_trace(trace) -> dict[str, object]:
+    """Aggregate an event list into the headline numbers reports reuse.
+
+    Per span category: event count and summed duration.  Per counter name:
+    sample count and the final sample's values.  Deterministic (sorted
+    keys) so summaries can be asserted against and diffed.
+    """
+    events = _events_of(trace)
+    spans: dict[str, dict[str, float]] = {}
+    instants: dict[str, int] = {}
+    counters: dict[str, dict[str, object]] = {}
+    for ev in events:
+        if ev.ph == SPAN:
+            agg = spans.setdefault(ev.cat, {"count": 0, "total_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] += ev.dur
+        elif ev.ph == INSTANT:
+            instants[ev.cat] = instants.get(ev.cat, 0) + 1
+        elif ev.ph == COUNTER:
+            counters[ev.name] = {
+                "samples": counters.get(ev.name, {}).get("samples", 0) + 1,
+                "last": dict(ev.args),
+            }
+    tracks: dict[str, None] = {}
+    for ev in events:
+        tracks.setdefault(ev.track, None)
+    return {
+        "n_events": len(events),
+        "time_span_s": (
+            max(ev.end for ev in events) - events[0].ts if events else 0.0
+        ),
+        "spans": {cat: spans[cat] for cat in sorted(spans)},
+        "instants": {cat: instants[cat] for cat in sorted(instants)},
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "tracks": sorted(tracks),
+    }

@@ -1,0 +1,245 @@
+"""Trace recorders: the live one and the free one.
+
+:class:`TraceRecorder` appends :class:`~repro.trace.events.TraceEvent`
+records; :class:`NullRecorder` implements the same surface as no-ops.
+Every emission site in the simulator holds one of the two (defaulting to
+the shared :data:`NULL_RECORDER`), so enabling tracing is swapping an
+attribute, not threading a flag through the call graph.
+
+Hot paths guard event construction with the ``enabled`` class attribute::
+
+    tr = self.engine.trace
+    if tr.enabled:
+        tr.complete("push", "comm", start, end, track, {"grads": grads})
+
+With the null recorder the guard is a single attribute load and branch —
+``benchmarks/bench_trace.py`` pins this down — and even an unguarded call
+is one no-op method dispatch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import TracingError
+from repro.trace.events import COUNTER, INSTANT, SPAN, TraceEvent
+
+__all__ = ["TraceRecorder", "NullRecorder", "NULL_RECORDER"]
+
+_EMPTY_ARGS: Mapping[str, Any] = {}
+
+
+class TraceRecorder:
+    """Append-only trace event sink.
+
+    ``clock`` supplies "now" for the convenience :meth:`span` context
+    manager and for emission sites that omit an explicit timestamp; wire it
+    to the simulation engine (``clock=lambda: engine.now``) so all events
+    share the simulated clock.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock
+        self._seq = 0
+        self.events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        """Drop all recorded events (sequence numbers keep increasing)."""
+        self.events.clear()
+
+    def now(self) -> float:
+        """The recorder's clock reading (0.0 when no clock is wired)."""
+        return self._clock() if self._clock is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        track: str,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record a finished span ``[start, end]`` on ``track``."""
+        if end < start:
+            raise TracingError(
+                f"span {name!r} ends at {end} before it starts at {start}"
+            )
+        self.events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph=SPAN,
+                ts=start,
+                dur=end - start,
+                track=track,
+                seq=self._next_seq(),
+                args=args if args is not None else _EMPTY_ARGS,
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        track: str,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record a zero-duration marker at ``ts``."""
+        self.events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph=INSTANT,
+                ts=ts,
+                track=track,
+                seq=self._next_seq(),
+                args=args if args is not None else _EMPTY_ARGS,
+            )
+        )
+
+    def counter(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        track: str,
+        values: Mapping[str, float],
+    ) -> None:
+        """Record a counter sample (one or more named series)."""
+        self.events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph=COUNTER,
+                ts=ts,
+                track=track,
+                seq=self._next_seq(),
+                args=dict(values),
+            )
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str,
+        track: str,
+        args: Mapping[str, Any] | None = None,
+    ) -> Iterator[None]:
+        """Record the enclosed block as a span on the recorder's clock.
+
+        Spans nest naturally: an inner ``span`` started while an outer one
+        is open lands inside the outer interval on the same track, which
+        Chrome/Perfetto renders as stacked slices.
+        """
+        if self._clock is None:
+            raise TracingError("span() context manager requires a clock")
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.complete(name, cat, start, self._clock(), track, args)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def sorted_events(self) -> list[TraceEvent]:
+        """Events in deterministic order (time, span length, emission)."""
+        return sorted(self.events, key=TraceEvent.sort_key)
+
+    def by_category(self, cat: str) -> list[TraceEvent]:
+        """All events of one category, deterministically ordered."""
+        return sorted(
+            (ev for ev in self.events if ev.cat == cat), key=TraceEvent.sort_key
+        )
+
+    def tracks(self) -> list[str]:
+        """Distinct track names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for ev in self.events:
+            if ev.track not in seen:
+                seen[ev.track] = None
+        return list(seen)
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+
+class _NullSpan:
+    """Reusable no-op context manager (no allocation per use)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """No-op recorder: the disabled-tracing fast path.
+
+    Mirrors :class:`TraceRecorder`'s surface so emission sites never need
+    an ``is None`` check; every method is a constant-time no-op and the
+    event list is always empty.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return 0
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def now(self) -> float:
+        return 0.0
+
+    def complete(self, *args: object, **kwargs: object) -> None:
+        pass
+
+    def instant(self, *args: object, **kwargs: object) -> None:
+        pass
+
+    def counter(self, *args: object, **kwargs: object) -> None:
+        pass
+
+    def span(self, *args: object, **kwargs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def sorted_events(self) -> list[TraceEvent]:
+        return []
+
+    def by_category(self, cat: str) -> list[TraceEvent]:
+        return []
+
+    def tracks(self) -> list[str]:
+        return []
+
+
+#: Shared no-op recorder — the default value of every ``trace`` attribute.
+NULL_RECORDER = NullRecorder()

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.cluster.trainer import Trainer, run_training
-from repro.config import TrainingConfig
 from repro.quantities import Gbps, Mbps
 from repro.workloads.presets import (
     STRATEGY_FACTORIES,

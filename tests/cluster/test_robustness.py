@@ -7,7 +7,6 @@ profiles, wrong monitor readings, degenerate configurations.
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.cluster.trainer import Trainer, run_training

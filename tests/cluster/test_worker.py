@@ -3,7 +3,6 @@
 from dataclasses import replace
 
 import numpy as np
-import pytest
 
 from repro.cluster.trainer import Trainer, run_training
 from repro.workloads.presets import (

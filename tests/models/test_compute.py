@@ -41,7 +41,7 @@ class TestDeviceSpec:
 class TestComputeProfile:
     def test_backward_is_ratio_times_forward(self, tiny_model, tiny_device):
         prof = build_compute_profile(tiny_model, tiny_device, batch_size=8)
-        flops = np.array([l.fwd_flops for l in tiny_model.layers])
+        flops = np.array([layer.fwd_flops for layer in tiny_model.layers])
         expected_fwd = 8 * flops / tiny_device.effective_flops + tiny_device.layer_overhead
         assert np.allclose(prof.fwd_times, expected_fwd)
         compute_part = prof.bwd_times - tiny_device.layer_overhead

@@ -33,8 +33,8 @@ def test_reference_tensor_and_param_counts(name, tensors, params):
 def test_inception_v3_structure():
     model = get_model("inception_v3")
     # 94 BasicConv2d (conv + affine BN) + fc weight/bias.
-    convs = [l for l in model.layers if l.kind == "conv"]
-    bns = [l for l in model.layers if l.kind == "bn"]
+    convs = [layer for layer in model.layers if layer.kind == "conv"]
+    bns = [layer for layer in model.layers if layer.kind == "bn"]
     assert len(convs) == 94
     assert len(bns) == 94
     assert model.num_tensors == 94 * 3 + 2

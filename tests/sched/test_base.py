@@ -1,6 +1,5 @@
 """Unit tests for the scheduler base class contract."""
 
-import numpy as np
 import pytest
 
 from repro.agg.kvstore import KVStore

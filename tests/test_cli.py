@@ -79,3 +79,59 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert out.count("\n") >= 4
+
+
+class TestSchedCommand:
+    def test_sched_defaults(self):
+        args = build_parser().parse_args(["sched", "prophet"])
+        assert args.strategy == "prophet"
+        assert args.trace is None
+        assert args.trace_jsonl is None
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sched", "tcp-fair"])
+
+    def test_sched_untraced_run(self, capsys):
+        code = main(
+            [
+                "sched", "prophet",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--gbps", "4",
+                "--workers", "2",
+                "--iterations", "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "training rate" in out
+        assert "mean gradient wait" in out
+        assert "trace:" not in out  # no trace summary without --trace
+
+    def test_sched_traced_run_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "run.json"
+        jsonl_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "sched", "prophet",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--gbps", "4",
+                "--workers", "2",
+                "--iterations", "6",
+                "--trace", str(trace_path),
+                "--trace-jsonl", str(jsonl_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        span_cats = {e.get("cat") for e in events if e.get("ph") == "X"}
+        assert {"compute", "assembly", "transfer"} <= span_cats
+        assert jsonl_path.read_text().count("\n") == sum(
+            1 for e in events if e.get("ph") != "M"
+        )

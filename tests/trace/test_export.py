@@ -1,0 +1,136 @@
+"""Chrome trace-event export: schema, round-trip, JSONL, summaries."""
+
+import json
+
+import pytest
+
+from repro.errors import TracingError
+from repro.trace import (
+    TraceRecorder,
+    chrome_trace_dict,
+    read_chrome_trace,
+    summarize_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+
+
+@pytest.fixture
+def recorder():
+    tr = TraceRecorder()
+    tr.complete("bwd l3", "compute", 0.0, 0.4, "worker0/gpu", {"iteration": 0})
+    tr.complete("push i0", "comm", 0.1, 0.9, "worker0/comm", {"nbytes": 1024})
+    tr.instant("release g0", "ps", 0.9, "ps")
+    tr.counter("link.utilization", "net", 1.0, "net/up0", {"busy_fraction": 0.5})
+    return tr
+
+
+class TestChromeSchema:
+    def test_top_level_shape(self, recorder):
+        doc = chrome_trace_dict(recorder, metadata={"model": "resnet18"})
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"model": "resnet18"}
+
+    def test_events_use_microseconds(self, recorder):
+        doc = chrome_trace_dict(recorder)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["bwd l3"]["ts"] == 0.0
+        assert by_name["bwd l3"]["dur"] == pytest.approx(0.4e6)
+        assert by_name["push i0"]["ts"] == pytest.approx(0.1e6)
+
+    def test_track_metadata_records(self, recorder):
+        doc = chrome_trace_dict(recorder)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        proc_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert proc_names == {"worker0", "ps", "net"}
+        assert {"gpu", "comm", "up0", "ps"} <= thread_names
+
+    def test_pid_tid_assignment_stable(self, recorder):
+        a = chrome_trace_dict(recorder)
+        b = chrome_trace_dict(recorder)
+        assert a == b  # byte-identical across exports
+
+    def test_every_data_record_addresses_known_row(self, recorder):
+        doc = chrome_trace_dict(recorder)
+        rows = {
+            (e["pid"], e["tid"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for e in doc["traceEvents"]:
+            if e["ph"] in ("X", "i", "C"):
+                assert (e["pid"], e["tid"]) in rows
+
+    def test_instants_are_thread_scoped(self, recorder):
+        doc = chrome_trace_dict(recorder)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, recorder, tmp_path):
+        path = write_chrome_trace(recorder, tmp_path / "t.json")
+        loaded = read_chrome_trace(path)
+        original = recorder.sorted_events()
+        assert len(loaded) == len(original)
+        for orig, back in zip(original, loaded):
+            assert back.name == orig.name
+            assert back.cat == orig.cat
+            assert back.ph == orig.ph
+            assert back.track == orig.track
+            assert back.ts == pytest.approx(orig.ts, abs=1e-9)
+            assert back.dur == pytest.approx(orig.dur, abs=1e-9)
+            assert dict(back.args) == dict(orig.args)
+
+    def test_loadable_as_plain_json(self, recorder, tmp_path):
+        path = write_chrome_trace(recorder, tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_foreign_phase_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"name": "b", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+        ]}))
+        with pytest.raises(TracingError):
+            read_chrome_trace(path)
+
+    def test_jsonl_one_compact_object_per_event(self, recorder, tmp_path):
+        path = write_trace_jsonl(recorder, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(recorder.events)
+        first = json.loads(lines[0])
+        assert set(first) == {"name", "cat", "ph", "ts", "dur", "track", "seq", "args"}
+        assert ": " not in lines[0]  # compact separators
+
+
+class TestSummarize:
+    def test_aggregates(self, recorder):
+        s = summarize_trace(recorder)
+        assert s["n_events"] == 4
+        assert s["spans"]["compute"] == {"count": 1, "total_s": pytest.approx(0.4)}
+        assert s["spans"]["comm"]["total_s"] == pytest.approx(0.8)
+        assert s["instants"] == {"ps": 1}
+        assert s["counters"]["link.utilization"]["last"] == {"busy_fraction": 0.5}
+        assert s["tracks"] == ["net/up0", "ps", "worker0/comm", "worker0/gpu"]
+
+    def test_time_span_uses_max_end(self):
+        tr = TraceRecorder()
+        tr.complete("long", "c", 0.0, 5.0, "t")
+        tr.instant("late-start", "c", 1.0, "t")
+        assert summarize_trace(tr)["time_span_s"] == pytest.approx(5.0)
+
+    def test_empty_trace(self):
+        s = summarize_trace(TraceRecorder())
+        assert s["n_events"] == 0
+        assert s["time_span_s"] == 0.0
+
+    def test_accepts_plain_event_list(self, recorder):
+        assert summarize_trace(list(recorder.events))["n_events"] == 4

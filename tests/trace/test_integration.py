@@ -1,0 +1,148 @@
+"""End-to-end tracing of full training runs.
+
+Pins the acceptance criteria: a traced run emits spans for compute, block
+assembly, and every gradient transfer; exports deterministically under the
+sim clock; and a run with tracing disabled records nothing at all.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster.trainer import run_training
+from repro.errors import ConfigurationError
+from repro.metrics.timeline import recorder_from_trace
+from repro.trace import NULL_RECORDER, chrome_trace_dict
+from repro.workloads.presets import prophet_factory
+
+
+@pytest.fixture(scope="module")
+def traced_result(tiny_config):
+    return run_training(replace(tiny_config, trace=True), prophet_factory())
+
+
+@pytest.fixture(scope="module")
+def tiny_config(request):
+    # Re-expose the function-scoped conftest fixture at module scope so one
+    # traced run serves every test here (importing conftest also registers
+    # the tiny model).
+    from tests.conftest import TINY_MODEL_NAME
+
+    from repro.agg.policies import ExplicitGroupsPolicy
+    from repro.config import TrainingConfig
+    from repro.models.device import DeviceSpec
+    from repro.net.tcp import TCPParams
+    from repro.quantities import Gbps
+
+    return TrainingConfig(
+        model=TINY_MODEL_NAME,
+        batch_size=8,
+        n_workers=2,
+        n_iterations=6,
+        bandwidth=1 * Gbps,
+        tcp=TCPParams(rtt=0.2e-3, fixed_overhead=0.1e-3, goodput=0.8),
+        device=DeviceSpec(name="test-gpu", peak_flops=4e12, efficiency=0.25),
+        agg_policy=ExplicitGroupsPolicy(((5, 6, 7), (3, 4), (2,), (0, 1))),
+        seed=7,
+        jitter_std=0.01,
+    )
+
+
+class TestTracedRun:
+    def test_compute_spans_cover_all_iterations(self, traced_result):
+        compute = traced_result.trace.by_category("compute")
+        kinds = {ev.name for ev in compute}
+        assert "fwd" in kinds and "bwd" in kinds
+        config = traced_result.config
+        n_slots = config.n_workers * config.n_iterations
+        # Exactly one bwd span per worker per iteration; fwd may split into
+        # several busy chunks when the forward pass gates on pending pulls.
+        assert sum(ev.name == "bwd" for ev in compute) == n_slots
+        assert sum(ev.name == "fwd" for ev in compute) >= n_slots
+        # Every GPU busy interval the recorder holds is backed by a span.
+        n_intervals = sum(
+            len(traced_result.recorder.gpu_busy_intervals(w))
+            for w in range(config.n_workers)
+        )
+        assert len(compute) == n_intervals
+
+    def test_block_assembly_spans_present(self, traced_result):
+        assembly = traced_result.trace.by_category("assembly")
+        assert assembly
+        for ev in assembly:
+            assert ev.args["strategy"] == "prophet"
+            assert ev.args["nbytes"] > 0
+            assert ev.args["grads"]
+
+    def test_every_gradient_transfer_has_a_span(self, traced_result):
+        transfers = traced_result.trace.by_category("transfer")
+        n_link_records = sum(
+            len(traced_result.topology.uplink(w).records)
+            + len(traced_result.topology.downlink(w).records)
+            for w in range(traced_result.config.n_workers)
+        )
+        assert len(transfers) == n_link_records
+        total_traced = sum(ev.args["nbytes"] for ev in transfers)
+        total_linked = sum(
+            r.nbytes
+            for w in range(traced_result.config.n_workers)
+            for r in (
+                list(traced_result.topology.uplink(w).records)
+                + list(traced_result.topology.downlink(w).records)
+            )
+        )
+        assert total_traced == pytest.approx(total_linked)
+
+    def test_gpu_spans_match_recorder_intervals(self, traced_result):
+        rebuilt = recorder_from_trace(traced_result.trace.events)
+        for w in range(traced_result.config.n_workers):
+            orig = traced_result.recorder.gpu_busy_intervals(w)
+            back = rebuilt.gpu_busy_intervals(w)
+            assert np.allclose(orig, back)
+
+    def test_iteration_markers_round_trip(self, traced_result):
+        rebuilt = recorder_from_trace(traced_result.trace.events)
+        for w in range(traced_result.config.n_workers):
+            orig = traced_result.recorder.worker_iterations(w)
+            back = rebuilt.worker_iterations(w)
+            assert [r.fwd_start for r in orig] == [r.fwd_start for r in back]
+
+    def test_events_are_clock_ordered(self, traced_result):
+        events = traced_result.trace.sorted_events()
+        ts = [ev.ts for ev in events]
+        assert ts == sorted(ts)
+        assert all(ev.ts >= 0 for ev in events)
+
+    def test_summary_and_export_agree(self, traced_result):
+        summary = traced_result.trace_summary()
+        doc = chrome_trace_dict(traced_result.trace)
+        data_records = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert summary["n_events"] == len(data_records)
+
+    def test_export_is_deterministic_across_runs(self, tiny_config):
+        a = run_training(replace(tiny_config, trace=True), prophet_factory())
+        b = run_training(replace(tiny_config, trace=True), prophet_factory())
+        assert chrome_trace_dict(a.trace) == chrome_trace_dict(b.trace)
+
+
+class TestDisabledTracing:
+    def test_untraced_run_records_no_events(self, tiny_config):
+        result = run_training(tiny_config, prophet_factory())
+        assert result.trace is NULL_RECORDER
+        assert len(result.trace.events) == 0
+
+    def test_untraced_result_raises_on_trace_api(self, tiny_config):
+        result = run_training(tiny_config, prophet_factory())
+        with pytest.raises(ConfigurationError):
+            result.trace_summary()
+        with pytest.raises(ConfigurationError):
+            result.write_chrome_trace("/tmp/never-written.json")
+
+    def test_metrics_identical_with_and_without_tracing(self, tiny_config):
+        plain = run_training(tiny_config, prophet_factory())
+        traced = run_training(replace(tiny_config, trace=True), prophet_factory())
+        assert plain.training_rate(skip=1) == pytest.approx(
+            traced.training_rate(skip=1)
+        )
+        assert plain.end_time == pytest.approx(traced.end_time)

@@ -1,0 +1,124 @@
+"""Unit tests for the trace recorders (live and null)."""
+
+import pytest
+
+from repro.errors import TracingError
+from repro.trace import (
+    COUNTER,
+    INSTANT,
+    NULL_RECORDER,
+    SPAN,
+    NullRecorder,
+    TraceRecorder,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestTraceRecorder:
+    def test_complete_records_span(self):
+        tr = TraceRecorder()
+        tr.complete("push", "comm", 1.0, 3.5, "worker0/comm", {"nbytes": 42})
+        (ev,) = tr.events
+        assert ev.ph == SPAN
+        assert ev.ts == 1.0
+        assert ev.dur == 2.5
+        assert ev.end == 3.5
+        assert ev.args["nbytes"] == 42
+
+    def test_complete_rejects_negative_duration(self):
+        tr = TraceRecorder()
+        with pytest.raises(TracingError):
+            tr.complete("bad", "comm", 2.0, 1.0, "t")
+
+    def test_instant_and_counter_phases(self):
+        tr = TraceRecorder()
+        tr.instant("ready", "gradient", 0.5, "worker0/grad")
+        tr.counter("queue", "engine", 0.6, "engine", {"pending": 3})
+        assert [ev.ph for ev in tr.events] == [INSTANT, COUNTER]
+        assert tr.events[1].args == {"pending": 3}
+
+    def test_span_context_manager_nests(self):
+        clock = FakeClock()
+        tr = TraceRecorder(clock=clock)
+        with tr.span("outer", "compute", "w0/gpu"):
+            clock.t = 1.0
+            with tr.span("inner", "compute", "w0/gpu"):
+                clock.t = 2.0
+            clock.t = 4.0
+        inner, outer = tr.events  # inner closes first
+        assert inner.name == "inner" and outer.name == "outer"
+        # The inner span lies entirely within the outer interval.
+        assert outer.ts <= inner.ts
+        assert inner.end <= outer.end
+        assert (outer.ts, outer.end) == (0.0, 4.0)
+        assert (inner.ts, inner.end) == (1.0, 2.0)
+
+    def test_span_requires_clock(self):
+        tr = TraceRecorder()
+        with pytest.raises(TracingError):
+            with tr.span("x", "c", "t"):
+                pass
+
+    def test_sorted_events_deterministic_order(self):
+        tr = TraceRecorder()
+        # Same timestamp: longer span first, then emission order.
+        tr.instant("b", "cat", 1.0, "t")
+        tr.complete("short", "cat", 1.0, 1.1, "t")
+        tr.complete("long", "cat", 1.0, 2.0, "t")
+        tr.instant("a", "cat", 0.5, "t")
+        names = [ev.name for ev in tr.sorted_events()]
+        assert names == ["a", "long", "short", "b"]
+
+    def test_seq_monotonic_across_clear(self):
+        tr = TraceRecorder()
+        tr.instant("a", "c", 0.0, "t")
+        tr.clear()
+        tr.instant("b", "c", 0.0, "t")
+        assert tr.events[0].seq == 1  # sequence numbers never restart
+
+    def test_tracks_first_appearance_order(self):
+        tr = TraceRecorder()
+        tr.instant("a", "c", 0.0, "zeta")
+        tr.instant("b", "c", 0.0, "alpha")
+        tr.instant("c", "c", 0.0, "zeta")
+        assert tr.tracks() == ["zeta", "alpha"]
+
+    def test_by_category_filters(self):
+        tr = TraceRecorder()
+        tr.instant("a", "x", 0.0, "t")
+        tr.instant("b", "y", 1.0, "t")
+        assert [ev.name for ev in tr.by_category("y")] == ["b"]
+
+
+class TestNullRecorder:
+    def test_disabled_flag(self):
+        assert NULL_RECORDER.enabled is False
+        assert TraceRecorder.enabled is True
+
+    def test_records_nothing(self):
+        nr = NullRecorder()
+        nr.complete("a", "c", 0.0, 1.0, "t")
+        nr.instant("b", "c", 0.0, "t")
+        nr.counter("c", "c", 0.0, "t", {"v": 1})
+        with nr.span("d", "c", "t"):
+            pass
+        assert len(nr) == 0
+        assert nr.events == []
+        assert nr.sorted_events() == []
+        assert nr.tracks() == []
+
+    def test_span_reuses_singleton(self):
+        nr = NullRecorder()
+        assert nr.span("a", "c", "t") is nr.span("b", "c", "t")
+
+    def test_no_instance_dict(self):
+        # __slots__ keeps the null recorder allocation-free per attribute.
+        with pytest.raises(AttributeError):
+            NULL_RECORDER.extra = 1
