@@ -1,7 +1,8 @@
 """CI benchmark smoke test — reduced-mode scalars vs committed baselines.
 
-Runs a cut-down Fig. 8 comparison plus the substrate micro-benchmarks and
-compares a handful of key scalars against ``benchmarks/baselines.json``:
+Runs a cut-down Fig. 8 comparison, a chaos resilience run (crash + flap +
+drops + PS stall), and the substrate micro-benchmarks, and compares a
+handful of key scalars against ``benchmarks/baselines.json``:
 
 * **Deterministic scalars** (simulated training rates) must match the
   baseline within a tight relative tolerance — the simulator is a seeded
@@ -37,6 +38,12 @@ TIMING_FLOOR_FRACTION = 0.15
 SMOKE_WORKLOADS = (("resnet18", 32), ("resnet50", 64))
 SMOKE_ITERATIONS = 8
 
+#: Chaos smoke: a compressed fault cocktail on the fast workload.  The
+#: resilience scalars (goodput retained, recovery time) are deterministic
+#: under the seed, so they gate like any other simulation scalar.
+CHAOS_MODEL = ("resnet18", 64)
+CHAOS_ITERATIONS = 8
+
 
 def measure() -> tuple[dict[str, float], dict[str, float]]:
     """Return (deterministic scalars, timing scalars)."""
@@ -56,6 +63,29 @@ def measure() -> tuple[dict[str, float], dict[str, float]]:
         key = f"fig8.{row.model}.bs{row.batch_size}"
         deterministic[f"{key}.prophet_rate"] = row.prophet_rate
         deterministic[f"{key}.bytescheduler_rate"] = row.bytescheduler_rate
+
+    from repro.experiments import chaos
+
+    model, batch = CHAOS_MODEL
+    chaos_res = chaos.run(
+        model=model,
+        batch_size=batch,
+        n_iterations=CHAOS_ITERATIONS,
+        seed=0,
+        plan=chaos.default_plan(
+            crash_at=1.0,
+            restart_after=0.3,
+            flap_at=2.0,
+            flap_duration=0.5,
+            stall_at=3.0,
+            stall_duration=0.2,
+        ),
+    )
+    for name in sorted(chaos_res.goodput_retained):
+        deterministic[f"chaos.{name}.goodput_retained"] = (
+            chaos_res.goodput_retained[name]
+        )
+        deterministic[f"chaos.{name}.recovery_s"] = chaos_res.recovery_time[name]
 
     timing: dict[str, float] = {}
     n_events = 50_000

@@ -28,9 +28,22 @@ Quickstart
 >>> rate = result.training_rate()           # samples/sec per worker
 """
 
-from repro.config import TrainingConfig, WorkerContext, SchedulerFactory
+from repro.config import (
+    SchedulerConfig,
+    TrainingConfig,
+    WorkerContext,
+    SchedulerFactory,
+)
 from repro.cluster import Trainer, run_training, TrainingResult
 from repro.core import JobProfile, JobProfiler, plan_schedule
+from repro.faults import (
+    FaultPlan,
+    WorkerCrash,
+    LinkFlap,
+    MessageDrops,
+    PSStall,
+    RetryPolicy,
+)
 from repro.errors import (
     ReproError,
     ConfigurationError,
@@ -59,9 +72,16 @@ from repro.workloads.presets import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "SchedulerConfig",
     "TrainingConfig",
     "WorkerContext",
     "SchedulerFactory",
+    "FaultPlan",
+    "WorkerCrash",
+    "LinkFlap",
+    "MessageDrops",
+    "PSStall",
+    "RetryPolicy",
     "Trainer",
     "run_training",
     "TrainingResult",

@@ -8,12 +8,18 @@ Subcommands::
     python -m repro compare --model resnet50 --batch 64 --gbps 3
     python -m repro sweep --model resnet50 --gbps 1 3 10
     python -m repro sched prophet --trace out.json   # traced single run
+    python -m repro chaos --model resnet18 --drop 0.02  # fault resilience
 
 ``run`` accepts any experiment name from :mod:`repro.experiments` and
 invokes its ``main()``; ``compare`` and ``sweep`` build ad-hoc configs on
 the paper's calibrated presets.  ``sched`` runs one strategy on one preset
 workload and can export the structured trace as Chrome trace-event JSON
-(open in Perfetto / ``chrome://tracing``) and/or compact JSONL.
+(open in Perfetto / ``chrome://tracing``) and/or compact JSONL.  ``chaos``
+runs the paired clean/faulty resilience comparison of
+:mod:`repro.experiments.chaos` with an ad-hoc fault plan.
+
+Unknown model/strategy/experiment names exit with a one-line
+``error: ...`` message and status 2 — never a traceback.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import sys
 from typing import Sequence
 
 from repro.cluster.trainer import run_training
+from repro.errors import ConfigurationError, ReproError
 from repro.metrics.report import format_table, format_trace_summary
 from repro.models.gradients import gradient_table
 from repro.models.registry import available_models, get_model
@@ -34,8 +41,16 @@ __all__ = ["main", "build_parser"]
 EXPERIMENTS = (
     "fig2", "fig3", "fig4", "fig5", "fig8", "fig9_10", "fig11", "fig12",
     "fig13", "table2", "table3", "hetero", "overhead", "ablations", "asp",
-    "devices", "dynamic", "convergence",
+    "devices", "dynamic", "convergence", "chaos",
 )
+
+
+def _validate_choice(kind: str, name: str, options: Sequence[str]) -> None:
+    """Eager name validation with a one-line, greppable error message."""
+    if name not in options:
+        raise ConfigurationError(
+            f"unknown {kind} {name!r}; available: {', '.join(sorted(options))}"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,15 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list models, strategies, and experiments")
 
     info = sub.add_parser("info", help="show a model card")
-    info.add_argument("model", choices=available_models())
+    info.add_argument("model", help=f"one of: {', '.join(available_models())}")
 
     run = sub.add_parser("run", help="regenerate a paper figure/table")
-    run.add_argument("experiment", choices=EXPERIMENTS)
+    run.add_argument("experiment", help=f"one of: {', '.join(EXPERIMENTS)}")
 
     compare = sub.add_parser(
         "compare", help="compare all strategies on one workload"
     )
-    compare.add_argument("--model", default="resnet50", choices=available_models())
+    compare.add_argument("--model", default="resnet50")
     compare.add_argument("--batch", type=int, default=64)
     compare.add_argument("--gbps", type=float, default=3.0)
     compare.add_argument("--workers", type=int, default=3)
@@ -70,10 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sched.add_argument(
         "strategy",
-        choices=sorted(EXTENDED_FACTORIES),
-        help="communication-scheduling strategy to simulate",
+        help="communication-scheduling strategy to simulate "
+        f"(one of: {', '.join(sorted(EXTENDED_FACTORIES))})",
     )
-    sched.add_argument("--model", default="resnet50", choices=available_models())
+    sched.add_argument("--model", default="resnet50")
     sched.add_argument("--batch", type=int, default=64)
     sched.add_argument("--gbps", type=float, default=3.0)
     sched.add_argument("--workers", type=int, default=3)
@@ -92,12 +107,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sweep = sub.add_parser("sweep", help="bandwidth sweep for one workload")
-    sweep.add_argument("--model", default="resnet50", choices=available_models())
+    sweep.add_argument("--model", default="resnet50")
     sweep.add_argument("--batch", type=int, default=64)
     sweep.add_argument("--gbps", type=float, nargs="+", default=[1.0, 3.0, 10.0])
     sweep.add_argument("--workers", type=int, default=3)
     sweep.add_argument("--iterations", type=int, default=12)
     sweep.add_argument("--seed", type=int, default=0)
+
+    chaos = sub.add_parser(
+        "chaos", help="paired clean/faulty resilience comparison"
+    )
+    chaos.add_argument("--model", default="resnet18")
+    chaos.add_argument("--batch", type=int, default=64)
+    chaos.add_argument("--iterations", type=int, default=12)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--crash-at", type=float, default=2.0,
+        help="crash worker 1 at this sim time (s)",
+    )
+    chaos.add_argument(
+        "--restart-after", type=float, default=0.5,
+        help="restart the crashed worker after this delay (s)",
+    )
+    chaos.add_argument(
+        "--drop", type=float, default=0.02,
+        help="per-message drop probability on push/pull/ack legs",
+    )
     return parser
 
 
@@ -128,6 +163,7 @@ def _cmd_info(model_name: str) -> int:
 def _cmd_run(experiment: str) -> int:
     import importlib
 
+    _validate_choice("experiment", experiment, EXPERIMENTS)
     module = importlib.import_module(f"repro.experiments.{experiment}")
     module.main()
     return 0
@@ -170,6 +206,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sched(args: argparse.Namespace) -> int:
+    _validate_choice("strategy", args.strategy, EXTENDED_FACTORIES)
     tracing = bool(args.trace or args.trace_jsonl)
     config = paper_config(
         args.model,
@@ -240,22 +277,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos
+
+    get_model(args.model)  # validate eagerly, before any training run
+    plan = chaos.default_plan(
+        crash_at=args.crash_at,
+        restart_after=args.restart_after,
+        drop=args.drop,
+    )
+    chaos.main(
+        model=args.model,
+        batch_size=args.batch,
+        n_iterations=args.iterations,
+        seed=args.seed,
+        plan=plan,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "info":
-        return _cmd_info(args.model)
-    if args.command == "run":
-        return _cmd_run(args.experiment)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "sched":
-        return _cmd_sched(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    raise AssertionError("unreachable")  # pragma: no cover
+    dispatch = {
+        "list": lambda: _cmd_list(),
+        "info": lambda: _cmd_info(args.model),
+        "run": lambda: _cmd_run(args.experiment),
+        "compare": lambda: _cmd_compare(args),
+        "sched": lambda: _cmd_sched(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "chaos": lambda: _cmd_chaos(args),
+    }
+    try:
+        return dispatch[args.command]()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

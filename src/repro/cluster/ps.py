@@ -49,6 +49,7 @@ class ParameterServer:
         update_per_byte: float = 0.0,
         sync_mode: str = "bsp",
         staleness: int = 2,
+        faults=None,
     ):
         if sync_mode not in SYNC_MODES:
             raise ConfigurationError(
@@ -63,6 +64,17 @@ class ParameterServer:
         self.update_per_byte = update_per_byte
         self.sync_mode = sync_mode
         self.staleness = staleness
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; when set,
+        #: pushes arrive through :meth:`deliver_push` with sequence numbers
+        #: and pull releases absorb PS-stall windows.
+        self._faults = faults
+        # Reliable-delivery receiver state (fault mode): next sequence
+        # number to apply per worker, plus a reorder buffer for messages
+        # that arrived ahead of a dropped predecessor.
+        self._next_seq: list[int] = [0] * n_workers
+        self._reorder: dict[int, dict[int, tuple[int, TransferUnit]]] = defaultdict(
+            dict
+        )
         # (iteration, grad) -> per-worker cumulative bytes received.
         self._received: dict[tuple[int, int], np.ndarray] = {}
         # grad -> per-worker latest iteration fully pushed (-1 = none).
@@ -87,6 +99,53 @@ class ParameterServer:
         self._workers = list(workers)
 
     # ------------------------------------------------------------------
+    def deliver_push(
+        self, worker: int, iteration: int, unit: TransferUnit, seq: int
+    ) -> bool:
+        """Reliable-delivery entry point: receive ``unit`` at most once,
+        apply strictly in per-worker sequence order.
+
+        A retransmission whose original was already received (its ack was
+        lost) is recognised by ``seq`` and **not** re-credited — the
+        conservation laws hold across arbitrary retries.  A message that
+        overtook a dropped predecessor (the worker slices gradients, so a
+        later partition may carry a higher offset) is parked in a reorder
+        buffer and applied once the gap fills, preserving the cumulative
+        per-gradient offset invariant of :meth:`receive_push`.  Returns
+        ``True`` when the push was newly received (applied or buffered),
+        ``False`` for a duplicate.
+        """
+        trace = self.engine.trace
+        pending = self._reorder[worker]
+        if seq < self._next_seq[worker] or seq in pending:
+            if trace.enabled:
+                trace.instant(
+                    "push.duplicate",
+                    "fault",
+                    self.engine.now,
+                    "ps",
+                    {"worker": worker, "seq": seq, "iteration": iteration},
+                )
+            return False
+        if seq != self._next_seq[worker]:
+            pending[seq] = (iteration, unit)
+            if trace.enabled:
+                trace.instant(
+                    "push.reordered",
+                    "fault",
+                    self.engine.now,
+                    "ps",
+                    {"worker": worker, "seq": seq, "expected": self._next_seq[worker]},
+                )
+            return True
+        self._next_seq[worker] = seq + 1
+        self.receive_push(worker, iteration, unit)
+        while self._next_seq[worker] in pending:
+            queued_iter, queued_unit = pending.pop(self._next_seq[worker])
+            self._next_seq[worker] += 1
+            self.receive_push(worker, queued_iter, queued_unit)
+        return True
+
     def receive_push(self, worker: int, iteration: int, unit: TransferUnit) -> None:
         """A push message from ``worker`` arrived: credit bytes, respond
         per key."""
@@ -200,6 +259,10 @@ class ParameterServer:
                 },
             )
         delay = self.update_fixed + self.update_per_byte * pull.total_bytes
+        if self._faults is not None:
+            # An active PS stall defers the release to the window's end;
+            # queued releases keep their relative order (engine tie-break).
+            delay += self._faults.ps_release_delay(self.engine.now)
         worker = self._workers[pull.worker]
         self.engine.schedule_after(delay, worker.enqueue_pull, pull)
 

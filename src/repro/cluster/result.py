@@ -55,6 +55,12 @@ class TrainingResult:
     #: Structured trace of the run (the no-op recorder when tracing was
     #: off — check ``trace.enabled`` before expecting events).
     trace: TraceRecorder | NullRecorder = NULL_RECORDER
+    #: Fault/recovery counters from the run's
+    #: :class:`~repro.faults.injector.FaultInjector` (``None`` for a
+    #: fault-free run — the injector was never instantiated).
+    fault_stats: dict[str, int] | None = None
+    #: ``(time, kind, detail)`` log of every discrete fault event.
+    fault_log: list[tuple[float, str, dict]] | None = None
 
     # ------------------------------------------------------------------
     # Iteration timing and rates

@@ -18,6 +18,7 @@ from repro.cluster.worker import Worker
 from repro.config import SchedulerFactory, TrainingConfig, WorkerContext
 from repro.core.profiler import JobProfile
 from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
 from repro.metrics.timeline import Recorder
 from repro.models.compute import build_compute_profile
 from repro.models.registry import get_model
@@ -67,6 +68,19 @@ class Trainer:
             seed=config.seed,
             noise_std=config.bandwidth_noise_std,
         )
+        # Fault injection: only a non-empty plan instantiates any fault
+        # machinery — with None every fault branch below stays on the
+        # ``is None`` fast path and the event sequence is bit-identical
+        # to a fault-free build.
+        plan = config.faults
+        self.injector: FaultInjector | None = None
+        if plan is not None and not plan.is_empty:
+            self.injector = FaultInjector(
+                self.engine,
+                plan,
+                n_workers=config.n_workers,
+                rng=spawn_rng(config.seed, "faults"),
+            )
         self.ps = ParameterServer(
             self.engine,
             n_workers=config.n_workers,
@@ -75,6 +89,7 @@ class Trainer:
             update_per_byte=config.ps_update_per_byte,
             sync_mode=config.sync_mode,
             staleness=config.ssp_staleness,
+            faults=self.injector,
         )
 
         self.monitors: list[BandwidthMonitor] = []
@@ -106,6 +121,7 @@ class Trainer:
                 oracle_profile=worker_profile,
                 tcp=config.tcp,
                 rng=spawn_rng(config.seed, "sched", w),
+                engine=self.engine,
             )
             scheduler = scheduler_factory(ctx)
             self.schedulers.append(scheduler)
@@ -124,10 +140,16 @@ class Trainer:
                 jitter_std=config.jitter_std,
                 compute_scale=compute_scale.get(w, 1.0),
                 on_done=self._worker_done,
-                stall_timeout=config.stall_timeout,
+                stall_timeout=config.sched.stall_timeout,
+                faults=self.injector,
             )
             self.workers.append(worker)
         self.ps.attach_workers(self.workers)
+        if self.injector is not None:
+            self.injector.install(
+                self.workers,
+                {w: self.topology.uplink(w) for w in range(config.n_workers)},
+            )
         self._done_count = 0
 
     def _worker_done(self, worker_id: int) -> None:
@@ -163,6 +185,8 @@ class Trainer:
             compute=self.compute,
             end_time=self.engine.now,
             trace=self.trace,
+            fault_stats=dict(self.injector.stats) if self.injector else None,
+            fault_log=list(self.injector.log) if self.injector else None,
         )
 
 

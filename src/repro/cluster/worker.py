@@ -19,18 +19,34 @@ The worker is where the paper's dataflow comes together.  Per iteration:
 Per-iteration compute jitter is a log-normal factor applied to both passes
 (and to the generation schedule), independent per worker — this is what
 desynchronizes workers and exercises BSP straggler effects.
+
+**Fault mode.**  When the trainer wires a
+:class:`~repro.faults.injector.FaultInjector`, the worker switches its
+transport to a reliable-delivery protocol: every committed push becomes a
+sequence-numbered :class:`~repro.cluster.messages.PushMessage`, delivery
+and acknowledgement legs can each be dropped, and unacknowledged messages
+retransmit under the plan's exponential-backoff
+:class:`~repro.cluster.messages.RetryPolicy` (the PS applies each sequence
+number at most once, so retries never double-credit bytes).  Crashes
+suspend the worker: compute completions occurring during the outage are
+deferred and replayed at restart, the in-flight transfer is aborted (its
+bytes lost and later retransmitted), and queued pulls survive.  With no
+injector every fault branch is behind a single ``is None`` check and the
+event sequence is bit-identical to the fault-free build.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+from collections import deque
 from functools import partial
 from typing import Callable
 
 import numpy as np
 
 from repro.agg.kvstore import GenerationSchedule
-from repro.cluster.messages import PullUnit
+from repro.cluster.messages import PullUnit, PushMessage
 from repro.cluster.ps import ParameterServer
 from repro.errors import SimulationError
 from repro.metrics.timeline import Recorder
@@ -64,7 +80,8 @@ class Worker:
         jitter_std: float = 0.0,
         compute_scale: float = 1.0,
         on_done: Callable[[int], None] | None = None,
-        stall_timeout: float = 0.05,
+        stall_timeout: float = 5e-3,
+        faults=None,
     ):
         self.engine = engine
         self.worker_id = worker_id
@@ -112,6 +129,20 @@ class Worker:
         self._stall_timeout = stall_timeout
         self._stall_timer = None
 
+        # Fault-mode transport state (all unused when faults is None; the
+        # fault-free event sequence must stay bit-identical).
+        self._faults = faults
+        self._suspended = False
+        self._deferred: list[tuple[Callable, tuple]] = []
+        self._push_seq = itertools.count()
+        self._outstanding: dict[int, PushMessage] = {}
+        self._retry_queue: deque[PushMessage] = deque()
+        self._retry_timers: dict[int, object] = {}
+        self._inflight_push: PushMessage | None = None
+        self._inflight_pulls: dict[Link, list[PullUnit]] = {}
+        self._pull_attempts: dict[PullUnit, int] = {}
+        self._push_desc: dict[int, dict[str, object] | None] = {}
+
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
@@ -126,6 +157,68 @@ class Worker:
     def start(self) -> None:
         """Kick off iteration 0 at the current simulation time."""
         self.engine.schedule(self.engine.now, self._begin_forward, 0)
+
+    # ------------------------------------------------------------------
+    # Fault handling: crash/restart and deferred-event plumbing
+    # ------------------------------------------------------------------
+    def _schedule_at(self, time: float, fn: Callable[..., None], *args):
+        """Engine schedule that respects crash suspension in fault mode."""
+        if self._faults is None:
+            return self.engine.schedule(time, fn, *args)
+        return self.engine.schedule(time, self._guarded, fn, *args)
+
+    def _schedule_after(self, delay: float, fn: Callable[..., None], *args):
+        if self._faults is None:
+            return self.engine.schedule_after(delay, fn, *args)
+        return self.engine.schedule_after(delay, self._guarded, fn, *args)
+
+    def _guarded(self, fn: Callable[..., None], *args) -> None:
+        """During an outage, completions queue up and replay at restart."""
+        if self._suspended:
+            self._deferred.append((fn, args))
+        else:
+            fn(*args)
+
+    def crash(self) -> None:
+        """Crash the worker: abort in-flight traffic, freeze compute.
+
+        The in-flight push's bytes are lost (the PS never credits a
+        partial message) and the message re-enters the retry queue; an
+        in-flight pull batch is re-queued for redelivery.  Compute events
+        that complete during the outage are deferred by :meth:`_guarded`
+        and replayed, in order, at :meth:`restart`.
+        """
+        self._suspended = True
+        if self._stall_timer is not None:
+            self._stall_timer.cancel()
+            self._stall_timer = None
+        for link in (self.channel, self.downlink):
+            if link is None:
+                continue
+            tag = link.abort()
+            if tag is None:
+                continue
+            kind = tag[0] if isinstance(tag, tuple) else None
+            if kind == "push" and self._inflight_push is not None:
+                self._retry_queue.append(self._inflight_push)
+                self._inflight_push = None
+            elif kind == "pull":
+                batch = self._inflight_pulls.pop(link, None)
+                if batch:
+                    now = self.engine.now
+                    for pull in batch:
+                        self._pull_queue.append((pull, now))
+
+    def restart(self) -> None:
+        """Return from an outage: replay deferred completions, resume
+        communication (retransmits first)."""
+        self._suspended = False
+        deferred, self._deferred = self._deferred, []
+        for fn, args in deferred:
+            fn(*args)
+        if self.downlink is not None:
+            self._pump_downlink()
+        self._pump()
 
     # ------------------------------------------------------------------
     # Forward propagation
@@ -162,7 +255,7 @@ class Worker:
         now = self.engine.now
         self.recorder.gpu_busy(self.worker_id, self._iter, "fwd", now, now + duration)
         self._fwd_chunk_pending = True
-        self.engine.schedule_after(duration, self._forward_chunk_done, end)
+        self._schedule_after(duration, self._forward_chunk_done, end)
 
     def _forward_chunk_done(self, next_layer: int) -> None:
         self._fwd_chunk_pending = False
@@ -193,10 +286,12 @@ class Worker:
         self.recorder.gpu_busy(
             self.worker_id, iteration, "bwd", now, now + sched.backward_time
         )
+        if self._faults is not None:
+            self._pull_attempts.clear()  # previous iteration fully applied
         for bucket in sched.buckets:
             flush_time = float(sched.c[bucket[0]])
-            self.engine.schedule(now + flush_time, self._bucket_ready, iteration, bucket)
-        self.engine.schedule(
+            self._schedule_at(now + flush_time, self._bucket_ready, iteration, bucket)
+        self._schedule_at(
             now + sched.backward_time, self._backward_done, iteration
         )
 
@@ -255,6 +350,13 @@ class Worker:
         """Drive the (shared) channel: arbitrate pulls vs the proposed push."""
         if self._done or self.channel.busy:
             return
+        if self._faults is not None:
+            if self._suspended:
+                return
+            # Retransmissions go first: they carry the oldest committed
+            # bytes, which every BSP peer is already gated on.
+            if self._transmit_next_retry():
+                return
         now = self.engine.now
         pull_item = self._pick_pull() if self.downlink is None else None
         push = self.scheduler.propose_unit(now)
@@ -290,6 +392,7 @@ class Worker:
         self._stall_timer = None
         if (
             self._done
+            or self._suspended
             or self.channel.busy
             or self._pull_queue
             or self.scheduler.pending_bytes <= 0
@@ -310,7 +413,7 @@ class Worker:
     def _pump_downlink(self) -> None:
         """Duplex ablation: pulls on their own link, by priority."""
         assert self.downlink is not None
-        if self._done or self.downlink.busy or not self._pull_queue:
+        if self._done or self._suspended or self.downlink.busy or not self._pull_queue:
             return
         pull_item = min(self._pull_queue, key=lambda item: (item[0].priority, item[1]))
         self._send_pull_batch(self.downlink, pull_item)
@@ -334,10 +437,12 @@ class Worker:
                 batch.append(item[0])
                 total += item[0].total_bytes
                 self._pull_queue.remove(item)
+        if self._faults is not None:
+            self._inflight_pulls[link] = batch
         link.send(
             total,
             tag=("pull", batch[0].iteration),
-            on_complete=partial(self._pulls_done, batch, self.engine.now),
+            on_complete=partial(self._pulls_done, link, batch, self.engine.now),
             extra_time=self._unit_sync_time(),
         )
 
@@ -357,12 +462,127 @@ class Worker:
         if self.engine.trace.enabled:
             desc = self.scheduler.describe_unit(unit)
             self._trace_push_spans(unit, desc, now)
+        if self._faults is None:
+            self.channel.send(
+                unit.total_bytes,
+                tag=("push", self._comm_iter),
+                on_complete=partial(self._push_done, self._comm_iter, unit, now, desc),
+                extra_time=self._unit_sync_time(),
+            )
+            return
+        msg = PushMessage(seq=next(self._push_seq), iteration=self._comm_iter, unit=unit)
+        self._outstanding[msg.seq] = msg
+        self._push_desc[msg.seq] = desc
+        self._transmit_push(msg)
+
+    # ------------------------------------------------------------------
+    # Reliable push delivery (fault mode only)
+    # ------------------------------------------------------------------
+    def _transmit_next_retry(self) -> bool:
+        """Pop and retransmit the oldest pending retry.  Returns whether a
+        transmission was started (the channel is now busy)."""
+        while self._retry_queue:
+            msg = self._retry_queue.popleft()
+            if msg.acked:
+                continue
+            self._transmit_push(msg)
+            return True
+        return False
+
+    def _transmit_push(self, msg: PushMessage) -> None:
+        msg.attempts += 1
+        self._inflight_push = msg
+        start = self.engine.now
         self.channel.send(
-            unit.total_bytes,
-            tag=("push", self._comm_iter),
-            on_complete=partial(self._push_done, self._comm_iter, unit, now, desc),
+            msg.unit.total_bytes,
+            tag=("push", msg.iteration),
+            on_complete=partial(self._push_attempt_done, msg, start),
             extra_time=self._unit_sync_time(),
         )
+
+    def _push_attempt_done(self, msg: PushMessage, start: float) -> None:
+        """One transmission finished occupying the link: roll the delivery
+        and acknowledgement legs, apply at most once, arm retries."""
+        self._inflight_push = None
+        assert self._faults is not None
+        if self._faults.roll_drop("push", self.worker_id):
+            self._arm_retry(msg)
+            return
+        applied = self.ps.deliver_push(
+            self.worker_id, msg.iteration, msg.unit, msg.seq
+        )
+        if applied:
+            msg.delivered = True
+            self._account_push(msg, start)
+        else:
+            self._faults.count("duplicate_pushes")
+        if self._faults.roll_drop("ack", self.worker_id):
+            # Delivered but unacknowledged: the retransmission will reach
+            # the PS as a duplicate and exercise the at-most-once filter.
+            self._arm_retry(msg)
+        else:
+            self._schedule_after(self.channel.tcp.rtt, self._push_acked, msg)
+
+    def _account_push(self, msg: PushMessage, start: float) -> None:
+        """First delivery of a push: the fault-free completion bookkeeping.
+
+        BSP/ASP/SSP all gate forward ``k+1`` on iteration-``k`` pulls, which
+        require this delivery — so the first delivery always happens while
+        ``_comm_iter == msg.iteration`` and the per-gradient accounting
+        below matches the fault-free path exactly.
+        """
+        now = self.engine.now
+        if msg.iteration == self._comm_iter:
+            for seg in msg.unit.segments:
+                self._pushed[seg.grad] += seg.nbytes
+                if self._pushed[seg.grad] >= self._sizes[seg.grad] - _TOL:
+                    self.recorder.mark_push_end(
+                        self.worker_id, msg.iteration, seg.grad, now
+                    )
+        trace = self.engine.trace
+        if trace.enabled:
+            desc = self._push_desc.get(msg.seq)
+            trace.complete(
+                f"push i{msg.iteration}",
+                "comm",
+                start,
+                now,
+                f"worker{self.worker_id}/comm",
+                desc if desc is not None else {},
+            )
+        self.scheduler.unit_sent(msg.unit, now)
+
+    def _push_acked(self, msg: PushMessage) -> None:
+        if msg.acked:
+            return
+        msg.acked = True
+        self._outstanding.pop(msg.seq, None)
+        self._push_desc.pop(msg.seq, None)
+        timer = self._retry_timers.pop(msg.seq, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _arm_retry(self, msg: PushMessage) -> None:
+        assert self._faults is not None
+        policy = self._faults.retry
+        if msg.attempts > policy.max_retries:
+            raise SimulationError(
+                f"worker {self.worker_id} push seq {msg.seq} exhausted "
+                f"{policy.max_retries} retries (iteration {msg.iteration})"
+            )
+        delay = policy.timeout_for(msg.attempts - 1)
+        self._retry_timers[msg.seq] = self.engine.schedule_after(
+            delay, self._retry_timeout, msg
+        )
+
+    def _retry_timeout(self, msg: PushMessage) -> None:
+        self._retry_timers.pop(msg.seq, None)
+        if msg.acked or self._done:
+            return
+        assert self._faults is not None
+        self._faults.count("push_retries")
+        self._retry_queue.append(msg)
+        self._pump()
 
     def _trace_push_spans(
         self, unit: TransferUnit, desc: dict[str, object], now: float
@@ -430,8 +650,13 @@ class Worker:
         self.ps.receive_push(self.worker_id, iteration, unit)
         # Link on_idle already re-pumps; nothing else to do here.
 
-    def _pulls_done(self, batch: list[PullUnit], start: float) -> None:
+    def _pulls_done(self, link: Link, batch: list[PullUnit], start: float) -> None:
         now = self.engine.now
+        if self._faults is not None:
+            self._inflight_pulls.pop(link, None)
+            if self._faults.roll_drop("pull", self.worker_id):
+                self._schedule_pull_retry(batch)
+                return
         forward_was_blocked = (
             self._fwd_layer < len(self.compute.fwd_times)
             and not self._fwd_chunk_pending
@@ -473,6 +698,36 @@ class Worker:
             self._advance_forward()
         self._check_done()
         # Link on_idle already re-pumps the channel.
+
+    def _schedule_pull_retry(self, batch: list[PullUnit]) -> None:
+        """A pull response was lost: re-request the whole batch after the
+        policy's backoff (the PS already released it; nothing re-credits)."""
+        assert self._faults is not None
+        policy = self._faults.retry
+        self._faults.count("pull_retries")
+        attempt = 1
+        for pull in batch:
+            n = self._pull_attempts.get(pull, 0) + 1
+            if n > policy.max_retries:
+                raise SimulationError(
+                    f"worker {self.worker_id} pull for gradient "
+                    f"{pull.segment.grad} (iteration {pull.iteration}) "
+                    f"exhausted {policy.max_retries} retries"
+                )
+            self._pull_attempts[pull] = n
+            attempt = max(attempt, n)
+        delay = policy.timeout_for(attempt - 1)
+        self.engine.schedule_after(delay, self._requeue_pulls, batch)
+
+    def _requeue_pulls(self, batch: list[PullUnit]) -> None:
+        if self._done:
+            return
+        now = self.engine.now
+        for pull in batch:
+            self._pull_queue.append((pull, now))
+        if self.downlink is not None:
+            self._pump_downlink()
+        self._pump()
 
     # ------------------------------------------------------------------
     def _check_done(self) -> None:

@@ -23,10 +23,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
     from repro.core.profiler import JobProfile
+    from repro.faults.plan import FaultPlan
     from repro.net.monitor import BandwidthMonitor
     from repro.sched.base import CommScheduler
+    from repro.sim.engine import Engine
 
-__all__ = ["TrainingConfig", "WorkerContext", "SchedulerFactory"]
+__all__ = ["SchedulerConfig", "TrainingConfig", "WorkerContext", "SchedulerFactory"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Worker-side communication-agent knobs shared by every strategy.
+
+    ``stall_timeout`` is the stall-probe delay: how long a worker tolerates
+    an idle channel with unsent gradients before prodding the scheduler's
+    flow control (:meth:`repro.sched.base.CommScheduler.grant_probe`) — the
+    escape hatch for ByteScheduler-style credit pipelines whose divergent
+    send orders can otherwise deadlock the BSP ring.
+    """
+
+    stall_timeout: float = 5e-3
+
+    def __post_init__(self) -> None:
+        if self.stall_timeout <= 0:
+            raise ConfigurationError(
+                f"stall_timeout must be positive, got {self.stall_timeout}"
+            )
 
 
 @dataclass(frozen=True)
@@ -47,6 +69,12 @@ class TrainingConfig:
     (the paper's setting), ``"asp"`` (future-work item 1: fully
     asynchronous), or ``"ssp"`` with ``ssp_staleness`` bounding how far
     the fastest worker may run ahead.
+
+    ``faults`` optionally attaches a :class:`~repro.faults.plan.FaultPlan`
+    (crashes, link flaps, message drops, PS stalls).  ``None`` — or an
+    empty plan — leaves the fault machinery entirely uninstantiated: the
+    run's event sequence is bit-identical to a build without the faults
+    subsystem.
     """
 
     model: str = "resnet50"
@@ -76,9 +104,10 @@ class TrainingConfig:
     trace: bool = False
     worker_compute_scale: Mapping[int, float] | None = None
     dtype_bytes: int = 4
-    stall_timeout: float = 5e-3
+    sched: SchedulerConfig = field(default_factory=SchedulerConfig)
     sync_mode: str = "bsp"
     ssp_staleness: int = 2
+    faults: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -97,9 +126,9 @@ class TrainingConfig:
             )
         if self.ps_update_fixed < 0 or self.ps_update_per_byte < 0:
             raise ConfigurationError("PS update costs must be >= 0")
-        if self.stall_timeout <= 0:
+        if not isinstance(self.sched, SchedulerConfig):
             raise ConfigurationError(
-                f"stall_timeout must be positive, got {self.stall_timeout}"
+                f"sched must be a SchedulerConfig, got {type(self.sched).__name__}"
             )
         if self.sync_mode not in ("bsp", "asp", "ssp"):
             raise ConfigurationError(
@@ -109,6 +138,8 @@ class TrainingConfig:
             raise ConfigurationError(
                 f"ssp_staleness must be >= 0, got {self.ssp_staleness}"
             )
+        if self.faults is not None:
+            self.faults.validate_workers(self.n_workers)
         if self.worker_compute_scale:
             for w, scale in self.worker_compute_scale.items():
                 if not 0 <= w < self.n_workers:
@@ -141,7 +172,9 @@ class WorkerContext:
     Gives factories what Prophet's prototype components need: the
     bandwidth monitor, an oracle job profile (for skip-warmup runs), the
     TCP path parameters for transfer-time estimation, and a seeded RNG for
-    stochastic tuners (ByteScheduler's Bayesian optimizer).
+    stochastic tuners (ByteScheduler's Bayesian optimizer).  ``engine``
+    lets a factory wire scheduler-internal events (Prophet's degradation
+    notifications) into the run's trace recorder.
     """
 
     worker_id: int
@@ -149,6 +182,7 @@ class WorkerContext:
     oracle_profile: "JobProfile"
     tcp: TCPParams
     rng: "np.random.Generator"
+    engine: "Engine | None" = None
 
 
 SchedulerFactory = Callable[[WorkerContext], "CommScheduler"]

@@ -22,6 +22,7 @@ table3     Table 3 — rates across batch sizes
 hetero     Sec. 5.3 — heterogeneous cluster (one slow worker)
 overhead   Sec. 5.4 — job-profiling and planning overhead
 ablations  design-choice ablations (not in the paper)
+chaos      resilience under faults (crash/flap/drops/stall; not in paper)
 =========  ==========================================================
 """
 
@@ -41,6 +42,7 @@ from repro.experiments import (  # noqa: F401
     overhead,
     ablations,
     asp,
+    chaos,
     devices,
     dynamic,
     convergence,
@@ -62,6 +64,7 @@ __all__ = [
     "overhead",
     "ablations",
     "asp",
+    "chaos",
     "devices",
     "dynamic",
     "convergence",

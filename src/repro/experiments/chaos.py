@@ -1,0 +1,196 @@
+"""Chaos experiment — resilience of the four strategies under faults.
+
+The paper's motivation (Sec. 1: static configurations "can hardly adapt to
+the dynamic network environments") stops at smooth bandwidth variation;
+this runner asks the harder operational question: *how much of each
+strategy's training rate survives discrete failures?*  It drives the same
+workload twice per strategy — once clean, once under a
+:class:`~repro.faults.plan.FaultPlan` (a mid-training worker crash with
+restart, a link flap, background message loss, and a PS stall) — and
+reports, per strategy:
+
+* **goodput retained** — faulty-run rate as a fraction of the paired
+  clean-run rate (same seed, so the comparison is paired);
+* **recovery time** — from the crash instant until the crashed worker
+  starts its next fresh iteration (the BSP ring is turning again);
+* **retry counts** — how much reliable-delivery work the fault plan
+  induced (push + pull retransmissions).
+
+Everything is deterministic under the seed: the drop sequence comes from a
+dedicated ``spawn_rng(seed, "faults")`` stream, so the CI smoke test can
+assert these scalars against committed baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.trainer import run_training
+from repro.config import SchedulerFactory, TrainingConfig
+from repro.faults.plan import FaultPlan, LinkFlap, MessageDrops, PSStall, WorkerCrash
+from repro.metrics.report import format_table
+from repro.workloads.presets import STRATEGY_FACTORIES, paper_config
+
+__all__ = ["ChaosResult", "default_plan", "run", "main"]
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Paired clean/faulty rates and resilience metrics per strategy."""
+
+    config: TrainingConfig
+    plan: FaultPlan
+    clean_rates: Mapping[str, float]
+    faulty_rates: Mapping[str, float]
+    #: Faulty rate / clean rate (1.0 = the faults cost nothing).
+    goodput_retained: Mapping[str, float]
+    #: Seconds from the crash until the crashed worker's next fresh
+    #: iteration start (NaN if the plan has no crash).
+    recovery_time: Mapping[str, float]
+    #: Push + pull retransmissions induced by the plan.
+    retries: Mapping[str, int]
+    #: Full injector counters per strategy (drops, duplicates, ...).
+    fault_stats: Mapping[str, Mapping[str, int]]
+
+
+def default_plan(
+    crash_at: float = 2.0,
+    restart_after: float = 0.5,
+    crash_worker: int = 1,
+    drop: float = 0.02,
+    flap_at: float = 4.0,
+    flap_duration: float = 1.0,
+    flap_factor: float = 0.3,
+    stall_at: float = 6.0,
+    stall_duration: float = 0.3,
+) -> FaultPlan:
+    """The chaos cocktail: crash + restart, link flap, drops, PS stall."""
+    return FaultPlan(
+        crashes=[
+            WorkerCrash(worker=crash_worker, at=crash_at, restart_after=restart_after)
+        ],
+        flaps=[
+            LinkFlap(start=flap_at, duration=flap_duration, factor=flap_factor)
+        ],
+        drops=[MessageDrops(push=drop, pull=drop, ack=drop)],
+        ps_stalls=[PSStall(at=stall_at, duration=stall_duration)],
+    )
+
+
+def _recovery_time(result, plan: FaultPlan) -> float:
+    """Crash instant → the crashed worker's next fresh iteration start."""
+    if not plan.crashes or result.fault_log is None:
+        return math.nan
+    crash_times = {
+        detail["worker"]: t
+        for t, kind, detail in result.fault_log
+        if kind == "fault.crash"
+    }
+    if not crash_times:
+        return math.nan
+    worst = 0.0
+    for worker, t_crash in crash_times.items():
+        starts = [r.fwd_start for r in result.recorder.worker_iterations(worker)]
+        t_next = min((s for s in starts if s > t_crash), default=math.nan)
+        worst = max(worst, t_next - t_crash)
+    return worst
+
+
+def run(
+    model: str = "resnet18",
+    batch_size: int = 64,
+    n_iterations: int = 12,
+    seed: int = 0,
+    plan: FaultPlan | None = None,
+    strategies: Mapping[str, SchedulerFactory] | None = None,
+    skip: int = 1,
+) -> ChaosResult:
+    """Paired clean/faulty comparison of all strategies under one plan."""
+    if plan is None:
+        plan = default_plan()
+    strategies = dict(strategies if strategies is not None else STRATEGY_FACTORIES)
+    clean_config = paper_config(
+        model, batch_size, n_iterations=n_iterations, seed=seed,
+        record_gradients=False,
+    )
+    faulty_config = paper_config(
+        model, batch_size, n_iterations=n_iterations, seed=seed,
+        record_gradients=False, faults=plan,
+    )
+    clean_rates: dict[str, float] = {}
+    faulty_rates: dict[str, float] = {}
+    retained: dict[str, float] = {}
+    recovery: dict[str, float] = {}
+    retries: dict[str, int] = {}
+    stats: dict[str, Mapping[str, int]] = {}
+    for name, factory in strategies.items():
+        clean = run_training(clean_config, factory)
+        faulty = run_training(faulty_config, factory)
+        clean_rates[name] = clean.training_rate(skip=skip)
+        faulty_rates[name] = faulty.training_rate(skip=skip)
+        retained[name] = faulty_rates[name] / clean_rates[name]
+        recovery[name] = _recovery_time(faulty, plan)
+        assert faulty.fault_stats is not None
+        stats[name] = dict(faulty.fault_stats)
+        retries[name] = (
+            faulty.fault_stats["push_retries"] + faulty.fault_stats["pull_retries"]
+        )
+    return ChaosResult(
+        config=faulty_config,
+        plan=plan,
+        clean_rates=clean_rates,
+        faulty_rates=faulty_rates,
+        goodput_retained=retained,
+        recovery_time=recovery,
+        retries=retries,
+        fault_stats=stats,
+    )
+
+
+def main(**kwargs) -> ChaosResult:
+    res = run(**kwargs)
+    rows = []
+    for name in sorted(res.goodput_retained, key=res.goodput_retained.get,
+                       reverse=True):
+        rows.append(
+            [
+                name,
+                f"{res.clean_rates[name]:.1f}",
+                f"{res.faulty_rates[name]:.1f}",
+                f"{res.goodput_retained[name] * 100:.1f}%",
+                f"{res.recovery_time[name] * 1e3:.0f}",
+                str(res.retries[name]),
+            ]
+        )
+    plan = res.plan
+    if plan.crashes:
+        crash = plan.crashes[0]
+        blurb = (
+            f"worker {crash.worker} crash @ {crash.at:g}s "
+            f"(+{crash.restart_after:g}s restart), drops, flap, PS stall"
+        )
+    else:
+        blurb = "drops, flap, PS stall (no crash)"
+    print(
+        format_table(
+            [
+                "strategy",
+                "clean (samples/s)",
+                "faulty (samples/s)",
+                "goodput retained",
+                "recovery (ms)",
+                "retries",
+            ],
+            rows,
+            title=(
+                f"Chaos — {res.config.model} bs{res.config.batch_size}: {blurb}"
+            ),
+        )
+    )
+    return res
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,224 @@
+"""Seed-driven fault injection for the cluster simulation.
+
+The :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.plan.FaultPlan` into scheduled engine events (crash,
+restart, flap and stall boundaries) and into per-message drop decisions
+drawn from a dedicated RNG stream (``spawn_rng(seed, "faults")``).  All
+fault occurrences are counted in :attr:`FaultInjector.stats` and recorded
+as ``fault``-category trace instants when tracing is enabled, so a chaos
+run's Perfetto view shows exactly when each failure fired and when the
+cluster recovered.
+
+Link flaps are layered onto the links' existing bandwidth schedules via
+:class:`FlappedSchedule`, which multiplies the base schedule's value inside
+each flap window — composing with, not replacing, the dynamic-bandwidth
+experiments' square waves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan, LinkFlap
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+
+__all__ = ["FaultInjector", "FlappedSchedule"]
+
+#: Drop legs the delivery layer may roll for.
+_LEGS = ("push", "pull", "ack")
+
+
+class FlappedSchedule:
+    """A bandwidth schedule with flap windows layered multiplicatively.
+
+    Duck-types :class:`~repro.net.link.BandwidthSchedule` (``value`` and
+    ``mean``), so links and monitors are oblivious to the wrapping.
+    Overlapping windows compound (two 0.5x flaps yield 0.25x).
+    """
+
+    def __init__(self, base, flaps: tuple[LinkFlap, ...]):
+        self._base = base
+        self._flaps = tuple(flaps)
+
+    def value(self, time: float) -> float:
+        value = self._base.value(time)
+        for flap in self._flaps:
+            if flap.start <= time < flap.end:
+                value *= flap.factor
+        return value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the *base* schedule (summaries ignore transient flaps)."""
+        return self._base.mean
+
+
+class FaultInjector:
+    """Schedules a plan's fault events and serves drop decisions."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        plan: FaultPlan,
+        n_workers: int,
+        rng: np.random.Generator,
+    ):
+        plan.validate_workers(n_workers)
+        self.engine = engine
+        self.plan = plan
+        self.n_workers = n_workers
+        self._rng = rng
+        self._installed = False
+        #: Fault/recovery counters accumulated over the run.
+        self.stats: dict[str, int] = {
+            "push_drops": 0,
+            "pull_drops": 0,
+            "ack_drops": 0,
+            "push_retries": 0,
+            "pull_retries": 0,
+            "duplicate_pushes": 0,
+            "crashes": 0,
+            "restarts": 0,
+            "link_flaps": 0,
+            "ps_stalls": 0,
+        }
+        #: ``(time, kind, detail)`` log of every discrete fault event.
+        self.log: list[tuple[float, str, dict]] = []
+        self._stalls = tuple(sorted(plan.ps_stalls, key=lambda s: s.at))
+
+    @property
+    def retry(self):
+        """The plan's :class:`~repro.cluster.messages.RetryPolicy`."""
+        return self.plan.retry
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(self, workers: list, links: Mapping[int, "Link"]) -> None:
+        """Wrap link schedules and schedule every discrete fault event.
+
+        ``workers`` are the cluster's :class:`~repro.cluster.worker.Worker`
+        objects (crash targets); ``links`` maps worker id → uplink (flap
+        targets).  Must be called exactly once, before the engine runs.
+        """
+        if self._installed:
+            raise SimulationError("FaultInjector.install() called twice")
+        self._installed = True
+        for worker_id, link in links.items():
+            flaps = tuple(
+                f
+                for f in self.plan.flaps
+                if f.worker is None or f.worker == worker_id
+            )
+            if flaps:
+                link.schedule = FlappedSchedule(link.schedule, flaps)
+        seen_flap_windows = set()
+        for flap in self.plan.flaps:
+            window = (flap.start, flap.duration, flap.factor, flap.worker)
+            if window in seen_flap_windows:
+                continue
+            seen_flap_windows.add(window)
+            self.engine.schedule(flap.start, self._flap_started, flap)
+            self.engine.schedule(flap.end, self._flap_ended, flap)
+        for crash in self.plan.crashes:
+            self.engine.schedule(crash.at, self._crash, workers[crash.worker], crash)
+        for stall in self._stalls:
+            self.engine.schedule(stall.at, self._stall_started, stall)
+            self.engine.schedule(stall.end, self._stall_ended, stall)
+
+    # ------------------------------------------------------------------
+    # Queries served to the delivery layer
+    # ------------------------------------------------------------------
+    def roll_drop(self, leg: str, worker: int) -> bool:
+        """Decide whether a ``leg`` message of ``worker`` is lost now.
+
+        Active drop specs combine as independent loss processes
+        (``1 - prod(1 - p)``).  Every call draws exactly once so the drop
+        sequence is a deterministic function of the delivery event order.
+        """
+        if leg not in _LEGS:
+            raise SimulationError(f"unknown drop leg {leg!r}")
+        now = self.engine.now
+        keep = 1.0
+        for spec in self.plan.drops:
+            if spec.worker is not None and spec.worker != worker:
+                continue
+            if not spec.start <= now < spec.end:
+                continue
+            keep *= 1.0 - getattr(spec, leg)
+        p = 1.0 - keep
+        if p <= 0.0:
+            return False
+        dropped = bool(self._rng.random() < p)
+        if dropped:
+            self.stats[f"{leg}_drops"] += 1
+            self._record(f"drop.{leg}", f"worker{worker}/faults", {"worker": worker})
+        return dropped
+
+    def ps_release_delay(self, now: float) -> float:
+        """Extra delay a PS release scheduled at ``now`` must absorb
+        because of an active stall window (0 outside every window)."""
+        for stall in self._stalls:
+            if stall.at <= now < stall.end:
+                return stall.end - now
+        return 0.0
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Increment a stats counter (retries, duplicates) from the
+        delivery layer."""
+        self.stats[key] = self.stats.get(key, 0) + n
+
+    # ------------------------------------------------------------------
+    # Scheduled fault events
+    # ------------------------------------------------------------------
+    def _crash(self, worker, crash) -> None:
+        if worker.done:
+            return  # training outran the plan; a crash after completion is moot
+        self.stats["crashes"] += 1
+        self._record(
+            "fault.crash",
+            f"worker{crash.worker}/faults",
+            {"worker": crash.worker, "restart_after": crash.restart_after},
+        )
+        worker.crash()
+        self.engine.schedule_after(crash.restart_after, self._restart, worker, crash)
+
+    def _restart(self, worker, crash) -> None:
+        self.stats["restarts"] += 1
+        self._record(
+            "fault.restart", f"worker{crash.worker}/faults", {"worker": crash.worker}
+        )
+        worker.restart()
+
+    def _flap_started(self, flap: LinkFlap) -> None:
+        self.stats["link_flaps"] += 1
+        track = "faults" if flap.worker is None else f"worker{flap.worker}/faults"
+        self._record(
+            "fault.flap",
+            track,
+            {"worker": flap.worker, "factor": flap.factor, "duration": flap.duration},
+        )
+
+    def _flap_ended(self, flap: LinkFlap) -> None:
+        track = "faults" if flap.worker is None else f"worker{flap.worker}/faults"
+        self._record("fault.flap_end", track, {"worker": flap.worker})
+
+    def _stall_started(self, stall) -> None:
+        self.stats["ps_stalls"] += 1
+        self._record("fault.ps_stall", "ps", {"duration": stall.duration})
+
+    def _stall_ended(self, stall) -> None:
+        self._record("fault.ps_resume", "ps", {})
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, track: str, detail: dict) -> None:
+        self.log.append((self.engine.now, kind, detail))
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.instant(kind, "fault", self.engine.now, track, detail)

@@ -122,8 +122,12 @@ class Link:
         self._noise_rng = noise_rng
         self._noise_std = noise_std
         self._inflight: _InFlight | None = None
+        self._finish_event = None
         self.records: list[TransferRecord] = []
         self.total_bytes = 0.0
+        #: Transfers cut short by :meth:`abort` (worker crashes) — the
+        #: bytes never arrive and are not credited anywhere.
+        self.aborted_transfers = 0
         self.on_idle: Callable[[], None] | None = None
         self._last_end: float | None = None
         # Running busy-time total: O(1) utilization for the trace counter.
@@ -195,14 +199,43 @@ class Link:
         start = self.engine.now
         end = start + duration
         self._inflight = _InFlight(nbytes, tag, start, end, on_complete)
-        self.engine.schedule(end, self._finish)
+        self._finish_event = self.engine.schedule(end, self._finish)
         return end
+
+    def abort(self) -> object | None:
+        """Abort the in-flight transfer (the sender crashed mid-send).
+
+        The bytes are lost: no record is appended, no ``on_complete`` or
+        ``on_idle`` callback fires, and the completion event is cancelled.
+        Returns the aborted transfer's tag, or ``None`` if the link was
+        idle.  TCP state is reset (the next send pays a cold start).
+        """
+        inflight = self._inflight
+        if inflight is None:
+            return None
+        if self._finish_event is not None:
+            self._finish_event.cancel()
+            self._finish_event = None
+        self._inflight = None
+        self._last_end = None
+        self.aborted_transfers += 1
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.instant(
+                "transfer.aborted",
+                "fault",
+                self.engine.now,
+                f"net/{self.name}",
+                {"nbytes": inflight.nbytes, "started": inflight.start},
+            )
+        return inflight.tag
 
     def _finish(self) -> None:
         inflight = self._inflight
         if inflight is None:  # pragma: no cover - defensive
             raise SimulationError(f"link {self.name!r} finished with no transfer")
         self._inflight = None
+        self._finish_event = None
         self._last_end = inflight.end
         self.records.append(
             TransferRecord(inflight.start, inflight.end, inflight.nbytes, inflight.tag)

@@ -7,10 +7,13 @@ link's available bandwidth (optionally with multiplicative measurement
 noise) and retains the latest sample.  Consumers (the Prophet scheduler)
 read :meth:`BandwidthMonitor.bandwidth`, seeing a *stale* value between
 samples — exactly the information lag a real monitor has under dynamic
-network conditions.
+network conditions.  :meth:`BandwidthMonitor.sample_age` exposes that lag
+so degradation logic can reason about how old its bandwidth estimate is.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 import numpy as np
 
@@ -26,7 +29,9 @@ class BandwidthMonitor:
 
     The first sample is taken at construction time, so a freshly created
     monitor is immediately usable.  ``history`` keeps ``(time, bandwidth)``
-    pairs for post-hoc analysis.
+    pairs for post-hoc analysis; ``max_history`` bounds its growth (the
+    default ``None`` keeps everything, which is fine for short runs — a
+    long-lived monitor should set a bound so memory stays constant).
     """
 
     def __init__(
@@ -36,6 +41,7 @@ class BandwidthMonitor:
         interval: float = 5.0,
         noise_std: float = 0.0,
         rng: np.random.Generator | None = None,
+        max_history: int | None = None,
     ):
         if interval <= 0:
             raise ConfigurationError(f"interval must be positive, got {interval}")
@@ -43,16 +49,22 @@ class BandwidthMonitor:
             raise ConfigurationError(f"noise_std must be in [0, 1), got {noise_std}")
         if noise_std > 0 and rng is None:
             raise ConfigurationError("noise_std > 0 requires an rng")
+        if max_history is not None and max_history < 1:
+            raise ConfigurationError(
+                f"max_history must be >= 1 when set, got {max_history}"
+            )
         self.engine = engine
         self.link = link
         self.interval = interval
         self._noise_std = noise_std
         self._rng = rng
-        self.history: list[tuple[float, float]] = []
+        self.history: deque[tuple[float, float]] = deque(maxlen=max_history)
         self._stopped = False
+        self._sample_event = None
         self._sample()
 
     def _sample(self) -> None:
+        self._sample_event = None
         if self._stopped:
             return
         value = self.link.current_bandwidth()
@@ -69,7 +81,7 @@ class BandwidthMonitor:
                 f"net/{self.link.name}",
                 {"bytes_per_s": value},
             )
-        self.engine.schedule_after(self.interval, self._sample)
+        self._sample_event = self.engine.schedule_after(self.interval, self._sample)
 
     @property
     def bandwidth(self) -> float:
@@ -81,6 +93,14 @@ class BandwidthMonitor:
         """Simulation time of the most recent sample."""
         return self.history[-1][0]
 
+    def sample_age(self) -> float:
+        """How stale the current :attr:`bandwidth` estimate is (seconds)."""
+        return self.engine.now - self.last_sample_time
+
     def stop(self) -> None:
-        """Stop future sampling (lets a bounded run drain its event queue)."""
+        """Stop sampling and cancel the pending sample event, so a bounded
+        run's event queue drains instead of ticking forever."""
         self._stopped = True
+        if self._sample_event is not None:
+            self._sample_event.cancel()
+            self._sample_event = None

@@ -27,6 +27,22 @@ paper's Fig. 7:
 A pre-built :class:`~repro.core.profiler.JobProfile` may be supplied to
 skip warmup (the "oracle profile", equivalent to a converged profiling
 run) — the fast benchmark presets use this.
+
+**Graceful degradation.**  A stepwise plan is only as good as its inputs,
+and both can rot mid-run: the profiled ``c(i)`` goes stale when compute
+pacing shifts (straggler onset, thermal throttling), and the monitored
+bandwidth can collapse under a link fault, making every interval budget
+infeasible.  The scheduler therefore watches its own assumptions: each
+planned iteration compares observed generation times against the profile
+(size-weighted mean relative drift) and each iteration start compares the
+monitored bandwidth against the best recently seen.  When drift exceeds
+``stale_tolerance`` for ``stale_patience`` consecutive iterations, or
+bandwidth falls below ``collapse_factor`` of the reference, the scheduler
+*falls back* instead of emitting an infeasible plan: ``on_stale="reprofile"``
+(default) discards the profile and re-enters the warmup-FIFO path until a
+fresh profile converges; ``on_stale="fifo"`` degrades to FIFO permanently.
+Every detection fires the ``notify`` hook (wired by the factory to a
+``fault``-category trace instant) and increments the public counters.
 """
 
 from __future__ import annotations
@@ -64,6 +80,11 @@ class ProphetScheduler(CommScheduler):
         round_trip_factor: float = 1.0,
         slice_bytes: float = 1 * MB,
         pull_batch_bytes: float = 4 * MB,
+        stale_tolerance: float | None = 0.5,
+        stale_patience: int = 2,
+        collapse_factor: float = 0.1,
+        on_stale: str = "reprofile",
+        notify: Callable[[str, dict], None] | None = None,
     ):
         if forward_block_bytes <= 0:
             raise ConfigurationError(
@@ -74,6 +95,22 @@ class ProphetScheduler(CommScheduler):
         if round_trip_factor < 1:
             raise ConfigurationError(
                 f"round_trip_factor must be >= 1, got {round_trip_factor}"
+            )
+        if stale_tolerance is not None and stale_tolerance <= 0:
+            raise ConfigurationError(
+                f"stale_tolerance must be positive (or None), got {stale_tolerance}"
+            )
+        if stale_patience < 1:
+            raise ConfigurationError(
+                f"stale_patience must be >= 1, got {stale_patience}"
+            )
+        if not 0 <= collapse_factor < 1:
+            raise ConfigurationError(
+                f"collapse_factor must be in [0, 1), got {collapse_factor}"
+            )
+        if on_stale not in ("reprofile", "fifo"):
+            raise ConfigurationError(
+                f"on_stale must be 'reprofile' or 'fifo', got {on_stale!r}"
             )
         super().__init__()
         #: Budget multiplier for block packing.  1.0 is Algorithm 1 as
@@ -111,6 +148,26 @@ class ProphetScheduler(CommScheduler):
         #: Number of iterations scheduled with the profile active (stats).
         self.planned_iterations = 0
 
+        # Degradation policy (see the module docstring).
+        self.stale_tolerance = stale_tolerance
+        self.stale_patience = int(stale_patience)
+        self.collapse_factor = float(collapse_factor)
+        self.on_stale = on_stale
+        self._notify = notify
+        self._stale_streak = 0
+        self._drift_err = 0.0
+        self._drift_base = 0.0
+        self._reference_bandwidth = 0.0
+        self._fifo_locked = False
+        #: Stale-profile detections (drift beyond tolerance, patience met).
+        self.stale_detections = 0
+        #: Bandwidth-collapse detections.
+        self.collapse_detections = 0
+        #: Times the scheduler abandoned its plan (either detection kind).
+        self.fallbacks = 0
+        #: Fallbacks that re-entered profiling (``on_stale="reprofile"``).
+        self.reprofiles = 0
+
     # ------------------------------------------------------------------
     @property
     def active(self) -> bool:
@@ -121,6 +178,11 @@ class ProphetScheduler(CommScheduler):
     def profile(self) -> JobProfile | None:
         return self._profile
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the scheduler has abandoned at least one plan."""
+        return self.fallbacks > 0
+
     # ------------------------------------------------------------------
     def begin_iteration(
         self, iteration: int, schedule: GenerationSchedule, now: float
@@ -129,7 +191,24 @@ class ProphetScheduler(CommScheduler):
         self._backward_start = now
         self._signalled = np.zeros(len(schedule.sizes), dtype=bool)
         self._fallback_queue.clear()
-        if self._profiler is None and self._profile is None:
+        self._drift_err = 0.0
+        self._drift_base = 0.0
+        if self.collapse_factor > 0:
+            bandwidth = self._bandwidth_provider()
+            self._reference_bandwidth = max(self._reference_bandwidth, bandwidth)
+            if (
+                self._profile is not None
+                and bandwidth < self.collapse_factor * self._reference_bandwidth
+            ):
+                self._degrade(
+                    "bandwidth-collapse",
+                    {
+                        "bandwidth": bandwidth,
+                        "reference": self._reference_bandwidth,
+                        "iteration": iteration,
+                    },
+                )
+        if self._profiler is None and self._profile is None and not self._fifo_locked:
             self._profiler = JobProfiler(
                 sizes=schedule.sizes, min_iterations=self.profile_iterations
             )
@@ -143,12 +222,52 @@ class ProphetScheduler(CommScheduler):
         self._fallback_queue.append(grad)
         if self._profiler is not None and self._profile is None:
             self._profiler.observe(grad, max(0.0, now - self._backward_start))
+        elif self._profile is not None and self.stale_tolerance is not None:
+            # Plan-vs-reality drift: accumulate |observed - c(i)| weighted
+            # against the profile's own timescale.
+            expected = float(self._profile.c[grad])
+            observed = max(0.0, now - self._backward_start)
+            self._drift_err += abs(observed - expected)
+            self._drift_base += max(expected, self._eps)
 
     def end_iteration(self, iteration: int, iteration_time: float, now: float) -> None:
+        if (
+            self._profile is not None
+            and self.stale_tolerance is not None
+            and self._drift_base > 0
+        ):
+            drift = self._drift_err / self._drift_base
+            if drift > self.stale_tolerance:
+                self._stale_streak += 1
+                if self._stale_streak >= self.stale_patience:
+                    self._degrade(
+                        "stale-profile", {"drift": drift, "iteration": iteration}
+                    )
+            else:
+                self._stale_streak = 0
         if self._profiler is not None and self._profile is None:
             self._profiler.end_iteration()
             if self._profiler.ready:
                 self._profile = self._profiler.build()
+
+    def _degrade(self, reason: str, detail: dict) -> None:
+        """Abandon the current plan: re-profile or lock into FIFO."""
+        if reason == "stale-profile":
+            self.stale_detections += 1
+        else:
+            self.collapse_detections += 1
+        self.fallbacks += 1
+        self._stale_streak = 0
+        self._profile = None
+        self._profiler = None
+        if self.on_stale == "fifo":
+            self._fifo_locked = True
+        else:
+            self.reprofiles += 1
+        if self._notify is not None:
+            self._notify(
+                "prophet.fallback", {"reason": reason, "action": self.on_stale, **detail}
+            )
 
     def pull_batch_limit(self, now: float) -> float | None:
         """Interval-aware pull batching.

@@ -153,6 +153,10 @@ def prophet_factory(
     profile_iterations: int = 50,
     guard: float = 0.0,
     forward_block_bytes: float = 4 * MB,
+    stale_tolerance: float | None = 0.5,
+    stale_patience: int = 2,
+    collapse_factor: float = 0.1,
+    on_stale: str = "reprofile",
 ) -> SchedulerFactory:
     """Prophet wired to each worker's bandwidth monitor.
 
@@ -160,10 +164,25 @@ def prophet_factory(
     profile immediately — equivalent to (and much faster than) simulating
     the paper's 50 warmup iterations.  Set it ``False`` to simulate the
     full online profiling phase (used by the Fig. 13 overhead experiment).
+
+    The degradation knobs (``stale_tolerance``/``stale_patience``/
+    ``collapse_factor``/``on_stale``) govern when the scheduler abandons a
+    rotten plan; each detection is recorded as a ``fault``-category trace
+    instant on the worker's scheduler track.
     """
 
     def factory(ctx: WorkerContext) -> CommScheduler:
         monitor = ctx.monitor
+        engine = ctx.engine
+        track = f"worker{ctx.worker_id}/sched"
+
+        def notify(event: str, detail: dict) -> None:
+            if engine is None:
+                return
+            trace = engine.trace
+            if trace.enabled:
+                trace.instant(event, "fault", engine.now, track, detail)
+
         return ProphetScheduler(
             bandwidth_provider=lambda: monitor.bandwidth,
             profile=ctx.oracle_profile if oracle_profile else None,
@@ -171,6 +190,11 @@ def prophet_factory(
             tcp=ctx.tcp,
             guard=guard,
             forward_block_bytes=forward_block_bytes,
+            stale_tolerance=stale_tolerance,
+            stale_patience=stale_patience,
+            collapse_factor=collapse_factor,
+            on_stale=on_stale,
+            notify=notify,
         )
 
     return factory

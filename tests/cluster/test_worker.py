@@ -5,6 +5,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.cluster.trainer import Trainer, run_training
+from repro.config import SchedulerConfig
 from repro.workloads.presets import (
     bytescheduler_factory,
     fifo_factory,
@@ -61,8 +62,8 @@ class TestStallTimer:
         assert result.training_rate(skip=1) > 0
 
     def test_stall_timeout_configurable(self, tiny_config):
-        fast = replace(tiny_config, stall_timeout=1e-3)
-        slow = replace(tiny_config, stall_timeout=0.2)
+        fast = replace(tiny_config, sched=SchedulerConfig(stall_timeout=1e-3))
+        slow = replace(tiny_config, sched=SchedulerConfig(stall_timeout=0.2))
         rf = run_training(fast, bytescheduler_factory(credit=1024 * 512))
         rs = run_training(slow, bytescheduler_factory(credit=1024 * 512))
         # Faster probes can only help a wedged window.

@@ -81,3 +81,35 @@ class TestDynamicBandwidth:
         res = dynamic.run(n_iterations=16)
         assert res.mean_rates["prophet"] >= res.mean_rates["bytescheduler"] * 0.99
         assert res.mean_rates["prophet"] > res.mean_rates["mxnet-fifo"]
+
+
+class TestChaosExperiment:
+    @pytest.fixture(scope="class")
+    def res(self):
+        from repro.experiments import chaos
+
+        plan = chaos.default_plan(
+            crash_at=0.4, restart_after=0.2, drop=0.03,
+            flap_at=0.8, flap_duration=0.3, flap_factor=0.5,
+            stall_at=1.2, stall_duration=0.1,
+        )
+        return chaos.run(
+            model="resnet18", batch_size=16, n_iterations=5, plan=plan
+        )
+
+    def test_every_strategy_survives_the_cocktail(self, res):
+        for name, retained in res.goodput_retained.items():
+            assert 0.0 < retained <= 1.05, name
+
+    def test_recovery_time_spans_the_outage(self, res):
+        # The worker is down for restart_after seconds, so recovery can
+        # never beat that; an unbounded recovery would mean a hang.
+        for name, rec in res.recovery_time.items():
+            assert rec >= 0.2, name
+            assert rec < 5.0, name
+
+    def test_faults_were_actually_injected(self, res):
+        for name, stats in res.fault_stats.items():
+            assert stats["crashes"] == 1, name
+            assert stats["restarts"] == 1, name
+            assert stats["push_drops"] + stats["pull_drops"] > 0, name

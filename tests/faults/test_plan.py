@@ -1,0 +1,170 @@
+"""Validation tests for the declarative fault plans."""
+
+import math
+
+import pytest
+
+from repro.cluster.messages import RetryPolicy
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    FaultPlan,
+    LinkFlap,
+    MessageDrops,
+    PSStall,
+    WorkerCrash,
+)
+
+
+class TestWorkerCrash:
+    def test_valid(self):
+        crash = WorkerCrash(worker=1, at=2.0, restart_after=0.5)
+        assert crash.worker == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(worker=-1, at=1.0, restart_after=0.5),
+            dict(worker=0, at=-0.1, restart_after=0.5),
+            dict(worker=0, at=1.0, restart_after=0.0),
+            dict(worker=0, at=1.0, restart_after=-1.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkerCrash(**kwargs)
+
+
+class TestLinkFlap:
+    def test_end_property(self):
+        flap = LinkFlap(start=4.0, duration=1.5, factor=0.3)
+        assert flap.end == pytest.approx(5.5)
+        assert flap.worker is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(start=-1.0, duration=1.0, factor=0.5),
+            dict(start=0.0, duration=0.0, factor=0.5),
+            dict(start=0.0, duration=1.0, factor=0.0),  # full cut not allowed
+            dict(start=0.0, duration=1.0, factor=1.5),
+            dict(start=0.0, duration=1.0, factor=0.5, worker=-2),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LinkFlap(**kwargs)
+
+
+class TestMessageDrops:
+    def test_defaults_are_noop_over_all_time(self):
+        drops = MessageDrops()
+        assert drops.is_noop
+        assert drops.end == math.inf
+
+    def test_any_positive_probability_is_not_noop(self):
+        assert not MessageDrops(ack=0.01).is_noop
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(push=1.0),  # certainty would retry forever
+            dict(pull=-0.1),
+            dict(ack=2.0),
+            dict(start=-1.0),
+            dict(start=2.0, end=2.0),
+            dict(worker=-1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MessageDrops(**kwargs)
+
+
+class TestPSStall:
+    def test_end_property(self):
+        stall = PSStall(at=6.0, duration=0.3)
+        assert stall.end == pytest.approx(6.3)
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(at=-1.0, duration=0.3), dict(at=0.0, duration=0.0)]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PSStall(**kwargs)
+
+
+class TestRetryPolicy:
+    def test_timeouts_back_off_exponentially_and_cap(self):
+        policy = RetryPolicy(timeout=0.01, backoff=2.0, max_timeout=0.05)
+        assert policy.timeout_for(0) == pytest.approx(0.01)
+        assert policy.timeout_for(1) == pytest.approx(0.02)
+        assert policy.timeout_for(2) == pytest.approx(0.04)
+        assert policy.timeout_for(3) == pytest.approx(0.05)  # capped
+        assert policy.timeout_for(10) == pytest.approx(0.05)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(timeout=0.0),
+            dict(backoff=0.5),
+            dict(max_timeout=0.001, timeout=0.01),
+            dict(max_retries=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestFaultPlan:
+    def test_lists_normalize_to_tuples(self):
+        plan = FaultPlan(crashes=[WorkerCrash(worker=0, at=1.0, restart_after=0.5)])
+        assert isinstance(plan.crashes, tuple)
+
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty
+
+    def test_noop_drops_keep_plan_empty(self):
+        assert FaultPlan(drops=[MessageDrops()]).is_empty
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(crashes=[WorkerCrash(worker=0, at=1.0, restart_after=0.5)]),
+            dict(flaps=[LinkFlap(start=0.0, duration=1.0, factor=0.5)]),
+            dict(drops=[MessageDrops(push=0.1)]),
+            dict(ps_stalls=[PSStall(at=1.0, duration=0.2)]),
+        ],
+    )
+    def test_any_fault_makes_plan_nonempty(self, kwargs):
+        assert not FaultPlan(**kwargs).is_empty
+
+    def test_duplicate_crash_worker_rejected(self):
+        with pytest.raises(ConfigurationError, match="multiple crashes"):
+            FaultPlan(
+                crashes=[
+                    WorkerCrash(worker=0, at=1.0, restart_after=0.5),
+                    WorkerCrash(worker=0, at=3.0, restart_after=0.5),
+                ]
+            )
+
+    def test_overlapping_ps_stalls_rejected(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            FaultPlan(
+                ps_stalls=[
+                    PSStall(at=1.0, duration=1.0),
+                    PSStall(at=1.5, duration=1.0),
+                ]
+            )
+
+    def test_validate_workers_checks_every_reference(self):
+        plan = FaultPlan(crashes=[WorkerCrash(worker=3, at=1.0, restart_after=0.5)])
+        plan.validate_workers(4)  # in range: fine
+        with pytest.raises(ConfigurationError, match="worker 3"):
+            plan.validate_workers(3)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                flaps=[LinkFlap(start=0.0, duration=1.0, factor=0.5, worker=5)]
+            ).validate_workers(2)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(drops=[MessageDrops(push=0.1, worker=9)]).validate_workers(2)

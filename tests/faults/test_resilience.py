@@ -1,0 +1,198 @@
+"""End-to-end resilience tests: training survives the fault plan, the
+conservation laws hold under retries, and the injection layer is provably
+inert when unused."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.trainer import Trainer, run_training
+from repro.faults.plan import (
+    FaultPlan,
+    LinkFlap,
+    MessageDrops,
+    PSStall,
+    WorkerCrash,
+)
+from repro.workloads.presets import (
+    fifo_factory,
+    p3_factory,
+    prophet_factory,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_end_time(tiny_config_module):
+    return run_training(tiny_config_module, fifo_factory()).end_time
+
+
+@pytest.fixture(scope="module")
+def tiny_config_module():
+    # Module-scoped twin of the function-scoped ``tiny_config`` fixture so
+    # the clean reference run is simulated once for the whole module.
+    from repro.agg.policies import ExplicitGroupsPolicy
+    from repro.config import TrainingConfig
+    from repro.models.device import DeviceSpec
+    from repro.net.tcp import TCPParams
+    from repro.quantities import Gbps
+    from tests.conftest import TINY_MODEL_NAME
+
+    return TrainingConfig(
+        model=TINY_MODEL_NAME,
+        batch_size=8,
+        n_workers=2,
+        n_iterations=6,
+        bandwidth=1 * Gbps,
+        tcp=TCPParams(rtt=0.2e-3, fixed_overhead=0.1e-3, goodput=0.8),
+        device=DeviceSpec(name="test-gpu", peak_flops=4e12, efficiency=0.25),
+        agg_policy=ExplicitGroupsPolicy(((5, 6, 7), (3, 4), (2,), (0, 1))),
+        seed=7,
+        jitter_std=0.01,
+    )
+
+
+def run_with(config, plan, factory=None):
+    trainer = Trainer(replace(config, faults=plan), factory or fifo_factory())
+    result = trainer.run()
+    return trainer, result
+
+
+def assert_conservation(trainer, config):
+    """Every gradient byte was credited exactly once per worker-iteration,
+    no matter how many times its carrier message was (re)transmitted."""
+    expected = (
+        float(trainer.ps.sizes.sum()) * config.n_workers * config.n_iterations
+    )
+    assert trainer.ps.total_push_bytes == pytest.approx(expected, rel=1e-9)
+
+
+class TestInertness:
+    @pytest.mark.parametrize("factory_fn", [fifo_factory, prophet_factory])
+    def test_empty_plan_is_bit_identical_to_no_plan(
+        self, tiny_config_module, factory_fn
+    ):
+        base = run_training(tiny_config_module, factory_fn())
+        empty = run_training(
+            replace(tiny_config_module, faults=FaultPlan()), factory_fn()
+        )
+        assert empty.end_time == base.end_time  # exact, not approx
+        assert empty.training_rate() == base.training_rate()
+        assert base.fault_stats is None and empty.fault_stats is None
+
+    def test_noop_drop_plan_wires_no_injector(self, tiny_config_module):
+        trainer, result = run_with(
+            tiny_config_module, FaultPlan(drops=[MessageDrops()])
+        )
+        assert trainer.injector is None
+        assert result.fault_stats is None
+
+
+class TestMessageLoss:
+    @pytest.fixture(scope="class")
+    def lossy(self, tiny_config_module):
+        plan = FaultPlan(drops=[MessageDrops(push=0.05, pull=0.05, ack=0.05)])
+        return run_with(tiny_config_module, plan), tiny_config_module
+
+    def test_completes_and_conserves_bytes(self, lossy):
+        (trainer, result), config = lossy
+        assert result.end_time > 0
+        assert_conservation(trainer, config)
+
+    def test_retries_and_drops_counted(self, lossy):
+        (trainer, result), _ = lossy
+        stats = result.fault_stats
+        assert stats["push_drops"] > 0
+        assert stats["push_retries"] >= stats["push_drops"]
+        assert stats["pull_retries"] == stats["pull_drops"]
+
+    def test_every_ack_drop_produces_exactly_one_duplicate(self, lossy):
+        """At-most-once application: a lost ack forces a retransmission of
+        an already-applied message, which the PS must dedup by seq."""
+        (trainer, result), _ = lossy
+        stats = result.fault_stats
+        assert stats["ack_drops"] > 0
+        assert stats["duplicate_pushes"] == stats["ack_drops"]
+
+    def test_losses_slow_training_down(self, lossy, clean_end_time):
+        (_, result), _ = lossy
+        assert result.end_time > clean_end_time
+
+
+class TestCrashRestart:
+    @pytest.fixture(scope="class")
+    def crashed(self, tiny_config_module, clean_end_time):
+        plan = FaultPlan(
+            crashes=[
+                WorkerCrash(
+                    worker=1,
+                    at=0.3 * clean_end_time,
+                    restart_after=0.15 * clean_end_time,
+                )
+            ]
+        )
+        return run_with(tiny_config_module, plan), tiny_config_module
+
+    def test_completes_and_conserves_bytes(self, crashed):
+        (trainer, result), config = crashed
+        assert_conservation(trainer, config)
+
+    def test_crash_and_restart_logged(self, crashed, clean_end_time):
+        (_, result), _ = crashed
+        assert result.fault_stats["crashes"] == 1
+        assert result.fault_stats["restarts"] == 1
+        kinds = [kind for _, kind, _ in result.fault_log]
+        assert kinds.index("fault.crash") < kinds.index("fault.restart")
+        assert result.end_time > clean_end_time  # the outage costs time
+
+    def test_p3_survives_crash_with_reordering(self, tiny_config_module):
+        """P3's partition slicing exercises the PS reorder buffer: a
+        retransmitted partition may be overtaken by its successor."""
+        plan = FaultPlan(
+            crashes=[WorkerCrash(worker=0, at=0.05, restart_after=0.05)],
+            drops=[MessageDrops(push=0.08)],
+        )
+        trainer, result = run_with(tiny_config_module, plan, p3_factory())
+        assert result.end_time > 0
+        assert_conservation(trainer, tiny_config_module)
+
+    def test_crash_after_completion_is_moot(self, tiny_config_module, clean_end_time):
+        plan = FaultPlan(
+            crashes=[
+                WorkerCrash(
+                    worker=0, at=10 * clean_end_time, restart_after=0.1
+                )
+            ]
+        )
+        _, result = run_with(tiny_config_module, plan)
+        assert result.fault_stats["crashes"] == 0
+
+
+class TestFlapAndStall:
+    def test_flap_slows_training_and_is_counted(
+        self, tiny_config_module, clean_end_time
+    ):
+        plan = FaultPlan(
+            flaps=[
+                LinkFlap(
+                    start=0.2 * clean_end_time,
+                    duration=0.3 * clean_end_time,
+                    factor=0.2,
+                )
+            ]
+        )
+        trainer, result = run_with(tiny_config_module, plan)
+        assert result.fault_stats["link_flaps"] == 1
+        assert result.end_time > clean_end_time
+        assert_conservation(trainer, tiny_config_module)
+
+    def test_ps_stall_defers_but_loses_nothing(
+        self, tiny_config_module, clean_end_time
+    ):
+        stall = 0.2 * clean_end_time
+        plan = FaultPlan(
+            ps_stalls=[PSStall(at=0.4 * clean_end_time, duration=stall)]
+        )
+        trainer, result = run_with(tiny_config_module, plan)
+        assert result.fault_stats["ps_stalls"] == 1
+        assert result.end_time > clean_end_time
+        assert_conservation(trainer, tiny_config_module)

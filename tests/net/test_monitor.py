@@ -77,3 +77,85 @@ def test_invalid_interval_raises(engine):
     link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
     with pytest.raises(ConfigurationError):
         BandwidthMonitor(engine, link, interval=0.0)
+
+
+def test_history_bounded_by_max_history(engine):
+    link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
+    mon = BandwidthMonitor(engine, link, interval=1.0, max_history=3)
+    engine.run(until=20.0)
+    assert len(mon.history) == 3
+    assert [t for t, _ in mon.history] == [18.0, 19.0, 20.0]  # newest kept
+    assert mon.last_sample_time == 20.0
+
+
+def test_invalid_max_history_raises(engine):
+    link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
+    with pytest.raises(ConfigurationError):
+        BandwidthMonitor(engine, link, max_history=0)
+
+
+def test_stop_cancels_pending_sample_so_queue_drains(engine):
+    link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
+    mon = BandwidthMonitor(engine, link, interval=1.0)
+    engine.run(until=2.5)
+    mon.stop()
+    engine.run()  # unbounded: would tick forever if the event survived
+    assert engine.now == 2.5  # cancelled events never advance the clock
+    assert mon.last_sample_time == 2.0
+
+
+def test_sample_age_tracks_clock(engine):
+    link = _link(engine, BandwidthSchedule.constant(1 * Gbps))
+    mon = BandwidthMonitor(engine, link, interval=5.0)
+    engine.run(until=3.0)
+    assert mon.sample_age() == pytest.approx(3.0)
+    engine.run(until=6.0)  # tick at t=5
+    assert mon.sample_age() == pytest.approx(1.0)
+
+
+def test_prophet_reads_stale_monitor_sample_until_next_tick(
+    engine, tiny_model, tiny_device
+):
+    """Square-wave bandwidth: between monitor ticks Prophet plans against
+    the stale pre-drop sample; the tick after the drop it converges and
+    the collapse detector fires."""
+    from repro.agg.kvstore import KVStore
+    from repro.core.profiler import JobProfile
+    from repro.models.compute import build_compute_profile
+    from repro.sched.prophet_sched import ProphetScheduler
+
+    square = BandwidthSchedule(
+        [(0.0, 4 * Gbps), (3.0, 0.1 * Gbps), (6.0, 4 * Gbps)]
+    )
+    link = _link(engine, square)
+    mon = BandwidthMonitor(engine, link, interval=2.0)
+    gen = KVStore().generation_schedule(
+        build_compute_profile(tiny_model, tiny_device, batch_size=8)
+    )
+    sched = ProphetScheduler(
+        bandwidth_provider=lambda: mon.bandwidth,
+        profile=JobProfile.from_generation_schedule(gen),
+        collapse_factor=0.25,
+    )
+
+    engine.run(until=3.5)  # the wave dropped at t=3.0 ...
+    sched.begin_iteration(0, gen, engine.now)
+    # ... but the last sample (t=2.0) predates the drop: Prophet still
+    # sees the high value and does not degrade.
+    assert mon.bandwidth == pytest.approx(4 * Gbps)
+    assert not sched.degraded
+
+    engine.run(until=4.5)  # monitor tick at t=4.0 observes the drop
+    assert mon.bandwidth == pytest.approx(0.1 * Gbps)
+    import numpy as np
+
+    for g in np.argsort(gen.c):
+        sched.gradient_ready(int(g), engine.now)
+    while True:
+        unit = sched.propose_unit(engine.now)
+        if unit is None:
+            break
+        sched.commit_unit(unit, engine.now)
+    sched.end_iteration(0, engine.now, engine.now)
+    sched.begin_iteration(1, gen, engine.now)
+    assert sched.degraded and sched.collapse_detections == 1

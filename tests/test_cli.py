@@ -10,14 +10,6 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_rejects_unknown_experiment(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "fig99"])
-
-    def test_rejects_unknown_model(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["info", "lenet"])
-
     def test_compare_defaults(self):
         args = build_parser().parse_args(["compare"])
         assert args.model == "resnet50"
@@ -33,6 +25,50 @@ class TestParser:
 
         for name in EXPERIMENTS:
             assert hasattr(ex, name)
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.model == "resnet18"
+        assert args.crash_at == 2.0
+        assert args.restart_after == 0.5
+        assert args.drop == 0.02
+
+
+class TestErrorHandling:
+    """Unknown names exit with a one-line ``error:`` message and status 2
+    instead of an argparse usage dump or a traceback."""
+
+    def _assert_one_line_error(self, capsys, kind):
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith(f"error: unknown {kind}")
+        assert captured.err.count("\n") == 1
+        assert "Traceback" not in captured.err
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        self._assert_one_line_error(capsys, "experiment")
+
+    def test_unknown_model_in_info(self, capsys):
+        assert main(["info", "lenet"]) == 2
+        self._assert_one_line_error(capsys, "model")
+
+    def test_unknown_strategy_in_sched(self, capsys):
+        assert main(["sched", "tcp-fair"]) == 2
+        self._assert_one_line_error(capsys, "strategy")
+
+    def test_unknown_model_in_compare(self, capsys):
+        assert main(["compare", "--model", "lenet"]) == 2
+        self._assert_one_line_error(capsys, "model")
+
+    def test_unknown_model_in_chaos(self, capsys):
+        assert main(["chaos", "--model", "lenet"]) == 2
+        self._assert_one_line_error(capsys, "model")
+
+    def test_error_message_lists_alternatives(self, capsys):
+        main(["sched", "tcp-fair"])
+        err = capsys.readouterr().err
+        assert "prophet" in err and "bytescheduler" in err
 
 
 class TestCommands:
@@ -80,6 +116,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.count("\n") >= 4
 
+    def test_chaos_runs_tiny_plan(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--iterations", "4",
+                "--crash-at", "0.4",
+                "--restart-after", "0.2",
+                "--drop", "0.03",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput retained" in out
+        assert "prophet" in out and "mxnet-fifo" in out
+
 
 class TestSchedCommand:
     def test_sched_defaults(self):
@@ -87,10 +140,6 @@ class TestSchedCommand:
         assert args.strategy == "prophet"
         assert args.trace is None
         assert args.trace_jsonl is None
-
-    def test_rejects_unknown_strategy(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sched", "tcp-fair"])
 
     def test_sched_untraced_run(self, capsys):
         code = main(
