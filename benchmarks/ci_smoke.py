@@ -7,12 +7,20 @@ handful of key scalars against ``benchmarks/baselines.json``:
 * **Deterministic scalars** (simulated training rates) must match the
   baseline within a tight relative tolerance — the simulator is a seeded
   discrete-event system, so any drift here is a real behavioural change.
-* **Timing scalars** (engine events/second) only enforce a loose floor —
-  CI runners are noisy, so we only fail on order-of-magnitude regressions.
+* **Timing scalars** (engine events/second, both a plain event chain and
+  a cancellation-heavy churn) only enforce a loose floor — CI runners are
+  noisy, so we only fail on order-of-magnitude regressions.
+
+The Fig. 8 runs go through :func:`repro.runner.run_grid` with the result
+cache disabled — the smoke test must gate on *fresh* simulation, and the
+grid doubles as an integration check of the parallel fan-out path (CI
+sets ``REPRO_JOBS=2`` / ``--jobs 2``; parallel results are bit-identical
+to serial, so the baselines don't depend on the job count).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/ci_smoke.py           # check
+    PYTHONPATH=src python benchmarks/ci_smoke.py --jobs 2  # parallel grid
     PYTHONPATH=src python benchmarks/ci_smoke.py --update  # rewrite baselines
 
 Regenerate baselines (and commit the diff) whenever an intentional change
@@ -45,7 +53,7 @@ CHAOS_MODEL = ("resnet18", 64)
 CHAOS_ITERATIONS = 8
 
 
-def measure() -> tuple[dict[str, float], dict[str, float]]:
+def measure(jobs: int | None = None) -> tuple[dict[str, float], dict[str, float]]:
     """Return (deterministic scalars, timing scalars)."""
     from repro.experiments import fig8
     from repro.quantities import Gbps
@@ -53,11 +61,15 @@ def measure() -> tuple[dict[str, float], dict[str, float]]:
 
     deterministic: dict[str, float] = {}
 
+    # cache=False: the smoke test gates on fresh simulation, never on a
+    # stale cache entry from an earlier revision.
     rows = fig8.run(
         workloads=SMOKE_WORKLOADS,
         bandwidth=3 * Gbps,
         n_iterations=SMOKE_ITERATIONS,
         seed=0,
+        jobs=jobs,
+        cache=False,
     )
     for row in rows:
         key = f"fig8.{row.model}.bs{row.batch_size}"
@@ -106,6 +118,40 @@ def measure() -> tuple[dict[str, float], dict[str, float]]:
     chain()  # warmup
     best = min(_timed(chain) for _ in range(3))
     timing["engine.events_per_s"] = n_events / best
+
+    # Cancellation-heavy churn: every tick cancels its predecessor batch,
+    # so ~10/11 of all scheduled events die as tombstones.  Guards the
+    # lazy-compaction path — without it this workload's heap (and its
+    # per-pop cost) grows with the cancel count instead of staying flat.
+    n_ticks = 4_000
+    batch = 10
+    churn_ops = n_ticks * (batch + 1)
+
+    def churn() -> None:
+        eng = Engine()
+        count = 0
+        pending: list = []
+
+        def noop() -> None:
+            pass
+
+        def tick() -> None:
+            nonlocal count
+            count += 1
+            for ev in pending:
+                ev.cancel()
+            pending.clear()
+            if count < n_ticks:
+                for _ in range(batch):
+                    pending.append(eng.schedule_after(1.0, noop))
+                eng.schedule_after(1e-6, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+
+    churn()  # warmup
+    best = min(_timed(churn) for _ in range(3))
+    timing["engine.cancel_events_per_s"] = churn_ops / best
 
     return deterministic, timing
 
@@ -168,11 +214,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite baselines.json with freshly measured scalars",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel processes for the fig8 grid (default: REPRO_JOBS "
+        "or serial); results are identical either way",
+    )
     args = parser.parse_args(argv)
 
+    jobs_note = args.jobs if args.jobs is not None else "REPRO_JOBS/serial"
     print(f"measuring smoke scalars ({len(SMOKE_WORKLOADS)} fig8 workloads, "
-          f"{SMOKE_ITERATIONS} iterations each)...")
-    deterministic, timing = measure()
+          f"{SMOKE_ITERATIONS} iterations each, jobs={jobs_note})...")
+    deterministic, timing = measure(jobs=args.jobs)
 
     if args.update:
         payload = {

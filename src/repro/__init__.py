@@ -71,7 +71,25 @@ from repro.workloads.presets import (
 
 __version__ = "1.0.0"
 
+# Imported after __version__ is bound: the runner's fingerprint/cache
+# modules read ``repro.__version__`` (lazily, but keeping the ordering
+# explicit avoids ever exposing a partially-initialized package).
+from repro.runner import (  # noqa: E402
+    RunSpec,
+    RunResult,
+    run_grid,
+    ResultCache,
+    register_strategy,
+    available_strategies,
+)
+
 __all__ = [
+    "RunSpec",
+    "RunResult",
+    "run_grid",
+    "ResultCache",
+    "register_strategy",
+    "available_strategies",
     "SchedulerConfig",
     "TrainingConfig",
     "WorkerContext",

@@ -4,19 +4,27 @@ Subcommands::
 
     python -m repro list                     # models + experiments
     python -m repro info resnet50            # model card
-    python -m repro run table2               # regenerate a paper artifact
+    python -m repro run table2 -j 4          # regenerate a paper artifact
     python -m repro compare --model resnet50 --batch 64 --gbps 3
     python -m repro sweep --model resnet50 --gbps 1 3 10
     python -m repro sched prophet --trace out.json   # traced single run
     python -m repro chaos --model resnet18 --drop 0.02  # fault resilience
+    python -m repro bench -j 4               # timed fig8 grid via the runner
+    python -m repro cache                    # result-cache stats
+    python -m repro cache clear              # drop every cached result
 
 ``run`` accepts any experiment name from :mod:`repro.experiments` and
-invokes its ``main()``; ``compare`` and ``sweep`` build ad-hoc configs on
-the paper's calibrated presets.  ``sched`` runs one strategy on one preset
-workload and can export the structured trace as Chrome trace-event JSON
-(open in Perfetto / ``chrome://tracing``) and/or compact JSONL.  ``chaos``
-runs the paired clean/faulty resilience comparison of
-:mod:`repro.experiments.chaos` with an ad-hoc fault plan.
+invokes its ``main()``; ``-j/--jobs`` and ``--no-cache`` reach the
+:mod:`repro.runner` fan-out through the ``REPRO_JOBS`` / ``REPRO_NO_CACHE``
+environment variables, so they apply to every grid the experiment issues.
+``compare`` and ``sweep`` build ad-hoc configs on the paper's calibrated
+presets.  ``sched`` runs one strategy on one preset workload and can
+export the structured trace as Chrome trace-event JSON (open in Perfetto /
+``chrome://tracing``) and/or compact JSONL.  ``chaos`` runs the paired
+clean/faulty resilience comparison of :mod:`repro.experiments.chaos` with
+an ad-hoc fault plan.  ``bench`` times the Fig. 8 FAST grid through the
+parallel runner and reports wall time plus cache hit/miss counts.
+``cache`` inspects or clears the on-disk result cache.
 
 Unknown model/strategy/experiment names exit with a one-line
 ``error: ...`` message and status 2 — never a traceback.
@@ -68,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="regenerate a paper figure/table")
     run.add_argument("experiment", help=f"one of: {', '.join(EXPERIMENTS)}")
+    run.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="parallel simulation processes for the experiment's run grids "
+        "(default: REPRO_JOBS or 1)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache for this invocation",
+    )
 
     compare = sub.add_parser(
         "compare", help="compare all strategies on one workload"
@@ -133,6 +150,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--drop", type=float, default=0.02,
         help="per-message drop probability on push/pull/ack legs",
     )
+
+    bench = sub.add_parser(
+        "bench", help="timed Fig. 8 FAST grid through the parallel runner"
+    )
+    bench.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="parallel simulation processes (default: REPRO_JOBS or 1)",
+    )
+    bench.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache (measure cold simulation time)",
+    )
+    bench.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro/results)",
+    )
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument(
+        "action", nargs="?", default="stats", choices=("stats", "clear"),
+        help="'stats' (default) prints entry count and size; 'clear' "
+        "removes every cached result",
+    )
+    cache.add_argument(
+        "--dir", default=None, dest="cache_dir",
+        help="cache directory (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro/results)",
+    )
     return parser
 
 
@@ -160,11 +206,22 @@ def _cmd_info(model_name: str) -> int:
     return 0
 
 
-def _cmd_run(experiment: str) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     import importlib
+    import os
 
-    _validate_choice("experiment", experiment, EXPERIMENTS)
-    module = importlib.import_module(f"repro.experiments.{experiment}")
+    from repro.runner import JOBS_ENV, NO_CACHE_ENV, resolve_jobs
+
+    _validate_choice("experiment", args.experiment, EXPERIMENTS)
+    resolve_jobs(args.jobs)  # validate eagerly, before any training run
+    # Experiments' main() entry points take no arguments; the runner picks
+    # the knobs up from the environment, so they reach every grid the
+    # experiment fans out — including nested helper calls.
+    if args.jobs is not None:
+        os.environ[JOBS_ENV] = str(args.jobs)
+    if args.no_cache:
+        os.environ[NO_CACHE_ENV] = "1"
+    module = importlib.import_module(f"repro.experiments.{args.experiment}")
     module.main()
     return 0
 
@@ -296,17 +353,71 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments import fig8
+    from repro.runner import ResultCache, resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    cache: bool | ResultCache
+    if args.no_cache:
+        cache = False
+    else:
+        cache = ResultCache(args.cache_dir)
+    workloads = fig8.DEFAULT_WORKLOADS
+    n_runs = 2 * len(workloads)
+    start = time.perf_counter()
+    rows = fig8.run(workloads=workloads, jobs=jobs, cache=cache)
+    elapsed = time.perf_counter() - start
+    print(
+        format_table(
+            ["model", "batch", "Prophet (s/s)", "ByteScheduler (s/s)"],
+            [[r.model, r.batch_size, f"{r.prophet_rate:.1f}",
+              f"{r.bytescheduler_rate:.1f}"] for r in rows],
+            title=f"bench — Fig. 8 FAST grid ({n_runs} runs, jobs={jobs})",
+        )
+    )
+    if isinstance(cache, ResultCache):
+        cache_line = f"cache: {cache.hits} hits, {cache.misses} misses"
+    else:
+        cache_line = "cache: disabled"
+    print(f"\nwall time: {elapsed:.2f} s ({n_runs / elapsed:.2f} runs/s); "
+          f"{cache_line}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache
+
+    store = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    stats = store.stats()
+    rows = [
+        ["directory", str(stats.root)],
+        ["entries", stats.entries],
+        ["total size", fmt_bytes(stats.total_bytes)],
+    ]
+    print(format_table(["property", "value"], rows, title="result cache"))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     dispatch = {
         "list": lambda: _cmd_list(),
         "info": lambda: _cmd_info(args.model),
-        "run": lambda: _cmd_run(args.experiment),
+        "run": lambda: _cmd_run(args),
         "compare": lambda: _cmd_compare(args),
         "sched": lambda: _cmd_sched(args),
         "sweep": lambda: _cmd_sweep(args),
         "chaos": lambda: _cmd_chaos(args),
+        "bench": lambda: _cmd_bench(args),
+        "cache": lambda: _cmd_cache(args),
     }
     try:
         return dispatch[args.command]()

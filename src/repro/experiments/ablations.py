@@ -20,11 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.agg.policies import ByteThresholdPolicy, ModulePrefixPolicy, TimeWindowPolicy
-from repro.cluster.trainer import run_training
 from repro.experiments.common import FAST_ITERATIONS
 from repro.metrics.report import format_table
 from repro.quantities import Gbps, MB
-from repro.workloads.presets import paper_config, prophet_factory
+from repro.runner import RunSpec, run_grid
+from repro.workloads.presets import paper_config
 
 __all__ = ["AblationRow", "run", "main"]
 
@@ -39,63 +39,62 @@ def run(
     bandwidth: float = 3 * Gbps,
     n_iterations: int = FAST_ITERATIONS,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
 ) -> list[AblationRow]:
-    """Prophet's rate under each ablated design choice (ResNet-50 bs64)."""
+    """Prophet's rate under each ablated design choice (ResNet-50 bs64).
+
+    Every variant is expressible as plain spec data — config overrides
+    plus :func:`~repro.workloads.presets.prophet_factory` kwargs — so the
+    whole ablation table is one parallel, cached grid.
+    """
     base = dict(
         bandwidth=bandwidth, n_iterations=n_iterations, seed=seed,
         record_gradients=False,
     )
-    rows: list[AblationRow] = []
-
     config = paper_config("resnet50", 64, **base)
-    rows.append(
-        AblationRow("baseline (shared channel)", run_training(config, prophet_factory()).training_rate())
-    )
-
     duplex = paper_config("resnet50", 64, duplex=True, **base)
-    rows.append(
-        AblationRow("full-duplex links", run_training(duplex, prophet_factory()).training_rate())
-    )
 
-    def rtf2(ctx):
-        from repro.sched.prophet_sched import ProphetScheduler
-
-        monitor = ctx.monitor
-        return ProphetScheduler(
-            bandwidth_provider=lambda: monitor.bandwidth,
-            profile=ctx.oracle_profile,
-            tcp=ctx.tcp,
-            round_trip_factor=2.0,
-        )
-
-    rows.append(
-        AblationRow("round-trip packing (2E)", run_training(config, rtf2).training_rate())
-    )
-
-    def no_slice(ctx):
-        from repro.sched.prophet_sched import ProphetScheduler
-
-        monitor = ctx.monitor
-        return ProphetScheduler(
-            bandwidth_provider=lambda: monitor.bandwidth,
-            profile=ctx.oracle_profile,
-            tcp=ctx.tcp,
-            slice_bytes=1e15,  # effectively whole-gradient packing only
-        )
-
-    rows.append(
-        AblationRow("no gradient slicing", run_training(config, no_slice).training_rate())
-    )
-
+    labelled_specs: list[tuple[str, RunSpec]] = [
+        (
+            "baseline (shared channel)",
+            RunSpec(config=config, strategy="prophet"),
+        ),
+        (
+            "full-duplex links",
+            RunSpec(config=duplex, strategy="prophet"),
+        ),
+        (
+            "round-trip packing (2E)",
+            RunSpec(
+                config=config,
+                strategy="prophet",
+                strategy_kwargs={"round_trip_factor": 2.0},
+            ),
+        ),
+        (
+            "no gradient slicing",
+            # Effectively whole-gradient packing only.
+            RunSpec(
+                config=config,
+                strategy="prophet",
+                strategy_kwargs={"slice_bytes": 1e15},
+            ),
+        ),
+    ]
     for label, policy in (
         ("agg: time-window 5ms", TimeWindowPolicy(5e-3)),
         ("agg: byte-threshold 8MB", ByteThresholdPolicy(8 * MB)),
         ("agg: module depth 1 (stages)", ModulePrefixPolicy(1)),
     ):
         cfg = paper_config("resnet50", 64, agg_policy=policy, **base)
-        rows.append(AblationRow(label, run_training(cfg, prophet_factory()).training_rate()))
+        labelled_specs.append((label, RunSpec(config=cfg, strategy="prophet")))
 
-    return rows
+    results = run_grid([spec for _, spec in labelled_specs], jobs=jobs)
+    return [
+        AblationRow(label, result.training_rate)
+        for (label, _), result in zip(labelled_specs, results)
+    ]
 
 
 def main() -> list[AblationRow]:

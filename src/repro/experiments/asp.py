@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping
 
-from repro.experiments.common import FAST_ITERATIONS, run_strategies
+from repro.experiments.common import FAST_ITERATIONS, run_strategies_grid
 from repro.metrics.report import format_table
 from repro.quantities import Gbps
 from repro.workloads.presets import paper_config
@@ -42,6 +42,8 @@ def run(
     n_iterations: int = FAST_ITERATIONS,
     jitter_std: float = 0.05,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
 ) -> list[AspRow]:
     """ResNet-50 bs64 across synchronization models."""
     base = paper_config(
@@ -53,11 +55,13 @@ def run(
         jitter_std=jitter_std,
         record_gradients=False,
     )
-    rows = []
-    for mode in ("bsp", "ssp", "asp"):
-        config = replace(base, sync_mode=mode)
-        rows.append(AspRow(sync_mode=mode, rates=run_strategies(config).rates))
-    return rows
+    modes = ("bsp", "ssp", "asp")
+    configs = [replace(base, sync_mode=mode) for mode in modes]
+    strategy_rows = run_strategies_grid(configs, jobs=jobs)
+    return [
+        AspRow(sync_mode=mode, rates=rates.rates)
+        for mode, rates in zip(modes, strategy_rows)
+    ]
 
 
 def main() -> list[AspRow]:

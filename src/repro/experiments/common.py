@@ -1,16 +1,38 @@
-"""Shared helpers for the experiment runners."""
+"""Shared helpers for the experiment runners.
+
+Since PR 3 the rate-oriented helpers here are thin fronts over
+:mod:`repro.runner`: strategy comparisons build plain-data
+:class:`~repro.runner.spec.RunSpec` grids and hand them to
+:func:`~repro.runner.executor.run_grid`, which consults the on-disk
+result cache and fans misses out across worker processes
+(``REPRO_JOBS=N`` or the ``jobs`` argument).  Results are bit-identical
+to in-process execution — the simulator is seed-deterministic and each
+run still executes single-threaded inside one process.
+
+Passing an explicit mapping of ad-hoc factory *callables* to
+:func:`run_strategies` still works and runs inline (a closure can be
+neither shipped to a worker process nor fingerprinted for the cache).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.cluster.result import TrainingResult
 from repro.cluster.trainer import run_training
 from repro.config import SchedulerFactory, TrainingConfig
+from repro.runner import ResultCache, RunSpec, run_grid
 from repro.workloads.presets import STRATEGY_FACTORIES
 
-__all__ = ["StrategyRates", "run_strategies", "FAST_ITERATIONS", "FULL_ITERATIONS"]
+__all__ = [
+    "StrategyRates",
+    "run_strategies",
+    "run_strategies_grid",
+    "run_one",
+    "FAST_ITERATIONS",
+    "FULL_ITERATIONS",
+]
 
 #: Iteration counts: FAST keeps a full figure/table regeneration in
 #: seconds (benchmarks, CI); FULL matches a steadier measurement.
@@ -32,16 +54,63 @@ class StrategyRates:
 
 def run_strategies(
     config: TrainingConfig,
-    strategies: Mapping[str, SchedulerFactory] | None = None,
+    strategies: Mapping[str, SchedulerFactory] | Sequence[str] | None = None,
     skip: int = 2,
+    *,
+    jobs: int | None = None,
+    cache: bool | ResultCache | None = None,
 ) -> StrategyRates:
-    """Run each strategy on ``config`` and collect per-worker rates."""
-    strategies = dict(strategies if strategies is not None else STRATEGY_FACTORIES)
-    rates = {
-        name: run_training(config, factory).training_rate(skip=skip)
-        for name, factory in strategies.items()
-    }
-    return StrategyRates(config=config, rates=rates)
+    """Run each strategy on ``config`` and collect per-worker rates.
+
+    ``strategies`` may be ``None`` (the four paper strategies), a sequence
+    of registry names (parallel + cached via :mod:`repro.runner`), or a
+    legacy mapping of name → factory callable (runs inline, uncached).
+    """
+    if strategies is not None and isinstance(strategies, Mapping):
+        rates = {
+            name: run_training(config, factory).training_rate(skip=skip)
+            for name, factory in dict(strategies).items()
+        }
+        return StrategyRates(config=config, rates=rates)
+    return run_strategies_grid(
+        [config], strategies, skip, jobs=jobs, cache=cache
+    )[0]
+
+
+def run_strategies_grid(
+    configs: Sequence[TrainingConfig],
+    strategies: Sequence[str] | None = None,
+    skip: int = 2,
+    *,
+    jobs: int | None = None,
+    cache: bool | ResultCache | None = None,
+) -> list[StrategyRates]:
+    """Strategy comparison over many configs as **one** fan-out grid.
+
+    Flattening the whole sweep into a single :func:`run_grid` call lets
+    the executor overlap runs across configs, not just within one — a
+    Table 2 bandwidth sweep keeps every worker busy end to end.
+    """
+    names = list(strategies) if strategies is not None else list(STRATEGY_FACTORIES)
+    specs = [
+        RunSpec(config=config, strategy=name, skip=skip)
+        for config in configs
+        for name in names
+    ]
+    results = run_grid(specs, jobs=jobs, cache=cache)
+    rows = []
+    for c, config in enumerate(configs):
+        offset = c * len(names)
+        rows.append(
+            StrategyRates(
+                config=config,
+                rates={
+                    name: results[offset + s].training_rate
+                    for s, name in enumerate(names)
+                },
+            )
+        )
+    return rows
 
 
 def run_one(

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping
 
-from repro.experiments.common import FAST_ITERATIONS, run_strategies
+from repro.experiments.common import FAST_ITERATIONS, run_strategies_grid
 from repro.metrics.report import format_table
 from repro.models.device import A100, TESLA_M60, TESLA_V100, DeviceSpec
 from repro.quantities import Gbps
@@ -44,14 +44,15 @@ def run(
     bandwidth: float = 10 * Gbps,
     n_iterations: int = FAST_ITERATIONS,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
 ) -> list[DeviceRow]:
     """ResNet-50 bs64 at a fixed 10 Gbps across GPU generations."""
     from repro.models.compute import build_compute_profile
     from repro.models.registry import get_model
 
-    rows = []
-    for device in devices:
-        config = replace(
+    configs = [
+        replace(
             paper_config(
                 "resnet50",
                 64,
@@ -62,12 +63,17 @@ def run(
             ),
             device=device,
         )
+        for device in devices
+    ]
+    strategy_rows = run_strategies_grid(configs, jobs=jobs)
+    rows = []
+    for device, rates in zip(devices, strategy_rows):
         compute = build_compute_profile(get_model("resnet50"), device, 64)
         rows.append(
             DeviceRow(
                 device=device.name,
                 compute_s=compute.compute_time,
-                rates=run_strategies(config).rates,
+                rates=rates.rates,
             )
         )
     return rows

@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.trainer import run_training
 from repro.experiments.common import FAST_ITERATIONS
 from repro.metrics.report import format_table
 from repro.quantities import Gbps
-from repro.workloads.presets import paper_config, prophet_factory
+from repro.runner import RunSpec, run_grid
+from repro.workloads.presets import paper_config
 
 __all__ = ["Fig12Row", "run", "main"]
 
@@ -34,22 +34,30 @@ def run(
     bandwidth: float = 10 * Gbps,
     n_iterations: int = FAST_ITERATIONS,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
 ) -> list[Fig12Row]:
     """Per-worker Prophet rate at each cluster size (ResNet-50 bs64)."""
-    rows = []
-    for n in worker_counts:
-        config = paper_config(
-            "resnet50",
-            64,
-            bandwidth=bandwidth,
-            n_workers=n,
-            n_iterations=n_iterations,
-            seed=seed,
-            record_gradients=False,
+    specs = [
+        RunSpec(
+            config=paper_config(
+                "resnet50",
+                64,
+                bandwidth=bandwidth,
+                n_workers=n,
+                n_iterations=n_iterations,
+                seed=seed,
+                record_gradients=False,
+            ),
+            strategy="prophet",
         )
-        result = run_training(config, prophet_factory())
-        rows.append(Fig12Row(n_workers=n, per_worker_rate=result.training_rate()))
-    return rows
+        for n in worker_counts
+    ]
+    results = run_grid(specs, jobs=jobs)
+    return [
+        Fig12Row(n_workers=n, per_worker_rate=res.training_rate)
+        for n, res in zip(worker_counts, results)
+    ]
 
 
 def main() -> list[Fig12Row]:

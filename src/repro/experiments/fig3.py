@@ -20,7 +20,8 @@ import numpy as np
 from repro.cluster.trainer import run_training
 from repro.metrics.report import format_table
 from repro.quantities import Gbps, MB
-from repro.workloads.presets import bytescheduler_factory, p3_factory, paper_config
+from repro.runner import RunSpec, run_grid
+from repro.workloads.presets import bytescheduler_factory, paper_config
 
 __all__ = ["Fig3aResult", "Fig3bResult", "run_partition_sweep", "run_autotune", "main"]
 
@@ -58,21 +59,31 @@ def run_partition_sweep(
     bandwidth: float = 3 * Gbps,
     n_iterations: int = 12,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
 ) -> Fig3aResult:
     """Fig. 3(a): ResNet-50 bs64 rate vs P3 partition size."""
-    rates = []
-    for mb in partitions_mb:
-        config = paper_config(
-            "resnet50",
-            64,
-            bandwidth=bandwidth,
-            n_iterations=n_iterations,
-            seed=seed,
-            record_gradients=False,
+    config = paper_config(
+        "resnet50",
+        64,
+        bandwidth=bandwidth,
+        n_iterations=n_iterations,
+        seed=seed,
+        record_gradients=False,
+    )
+    specs = [
+        RunSpec(
+            config=config,
+            strategy="p3",
+            strategy_kwargs={"partition_size": mb * MB},
         )
-        result = run_training(config, p3_factory(partition_size=mb * MB))
-        rates.append(result.training_rate())
-    return Fig3aResult(partition_mb=tuple(partitions_mb), rates=tuple(rates))
+        for mb in partitions_mb
+    ]
+    results = run_grid(specs, jobs=jobs)
+    return Fig3aResult(
+        partition_mb=tuple(partitions_mb),
+        rates=tuple(r.training_rate for r in results),
+    )
 
 
 def run_autotune(

@@ -10,14 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import FAST_ITERATIONS
-from repro.cluster.trainer import run_training
 from repro.metrics.report import format_table
 from repro.quantities import Gbps
-from repro.workloads.presets import (
-    bytescheduler_factory,
-    paper_config,
-    prophet_factory,
-)
+from repro.runner import ResultCache, RunSpec, run_grid
+from repro.workloads.presets import paper_config
 
 __all__ = ["Fig8Row", "run", "main", "DEFAULT_WORKLOADS"]
 
@@ -51,9 +47,17 @@ def run(
     bandwidth: float = 3 * Gbps,
     n_iterations: int = FAST_ITERATIONS,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
+    cache: bool | ResultCache | None = None,
 ) -> list[Fig8Row]:
-    """Prophet-vs-ByteScheduler rates for every (model, batch) pair."""
-    rows = []
+    """Prophet-vs-ByteScheduler rates for every (model, batch) pair.
+
+    The whole (model, batch) × strategy grid goes through
+    :func:`repro.runner.run_grid` as one fan-out, so ``jobs``/
+    ``REPRO_JOBS`` parallelizes it and reruns hit the result cache.
+    """
+    specs = []
     for model, batch in workloads:
         config = paper_config(
             model,
@@ -63,17 +67,18 @@ def run(
             seed=seed,
             record_gradients=False,
         )
-        prophet = run_training(config, prophet_factory()).training_rate()
-        bytesched = run_training(config, bytescheduler_factory()).training_rate()
-        rows.append(
-            Fig8Row(
-                model=model,
-                batch_size=batch,
-                prophet_rate=prophet,
-                bytescheduler_rate=bytesched,
-            )
+        specs.append(RunSpec(config=config, strategy="prophet"))
+        specs.append(RunSpec(config=config, strategy="bytescheduler"))
+    results = run_grid(specs, jobs=jobs, cache=cache)
+    return [
+        Fig8Row(
+            model=model,
+            batch_size=batch,
+            prophet_rate=results[2 * i].training_rate,
+            bytescheduler_rate=results[2 * i + 1].training_rate,
         )
-    return rows
+        for i, (model, batch) in enumerate(workloads)
+    ]
 
 
 def main() -> list[Fig8Row]:

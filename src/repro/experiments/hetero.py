@@ -38,6 +38,8 @@ def run(
     base_bandwidth: float = 3 * Gbps,
     n_iterations: int = FAST_ITERATIONS,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
 ) -> HeteroResult:
     """ResNet-18 bs64 with worker 0 capped at ``slow_worker_mbps``.
 
@@ -55,7 +57,8 @@ def run(
         record_gradients=False,
     )
     return HeteroResult(
-        slow_worker_mbps=slow_worker_mbps, rates=run_strategies(config)
+        slow_worker_mbps=slow_worker_mbps,
+        rates=run_strategies(config, jobs=jobs),
     )
 
 

@@ -14,7 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import FAST_ITERATIONS, StrategyRates, run_strategies
+from repro.experiments.common import (
+    FAST_ITERATIONS,
+    StrategyRates,
+    run_strategies_grid,
+)
 from repro.metrics.report import format_table
 from repro.quantities import Gbps
 from repro.workloads.presets import paper_config
@@ -42,11 +46,17 @@ def run(
     bandwidths_gbps: tuple[float, ...] = PAPER_BANDWIDTHS_GBPS,
     n_iterations: int = FAST_ITERATIONS,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
 ) -> Table2Result:
-    """Sweep worker bandwidth caps for all four strategies."""
-    rows = []
-    for gbps in bandwidths_gbps:
-        config = paper_config(
+    """Sweep worker bandwidth caps for all four strategies.
+
+    The full bandwidth × strategy grid is one
+    :func:`~repro.runner.run_grid` fan-out (28 runs at the paper's seven
+    bandwidths), so parallel workers stay busy across the whole table.
+    """
+    configs = [
+        paper_config(
             model,
             batch_size,
             bandwidth=gbps * Gbps,
@@ -54,7 +64,9 @@ def run(
             seed=seed,
             record_gradients=False,
         )
-        rows.append(run_strategies(config))
+        for gbps in bandwidths_gbps
+    ]
+    rows = run_strategies_grid(configs, jobs=jobs)
     return Table2Result(
         model=model,
         batch_size=batch_size,

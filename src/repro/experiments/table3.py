@@ -12,15 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.trainer import run_training
 from repro.experiments.common import FAST_ITERATIONS
 from repro.metrics.report import format_table
 from repro.quantities import Gbps
-from repro.workloads.presets import (
-    bytescheduler_factory,
-    paper_config,
-    prophet_factory,
-)
+from repro.runner import ResultCache, RunSpec, run_grid
+from repro.workloads.presets import paper_config
 
 __all__ = ["Table3Row", "run", "main", "PAPER_WORKLOADS"]
 
@@ -51,9 +47,12 @@ def run(
     bandwidth: float = 3 * Gbps,
     n_iterations: int = FAST_ITERATIONS,
     seed: int = 0,
+    *,
+    jobs: int | None = None,
+    cache: bool | ResultCache | None = None,
 ) -> list[Table3Row]:
     """Prophet vs ByteScheduler across the paper's batch-size grid."""
-    rows = []
+    specs = []
     for model, batch in workloads:
         config = paper_config(
             model,
@@ -63,17 +62,18 @@ def run(
             seed=seed,
             record_gradients=False,
         )
-        rows.append(
-            Table3Row(
-                model=model,
-                batch_size=batch,
-                prophet_rate=run_training(config, prophet_factory()).training_rate(),
-                bytescheduler_rate=run_training(
-                    config, bytescheduler_factory()
-                ).training_rate(),
-            )
+        specs.append(RunSpec(config=config, strategy="prophet"))
+        specs.append(RunSpec(config=config, strategy="bytescheduler"))
+    results = run_grid(specs, jobs=jobs, cache=cache)
+    return [
+        Table3Row(
+            model=model,
+            batch_size=batch,
+            prophet_rate=results[2 * i].training_rate,
+            bytescheduler_rate=results[2 * i + 1].training_rate,
         )
-    return rows
+        for i, (model, batch) in enumerate(workloads)
+    ]
 
 
 def main() -> list[Table3Row]:

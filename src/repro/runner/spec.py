@@ -1,0 +1,146 @@
+"""Declarative run specifications and their scalar results.
+
+A :class:`RunSpec` is the unit of work of the fan-out executor: one
+``(TrainingConfig, strategy, fault plan)`` simulation, described entirely
+as plain data.  The scheduler strategy is referenced **by registry name**
+(plus keyword arguments for the factory builder), never as a callable —
+that is what makes a spec safe to ship to a spawn-started worker process
+and stable enough to fingerprint for the on-disk result cache.
+
+A :class:`RunResult` is the scalar projection of a
+:class:`~repro.cluster.result.TrainingResult`: the per-worker rates and
+headline utilization/throughput numbers every figure/table runner
+consumes.  It is a plain frozen dataclass of JSON-able scalars so it can
+cross the process boundary cheaply and round-trip through the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.config import TrainingConfig
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.result import TrainingResult
+
+__all__ = ["RunSpec", "RunResult"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulated training run, described as plain data.
+
+    ``strategy`` names an entry in :mod:`repro.runner.registry`;
+    ``strategy_kwargs`` are keyword arguments for that entry's factory
+    builder (e.g. ``{"partition_size": 2 * MB}`` for ``"p3"``).  They are
+    normalized to a sorted tuple of pairs so specs hash and pickle
+    deterministically.  ``skip`` is the warmup-iteration skip applied when
+    the scalars are extracted — it changes the measured numbers, so it is
+    part of the spec (and therefore of the cache fingerprint).
+    """
+
+    config: TrainingConfig
+    strategy: str
+    strategy_kwargs: tuple[tuple[str, Any], ...] = ()
+    skip: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.strategy:
+            raise ConfigurationError("RunSpec.strategy must be non-empty")
+        if self.skip < 0:
+            raise ConfigurationError(f"skip must be >= 0, got {self.skip}")
+        kwargs = self.strategy_kwargs
+        if isinstance(kwargs, Mapping):
+            kwargs = tuple(sorted(kwargs.items()))
+        else:
+            kwargs = tuple(sorted(tuple(kwargs)))
+        object.__setattr__(self, "strategy_kwargs", kwargs)
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        """The strategy kwargs as a plain dict (for the factory builder)."""
+        return dict(self.strategy_kwargs)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Scalar outcome of one run — everything the sweep harnesses read."""
+
+    #: Mean per-worker training rate, samples/s (the paper's headline).
+    training_rate: float
+    #: Rate of each worker individually, samples/s.
+    per_worker_rates: tuple[float, ...]
+    #: Mean post-warmup iteration duration of worker 0, seconds.
+    mean_iteration_s: float
+    #: Mean GPU utilization of worker 0 over the measurement window.
+    gpu_utilization: float
+    #: Mean channel throughput of worker 0, bytes/s.
+    throughput_bytes_per_s: float
+    #: Simulated wall-clock at which the run finished, seconds.
+    end_time: float
+    #: Fault/recovery counters (``None`` for a fault-free run).
+    fault_stats: tuple[tuple[str, int], ...] | None = None
+
+    @classmethod
+    def from_training(cls, result: "TrainingResult", skip: int = 2) -> "RunResult":
+        """Extract the scalar projection from a full training result."""
+        per_worker = tuple(
+            result.per_worker_rate(w, skip=skip)
+            for w in range(result.config.n_workers)
+        )
+        stats = result.fault_stats
+        return cls(
+            training_rate=result.training_rate(skip=skip),
+            per_worker_rates=per_worker,
+            mean_iteration_s=float(result.iteration_spans(0, skip=skip).mean()),
+            gpu_utilization=result.mean_gpu_utilization(0, skip=skip),
+            throughput_bytes_per_s=result.mean_throughput(0, skip=skip),
+            end_time=result.end_time,
+            fault_stats=tuple(sorted(stats.items())) if stats is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache (JSON) round-trip
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-JSON representation for the on-disk result cache."""
+        return {
+            "training_rate": self.training_rate,
+            "per_worker_rates": list(self.per_worker_rates),
+            "mean_iteration_s": self.mean_iteration_s,
+            "gpu_utilization": self.gpu_utilization,
+            "throughput_bytes_per_s": self.throughput_bytes_per_s,
+            "end_time": self.end_time,
+            "fault_stats": (
+                [list(kv) for kv in self.fault_stats]
+                if self.fault_stats is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunResult":
+        """Rebuild from :meth:`to_payload` output.
+
+        Raises ``KeyError``/``TypeError`` on malformed payloads; the cache
+        treats those as corruption and discards the entry.
+        """
+        fault_stats = payload["fault_stats"]
+        return cls(
+            training_rate=float(payload["training_rate"]),
+            per_worker_rates=tuple(
+                float(r) for r in payload["per_worker_rates"]
+            ),
+            mean_iteration_s=float(payload["mean_iteration_s"]),
+            gpu_utilization=float(payload["gpu_utilization"]),
+            throughput_bytes_per_s=float(payload["throughput_bytes_per_s"]),
+            end_time=float(payload["end_time"]),
+            fault_stats=(
+                tuple((str(k), int(v)) for k, v in fault_stats)
+                if fault_stats is not None
+                else None
+            ),
+        )
+

@@ -9,10 +9,15 @@ points that matter for this reproduction:
   events (a burst of gradients released by aggregation), and replaying the
   exact same interleaving under a fixed seed is what makes the benchmark
   tables reproducible.
-* **Cancellation by tombstone.**  ``cancel`` marks the event dead instead of
-  re-heapifying; dead events are skipped when popped.  Schedulers cancel
-  tentative transfer-start events when a higher-priority gradient preempts a
-  plan.
+* **Cancellation by tombstone, with lazy compaction.**  ``cancel`` marks
+  the event dead instead of re-heapifying; dead events are skipped when
+  popped.  Schedulers cancel tentative transfer-start events when a
+  higher-priority gradient preempts a plan, and cancellation-heavy runs
+  (Prophet/ByteScheduler replanning every block) can accumulate tombstones
+  faster than the pop loop retires them — so the engine keeps an O(1) count
+  of dead events and rebuilds the heap in place once more than half of it
+  is tombstones.  This bounds the heap at twice the live-event count
+  instead of growing with the total number of cancellations.
 * **No wall-clock coupling.**  The clock only advances when an event is
   popped, so a simulated 10-minute training job costs only as much real time
   as its event count.
@@ -38,6 +43,10 @@ __all__ = ["Event", "Engine"]
 #: While tracing, sample the event-queue depth every this many events.
 _TRACE_QUEUE_STRIDE = 256
 
+#: Tombstone compaction only kicks in above this many dead events — tiny
+#: heaps are cheaper to drain than to rebuild.
+_COMPACT_MIN_DEAD = 64
+
 
 class Event:
     """Handle to a scheduled callback.
@@ -47,18 +56,29 @@ class Event:
     ``time`` and whether the event is still ``alive``.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "alive")
+    __slots__ = ("time", "seq", "fn", "args", "alive", "_engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        engine: "Engine | None" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.alive = True
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.alive = False
+        if self.alive:
+            self.alive = False
+            if self._engine is not None:
+                self._engine._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -91,6 +111,9 @@ class Engine:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        #: Count of cancelled events still sitting in the heap; kept exact
+        #: so ``pending()`` is O(1) and compaction can trigger lazily.
+        self._dead = 0
         #: Trace recorder shared by every component holding this engine.
         self.trace = trace
 
@@ -121,7 +144,7 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time:.9f} before now={self._now:.9f}"
             )
-        ev = Event(time, next(self._seq), fn, args)
+        ev = Event(time, next(self._seq), fn, args, self)
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -146,10 +169,20 @@ class Engine:
         self._running = True
         try:
             budget = max_events if max_events is not None else -1
-            while self._heap:
-                ev = self._heap[0]
+            # Hot loop: the heap, pop function, and trace recorder are
+            # hoisted to locals (compaction mutates the heap list in place,
+            # so the alias stays valid), and whether tracing is on is
+            # latched once per run() — toggling the recorder mid-run is not
+            # supported.
+            heap = self._heap
+            pop = heapq.heappop
+            trace = self.trace
+            tracing = trace.enabled
+            while heap:
+                ev = heap[0]
                 if not ev.alive:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    self._dead -= 1
                     continue
                 if until is not None and ev.time > until:
                     break
@@ -159,22 +192,19 @@ class Engine:
                         f"({self._events_processed} events fired); "
                         "the simulation is likely livelocked"
                     )
-                heapq.heappop(self._heap)
+                pop(heap)
                 self._now = ev.time
                 self._events_processed += 1
                 if budget > 0:
                     budget -= 1
                 ev.fn(*ev.args)
-                if (
-                    self.trace.enabled
-                    and self._events_processed % _TRACE_QUEUE_STRIDE == 0
-                ):
-                    self.trace.counter(
+                if tracing and self._events_processed % _TRACE_QUEUE_STRIDE == 0:
+                    trace.counter(
                         "engine.queue",
                         "engine",
                         self._now,
                         "engine",
-                        {"pending": len(self._heap)},
+                        {"pending": len(heap) - self._dead},
                     )
             if until is not None and self._now < until:
                 self._now = until
@@ -186,6 +216,7 @@ class Engine:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if not ev.alive:
+                self._dead -= 1
                 continue
             self._now = ev.time
             self._events_processed += 1
@@ -197,8 +228,26 @@ class Engine:
         """Timestamp of the next live event, or ``None`` if the queue is empty."""
         while self._heap and not self._heap[0].alive:
             heapq.heappop(self._heap)
+            self._dead -= 1
         return self._heap[0].time if self._heap else None
 
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for ev in self._heap if ev.alive)
+        """Number of live events still queued.  O(1)."""
+        return len(self._heap) - self._dead
+
+    # ------------------------------------------------------------------
+    # Tombstone bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when tombstones win."""
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead events and re-heapify, reusing the same list object
+        (``run()`` holds an alias to it)."""
+        heap = self._heap
+        heap[:] = [ev for ev in heap if ev.alive]
+        heapq.heapify(heap)
+        self._dead = 0

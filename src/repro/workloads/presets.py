@@ -153,6 +153,8 @@ def prophet_factory(
     profile_iterations: int = 50,
     guard: float = 0.0,
     forward_block_bytes: float = 4 * MB,
+    round_trip_factor: float = 1.0,
+    slice_bytes: float = 1 * MB,
     stale_tolerance: float | None = 0.5,
     stale_patience: int = 2,
     collapse_factor: float = 0.1,
@@ -164,6 +166,10 @@ def prophet_factory(
     profile immediately — equivalent to (and much faster than) simulating
     the paper's 50 warmup iterations.  Set it ``False`` to simulate the
     full online profiling phase (used by the Fig. 13 overhead experiment).
+
+    ``round_trip_factor`` and ``slice_bytes`` expose the design-choice
+    knobs the ablation suite sweeps (round-trip packing, slicing
+    granularity); defaults match :class:`ProphetScheduler`'s own.
 
     The degradation knobs (``stale_tolerance``/``stale_patience``/
     ``collapse_factor``/``on_stale``) govern when the scheduler abandons a
@@ -190,6 +196,8 @@ def prophet_factory(
             tcp=ctx.tcp,
             guard=guard,
             forward_block_bytes=forward_block_bytes,
+            round_trip_factor=round_trip_factor,
+            slice_bytes=slice_bytes,
             stale_tolerance=stale_tolerance,
             stale_patience=stale_patience,
             collapse_factor=collapse_factor,

@@ -1,0 +1,100 @@
+"""Result-cache behaviour: round-trips, corruption tolerance, controls."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runner import ResultCache, RunResult, default_cache_dir
+from repro.runner.cache import CACHE_DIR_ENV
+
+FP = "ab" + "0" * 62
+
+
+def _result() -> RunResult:
+    return RunResult(
+        training_rate=70.5,
+        per_worker_rates=(70.0, 71.0),
+        mean_iteration_s=0.9,
+        gpu_utilization=0.8,
+        throughput_bytes_per_s=1.2e9,
+        end_time=12.5,
+        fault_stats=(("crashes", 1), ("retries", 3)),
+    )
+
+
+def test_roundtrip_and_counters(tmp_path: Path):
+    store = ResultCache(tmp_path)
+    assert store.get(FP) is None
+    assert store.misses == 1
+
+    path = store.put(FP, _result())
+    assert path.is_file()
+    assert path.parent.name == FP[:2]
+
+    got = store.get(FP)
+    assert got == _result()
+    assert store.hits == 1
+
+
+def test_roundtrip_without_fault_stats(tmp_path: Path):
+    store = ResultCache(tmp_path)
+    result = RunResult(
+        training_rate=1.0,
+        per_worker_rates=(1.0,),
+        mean_iteration_s=1.0,
+        gpu_utilization=0.5,
+        throughput_bytes_per_s=1.0,
+        end_time=1.0,
+    )
+    store.put(FP, result)
+    assert store.get(FP) == result
+
+
+def test_corrupted_entry_is_discarded_not_fatal(tmp_path: Path):
+    store = ResultCache(tmp_path)
+    path = store.put(FP, _result())
+
+    path.write_text("{ not json")
+    assert store.get(FP) is None
+    assert not path.exists(), "corrupt entry should be unlinked"
+
+    # Valid JSON but wrong schema.
+    store.put(FP, _result())
+    payload = json.loads(path.read_text())
+    del payload["result"]["training_rate"]
+    path.write_text(json.dumps(payload))
+    assert store.get(FP) is None
+    assert not path.exists()
+
+    # Valid payload filed under the wrong fingerprint.
+    store.put(FP, _result())
+    payload = json.loads(path.read_text())
+    payload["fingerprint"] = "f" * 64
+    path.write_text(json.dumps(payload))
+    assert store.get(FP) is None
+    assert not path.exists()
+
+
+def test_stats_and_clear(tmp_path: Path):
+    store = ResultCache(tmp_path)
+    other = "cd" + "1" * 62
+    store.put(FP, _result())
+    store.put(other, _result())
+
+    stats = store.stats()
+    assert stats.entries == 2
+    assert stats.total_bytes > 0
+    assert stats.root == tmp_path
+
+    assert store.clear() == 2
+    assert store.stats().entries == 0
+    # Clearing an already-empty (or never-created) cache is fine.
+    assert ResultCache(tmp_path / "nonexistent").clear() == 0
+
+
+def test_default_dir_env_override(tmp_path: Path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "alt"))
+    assert default_cache_dir() == tmp_path / "alt"
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert default_cache_dir() == Path.home() / ".cache" / "repro" / "results"

@@ -147,3 +147,87 @@ def test_events_scheduled_at_now_fire_in_same_run():
     eng.schedule(1.0, lambda: eng.schedule(eng.now, fired.append, "same-time"))
     eng.run()
     assert fired == ["same-time"]
+
+
+# ----------------------------------------------------------------------
+# Tombstone compaction / O(1) pending
+# ----------------------------------------------------------------------
+def test_mass_cancellation_compacts_heap():
+    eng = Engine()
+    events = [eng.schedule(1.0 + i, lambda: None) for i in range(1_000)]
+    keeper = eng.schedule(0.5, lambda: None)
+    for ev in events:
+        ev.cancel()
+    # Far more than _COMPACT_MIN_DEAD tombstones were cancelled, so the
+    # heap must have been rebuilt down to the live events.
+    assert len(eng._heap) < 100
+    assert eng.pending() == 1
+    assert keeper.alive
+
+
+def test_pending_stays_correct_through_compaction():
+    eng = Engine()
+    live = [eng.schedule(10.0 + i, lambda: None) for i in range(10)]
+    doomed = [eng.schedule(1.0 + i, lambda: None) for i in range(500)]
+    for ev in doomed:
+        ev.cancel()
+        alive_doomed = sum(1 for e in doomed if e.alive)
+        assert eng.pending() == len(live) + alive_doomed
+    assert eng.pending() == 10
+    eng.run()
+    assert eng.events_processed == 10
+
+
+def test_compaction_preserves_firing_order():
+    eng = Engine()
+    fired = []
+    survivors = []
+    for i in range(300):
+        ev = eng.schedule(float(i + 1), fired.append, i)
+        if i % 5 == 0:
+            survivors.append(i)
+        else:
+            ev.cancel()
+    eng.run()
+    assert fired == survivors
+
+
+def test_cancellation_during_run_keeps_heap_bounded():
+    """The simulator's own pattern: timeouts armed then cancelled."""
+    eng = Engine()
+    peak = 0
+    count = 0
+    pending = []
+
+    def tick():
+        nonlocal count, peak
+        count += 1
+        for ev in pending:
+            ev.cancel()
+        pending.clear()
+        peak = max(peak, len(eng._heap))
+        if count < 500:
+            for _ in range(10):
+                pending.append(eng.schedule_after(100.0, lambda: None))
+            eng.schedule_after(0.01, tick)
+
+    eng.schedule(0.0, tick)
+    eng.run()
+    # 5000 total cancellations; without compaction the peak would be
+    # ~5000 — with it, tombstones are capped near _COMPACT_MIN_DEAD.
+    assert peak < 200
+
+
+def test_cancel_then_pop_keeps_counter_consistent():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert eng.pending() == 1
+    eng.run()
+    assert eng.pending() == 0
+    # More schedule/cancel cycles after a run keep the count exact.
+    ev2 = eng.schedule(3.0, lambda: None)
+    assert eng.pending() == 1
+    ev2.cancel()
+    assert eng.pending() == 0

@@ -33,6 +33,26 @@ class TestParser:
         assert args.restart_after == 0.5
         assert args.drop == 0.02
 
+    def test_run_accepts_jobs_and_no_cache(self):
+        args = build_parser().parse_args(["run", "fig8", "-j", "4", "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        args = build_parser().parse_args(["run", "fig8"])
+        assert args.jobs is None
+        assert args.no_cache is False
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.jobs is None
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_cache_defaults_to_stats(self):
+        args = build_parser().parse_args(["cache"])
+        assert args.action == "stats"
+        args = build_parser().parse_args(["cache", "clear"])
+        assert args.action == "clear"
+
 
 class TestErrorHandling:
     """Unknown names exit with a one-line ``error:`` message and status 2
@@ -132,6 +152,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "goodput retained" in out
         assert "prophet" in out and "mxnet-fifo" in out
+
+
+class TestRunnerCommands:
+    def test_run_rejects_bad_job_count(self, capsys):
+        assert main(["run", "fig8", "-j", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "jobs" in err
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        from repro.runner import ResultCache
+        from tests.runner.test_cache import FP, _result
+
+        ResultCache(tmp_path).put(FP, _result())
+
+        assert main(["cache", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "1" in out
+
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+        assert ResultCache(tmp_path).stats().entries == 0
+
+    def test_bench_reports_time_and_cache(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.fig8 as fig8
+
+        monkeypatch.setattr(
+            fig8, "DEFAULT_WORKLOADS", (("resnet18", 16),)
+        )
+        code = main(["bench", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wall time" in out
+        assert "0 hits, 2 misses" in out
+
+        # Warm rerun: everything served from the cache.
+        assert main(["bench", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 hits, 0 misses" in out
+
+    def test_bench_no_cache_skips_store(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.fig8 as fig8
+
+        monkeypatch.setattr(
+            fig8, "DEFAULT_WORKLOADS", (("resnet18", 16),)
+        )
+        code = main(["bench", "--no-cache", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache: disabled" in out
+        assert not list(tmp_path.rglob("*.json"))
 
 
 class TestSchedCommand:
