@@ -42,6 +42,70 @@ def test_tcp_transfer_time_vectorized(benchmark):
     assert len(out) == 10_000
 
 
+def test_tcp_transfer_time_scalar_cold(benchmark):
+    """Scalar fast path, cold start — the per-message hot call.
+
+    This is the call the simulator makes for every network message;
+    it must stay a table lookup plus a handful of float ops, not a
+    numpy broadcast.
+    """
+    params = TCPParams()
+    bandwidth = 3 * Gbps
+    transfer_time(1e6, bandwidth, params)  # prime the memo table
+
+    def run():
+        total = 0.0
+        for size in (1e3, 32e3, 1e6, 64e6):
+            total += transfer_time(size, bandwidth, params)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_tcp_transfer_time_scalar_warm(benchmark):
+    """Scalar fast path, warm window (slow-start rounds skipped)."""
+    params = TCPParams()
+    bandwidth = 3 * Gbps
+    transfer_time(1e6, bandwidth, params, warm=True)
+
+    def run():
+        total = 0.0
+        for size in (1e3, 32e3, 1e6, 64e6):
+            total += transfer_time(size, bandwidth, params, warm=True)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_link_transfer_pump(benchmark):
+    """Engine-driven back-to-back sends on one Link (4k transfers).
+
+    End-to-end per-message cost: schedule lookup, scalar TCP time,
+    in-flight bookkeeping, completion record, idle callback.
+    """
+    from repro.net.link import BandwidthSchedule, Link
+
+    n_transfers = 4_000
+
+    def run():
+        eng = Engine()
+        link = Link(eng, BandwidthSchedule.constant(3 * Gbps), TCPParams())
+        count = 0
+
+        def pump():
+            nonlocal count
+            if count < n_transfers:
+                count += 1
+                link.send(64_000.0, tag=("push", count))
+
+        link.on_idle = pump
+        eng.schedule(0.0, pump)
+        eng.run()
+        return count
+
+    assert benchmark(run) == n_transfers
+
+
 def test_gp_fit_predict(benchmark):
     """GP fit + predict at ByteScheduler's tuning scale (30 points)."""
     rng = np.random.default_rng(0)

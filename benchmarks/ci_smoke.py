@@ -7,9 +7,10 @@ handful of key scalars against ``benchmarks/baselines.json``:
 * **Deterministic scalars** (simulated training rates) must match the
   baseline within a tight relative tolerance — the simulator is a seeded
   discrete-event system, so any drift here is a real behavioural change.
-* **Timing scalars** (engine events/second, both a plain event chain and
-  a cancellation-heavy churn) only enforce a loose floor — CI runners are
-  noisy, so we only fail on order-of-magnitude regressions.
+* **Timing scalars** (engine events/second over a plain chain and a
+  cancellation-heavy churn, scalar TCP-model calls/second, and
+  engine-driven link transfers/second) only enforce a loose floor — CI
+  runners are noisy, so we only fail on order-of-magnitude regressions.
 
 The Fig. 8 runs go through :func:`repro.runner.run_grid` with the result
 cache disabled — the smoke test must gate on *fresh* simulation, and the
@@ -152,6 +153,54 @@ def measure(jobs: int | None = None) -> tuple[dict[str, float], dict[str, float]
     churn()  # warmup
     best = min(_timed(churn) for _ in range(3))
     timing["engine.cancel_events_per_s"] = churn_ops / best
+
+    # Scalar TCP-model throughput: the per-message hot call.  Guards the
+    # memoized slow-start fast path — falling back to the numpy loop is
+    # a >10x regression here.
+    from repro.net.tcp import TCPParams, transfer_time
+    from repro.quantities import Gbps as _Gbps
+
+    params = TCPParams()
+    bandwidth = 3 * _Gbps
+    tcp_sizes = (1e3, 32e3, 1e6, 64e6)
+    n_tcp_reps = 25_000
+    n_tcp_calls = n_tcp_reps * len(tcp_sizes)
+
+    def tcp_calls() -> None:
+        for _ in range(n_tcp_reps):
+            for size in tcp_sizes:
+                transfer_time(size, bandwidth, params)
+
+    tcp_calls()  # warmup (also primes the memo table)
+    best = min(_timed(tcp_calls) for _ in range(3))
+    timing["tcp.transfer_time_calls_per_s"] = n_tcp_calls / best
+
+    # Engine-driven transfers: back-to-back sends on one Link, completing
+    # through the event loop.  End-to-end per-message cost (schedule
+    # lookup, scalar TCP time, in-flight bookkeeping, record, idle
+    # callback) — the composite the simulator pays per network message.
+    from repro.net.link import BandwidthSchedule, Link
+
+    n_transfers = 10_000
+
+    def transfers() -> None:
+        eng = Engine()
+        link = Link(eng, BandwidthSchedule.constant(bandwidth), params)
+        count = 0
+
+        def pump() -> None:
+            nonlocal count
+            if count < n_transfers:
+                count += 1
+                link.send(64_000.0, tag=("push", count))
+
+        link.on_idle = pump
+        eng.schedule(0.0, pump)
+        eng.run()
+
+    transfers()  # warmup
+    best = min(_timed(transfers) for _ in range(3))
+    timing["sim.transfers_per_s"] = n_transfers / best
 
     return deterministic, timing
 

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro sched prophet --trace out.json   # traced single run
     python -m repro chaos --model resnet18 --drop 0.02  # fault resilience
     python -m repro bench -j 4               # timed fig8 grid via the runner
+    python -m repro profile fig8 --top 20    # cProfile hotspot report
     python -m repro cache                    # result-cache stats
     python -m repro cache clear              # drop every cached result
 
@@ -24,7 +25,11 @@ export the structured trace as Chrome trace-event JSON (open in Perfetto /
 clean/faulty resilience comparison of :mod:`repro.experiments.chaos` with
 an ad-hoc fault plan.  ``bench`` times the Fig. 8 FAST grid through the
 parallel runner and reports wall time plus cache hit/miss counts.
-``cache`` inspects or clears the on-disk result cache.
+``profile`` runs any experiment under :mod:`cProfile` (forced serial and
+cache-bypassing, so the report reflects simulation cost — see
+:mod:`repro.profiling`) and prints the top-N hotspots; ``--dump`` keeps
+the raw stats for snakeviz.  ``cache`` inspects or clears the on-disk
+result cache.
 
 Unknown model/strategy/experiment names exit with a one-line
 ``error: ...`` message and status 2 — never a traceback.
@@ -166,6 +171,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="result-cache directory (default: REPRO_CACHE_DIR or "
         "~/.cache/repro/results)",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="run an experiment under cProfile and report hotspots"
+    )
+    profile.add_argument("experiment", help=f"one of: {', '.join(EXPERIMENTS)}")
+    profile.add_argument(
+        "--top", type=int, default=25,
+        help="number of hotspot rows to print (default 25)",
+    )
+    profile.add_argument(
+        "--sort", default="cumulative", choices=("cumulative", "tottime", "calls"),
+        help="pstats sort key (default: cumulative)",
+    )
+    profile.add_argument(
+        "--dump", metavar="OUT.prof", default=None,
+        help="also dump raw cProfile stats here (open with snakeviz or "
+        "`python -m pstats`)",
+    )
+    profile.add_argument(
+        "--use-cache", action="store_true",
+        help="allow cached grid results (profiles cache lookups instead of "
+        "fresh simulation)",
     )
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
@@ -387,6 +415,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiling import profile_experiment
+
+    _validate_choice("experiment", args.experiment, EXPERIMENTS)
+    report = profile_experiment(
+        args.experiment,
+        top=args.top,
+        sort=args.sort,
+        dump=args.dump,
+        use_cache=args.use_cache,
+    )
+    print()
+    print(f"profile — {report.experiment}: {report.total_calls:,} calls in "
+          f"{report.total_seconds:.2f} s (serial, "
+          f"{'cache allowed' if args.use_cache else 'cache bypassed'})")
+    print(report.text, end="")
+    if report.dump_path:
+        print(f"raw stats dumped to {report.dump_path} "
+              f"(view with `snakeviz {report.dump_path}`)")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runner import ResultCache
 
@@ -417,6 +467,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": lambda: _cmd_sweep(args),
         "chaos": lambda: _cmd_chaos(args),
         "bench": lambda: _cmd_bench(args),
+        "profile": lambda: _cmd_profile(args),
         "cache": lambda: _cmd_cache(args),
     }
     try:

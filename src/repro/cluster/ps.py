@@ -60,6 +60,9 @@ class ParameterServer:
         self.engine = engine
         self.n_workers = n_workers
         self.sizes = np.asarray(sizes, dtype=float)
+        # Scalar-indexed copy for the per-segment hot loop (indexing a
+        # numpy array boxes a fresh np.float64 per lookup).
+        self._sizes_list: list[float] = self.sizes.tolist()
         self.update_fixed = update_fixed
         self.update_per_byte = update_per_byte
         self.sync_mode = sync_mode
@@ -76,11 +79,15 @@ class ParameterServer:
             dict
         )
         # (iteration, grad) -> per-worker cumulative bytes received.
-        self._received: dict[tuple[int, int], np.ndarray] = {}
+        # Plain lists: the hot loop only ever does scalar reads/writes and
+        # min() reductions, where numpy's per-element boxing dominates.
+        self._received: dict[tuple[int, int], list[float]] = {}
         # grad -> per-worker latest iteration fully pushed (-1 = none).
-        self._progress: dict[int, np.ndarray] = {}
+        self._progress: dict[int, list[int]] = {}
         # grad -> pull units waiting for release.
         self._waiting: dict[int, list[PullUnit]] = defaultdict(list)
+        # Count of units across _waiting — O(1) pending_pulls.
+        self._n_waiting = 0
         self._workers: list = []
         #: Total gradient bytes pushed to the PS (all workers, all iters).
         self.total_push_bytes = 0.0
@@ -154,25 +161,27 @@ class ParameterServer:
             key = (iteration, seg.grad)
             received = self._received.get(key)
             if received is None:
-                received = np.zeros(self.n_workers)
+                received = [0.0] * self.n_workers
                 self._received[key] = received
+            size = self._sizes_list[seg.grad]
             if abs(received[worker] - seg.offset) > max(_TOL, 1e-6 * seg.nbytes):
                 raise SimulationError(
                     f"worker {worker} pushed gradient {seg.grad} (iter {iteration}) "
                     f"at offset {seg.offset}, expected {received[worker]}"
                 )
             received[worker] += seg.nbytes
-            if received[worker] > self.sizes[seg.grad] * (1 + 1e-9) + _TOL:
+            if received[worker] > size * (1 + 1e-9) + _TOL:
                 raise SimulationError(
                     f"worker {worker} over-pushed gradient {seg.grad}: "
-                    f"{received[worker]} of {self.sizes[seg.grad]} bytes"
+                    f"{received[worker]} of {size} bytes"
                 )
-            if received[worker] >= self.sizes[seg.grad] - _TOL:
+            if received[worker] >= size - _TOL:
                 progress = self._progress.get(seg.grad)
                 if progress is None:
-                    progress = np.full(self.n_workers, -1, dtype=np.int64)
+                    progress = [-1] * self.n_workers
                     self._progress[seg.grad] = progress
-                progress[worker] = max(progress[worker], iteration)
+                if iteration > progress[worker]:
+                    progress[worker] = iteration
             self.total_push_bytes += seg.nbytes
             touched.add(seg.grad)
 
@@ -186,6 +195,7 @@ class ParameterServer:
                 self._release(pull)
             else:
                 self._waiting[seg.grad].append(pull)
+                self._n_waiting += 1
 
         # Newly credited bytes may unblock waiting pulls for these keys
         # (other workers under BSP; stale followers under SSP).
@@ -197,6 +207,7 @@ class ParameterServer:
             for pull in waiting:
                 if self._releasable(pull):
                     self._release(pull)
+                    self._n_waiting -= 1
                 else:
                     still_waiting.append(pull)
             if still_waiting:
@@ -215,16 +226,16 @@ class ParameterServer:
             )
 
     # ------------------------------------------------------------------
-    def _range_covered(self, iteration: int, seg: Segment, workers) -> bool:
+    def _range_covered(self, iteration: int, seg: Segment) -> bool:
         received = self._received.get((iteration, seg.grad))
         if received is None:
             return False
-        return bool(received[workers].min() >= seg.offset + seg.nbytes - _TOL)
+        return min(received) >= seg.offset + seg.nbytes - _TOL
 
     def _releasable(self, pull: PullUnit) -> bool:
         seg = pull.segment
         if self.sync_mode == "bsp":
-            return self._range_covered(pull.iteration, seg, slice(None))
+            return self._range_covered(pull.iteration, seg)
         # ASP/SSP: the worker's own bytes are in (they arrived with this
         # very push), so only the staleness bound can hold SSP back.
         if self.sync_mode == "asp":
@@ -237,12 +248,12 @@ class ParameterServer:
         progress = self._progress.get(seg.grad)
         if progress is None:
             return False
-        return bool(progress.min() >= bound)
+        return min(progress) >= bound
 
     def _release(self, pull: PullUnit) -> None:
         if self.sync_mode != "bsp":
             progress = self._progress.get(pull.segment.grad)
-            slowest = int(progress.min()) if progress is not None else -1
+            slowest = min(progress) if progress is not None else -1
             self.staleness_samples.append(max(0, pull.iteration - 1 - slowest))
         trace = self.engine.trace
         if trace.enabled:
@@ -270,9 +281,9 @@ class ParameterServer:
     def aggregated_bytes(self, iteration: int, grad: int) -> float:
         """Bytes of ``grad`` aggregated from all workers in ``iteration``."""
         received = self._received.get((iteration, grad))
-        return float(received.min()) if received is not None else 0.0
+        return min(received) if received is not None else 0.0
 
     @property
     def pending_pulls(self) -> int:
-        """Pull units still waiting on aggregation/staleness."""
-        return sum(len(w) for w in self._waiting.values())
+        """Pull units still waiting on aggregation/staleness.  O(1)."""
+        return self._n_waiting

@@ -41,6 +41,7 @@ import itertools
 import math
 from collections import deque
 from functools import partial
+from heapq import heapify, heappop, heappush
 from typing import Callable
 
 import numpy as np
@@ -100,11 +101,12 @@ class Worker:
 
         grads = gradient_table(compute.model)
         self._n_grads = len(grads)
-        self._layer_of = np.array([g.layer_index for g in grads], dtype=np.int64)
-        self._layer_tensor_counts = np.zeros(len(compute.model.layers), dtype=np.int64)
+        self._layer_of = [g.layer_index for g in grads]
+        self._layer_tensor_counts = [0] * len(compute.model.layers)
         for g in grads:
             self._layer_tensor_counts[g.layer_index] += 1
-        self._sizes = gen_schedule.sizes
+        self._total_tensor_count = sum(self._layer_tensor_counts)
+        self._sizes = [float(s) for s in gen_schedule.sizes]
 
         # Channel pumps re-enter via engine callbacks; wire link idleness.
         self.channel.on_idle = self._pump
@@ -118,12 +120,20 @@ class Worker:
         self._fwd_layer = 0
         self._fwd_chunk_pending = False
         self._fwd_start_times: list[float] = []
-        self._layer_pending = np.zeros_like(self._layer_tensor_counts)
-        self._pulled = np.zeros(self._n_grads)
-        self._pushed = np.zeros(self._n_grads)
-        self._ready_time = np.full(self._n_grads, np.nan)
+        self._layer_pending = [0] * len(self._layer_tensor_counts)
+        self._pending_updates = 0
+        self._pulled = [0.0] * self._n_grads
+        self._pushed = [0.0] * self._n_grads
+        self._ready_time: list[float | None] = [None] * self._n_grads
         self._iter_rec = None
-        self._pull_queue: list[tuple[PullUnit, float]] = []
+        # Heap of (key, pull, arrival).  The key replicates the old linear
+        # ``min``/stable-``sorted`` selection exactly: priority order with
+        # arrival and an insertion counter as tie-breakers, except in the
+        # shared-channel FIFO mode where arrival order rules.  (A duplex
+        # downlink always drains by priority, whatever the scheduler.)
+        self._pull_heap: list[tuple[tuple, PullUnit, float]] = []
+        self._pull_seq = itertools.count()
+        self._pull_by_priority = (downlink is not None) or not scheduler.fifo_channel
         self._compute_done = False
         self._done = False
         self._stall_timeout = stall_timeout
@@ -207,7 +217,7 @@ class Worker:
                 if batch:
                     now = self.engine.now
                     for pull in batch:
-                        self._pull_queue.append((pull, now))
+                        self._enqueue_pull_item(pull, now)
 
     def restart(self) -> None:
         """Return from an outage: replay deferred completions, resume
@@ -277,10 +287,11 @@ class Worker:
         sched = self.gen_schedule.scaled(self._factor)
         self._comm_iter = iteration
         # Reset pull gating for the *next* forward pass.
-        self._layer_pending = self._layer_tensor_counts.copy()
-        self._pulled = np.zeros(self._n_grads)
-        self._pushed = np.zeros(self._n_grads)
-        self._ready_time = np.full(self._n_grads, np.nan)
+        self._layer_pending = list(self._layer_tensor_counts)
+        self._pending_updates = self._total_tensor_count
+        self._pulled = [0.0] * self._n_grads
+        self._pushed = [0.0] * self._n_grads
+        self._ready_time = [None] * self._n_grads
 
         self.scheduler.begin_iteration(iteration, sched, now)
         self.recorder.gpu_busy(
@@ -328,23 +339,29 @@ class Worker:
     # ------------------------------------------------------------------
     def enqueue_pull(self, pull: PullUnit) -> None:
         """The PS released updated parameters for this worker."""
-        self._pull_queue.append((pull, self.engine.now))
+        self._enqueue_pull_item(pull, self.engine.now)
         if self.downlink is not None:
             self._pump_downlink()
         else:
             self._pump()
 
+    def _enqueue_pull_item(self, pull: PullUnit, arrival: float) -> None:
+        if self._pull_by_priority:
+            key = (pull.priority, arrival, next(self._pull_seq))
+        else:
+            key = (arrival, next(self._pull_seq))
+        heappush(self._pull_heap, (key, pull, arrival))
+
     def _pick_pull(self) -> tuple[PullUnit, float] | None:
-        if not self._pull_queue:
+        if not self._pull_heap:
             return None
-        if self.scheduler.fifo_channel:
-            return min(self._pull_queue, key=lambda item: item[1])
-        return min(self._pull_queue, key=lambda item: (item[0].priority, item[1]))
+        entry = self._pull_heap[0]
+        return entry[1], entry[2]
 
     def _push_arrival(self, unit: TransferUnit) -> float:
         """Arrival time of a proposed push = when its head gradient flushed."""
         ready = self._ready_time[unit.segments[0].grad]
-        return float(ready) if np.isfinite(ready) else self.engine.now
+        return ready if ready is not None else self.engine.now
 
     def _pump(self) -> None:
         """Drive the (shared) channel: arbitrate pulls vs the proposed push."""
@@ -372,7 +389,7 @@ class Worker:
 
         if choose_pull:
             assert pull_item is not None
-            self._send_pull_batch(self.channel, pull_item)
+            self._send_pull_batch(self.channel)
         elif push is not None:
             self._send_push(push)
         elif self.scheduler.pending_bytes > 0:
@@ -394,7 +411,7 @@ class Worker:
             self._done
             or self._suspended
             or self.channel.busy
-            or self._pull_queue
+            or self._pull_heap
             or self.scheduler.pending_bytes <= 0
         ):
             return
@@ -413,30 +430,49 @@ class Worker:
     def _pump_downlink(self) -> None:
         """Duplex ablation: pulls on their own link, by priority."""
         assert self.downlink is not None
-        if self._done or self._suspended or self.downlink.busy or not self._pull_queue:
+        if self._done or self._suspended or self.downlink.busy or not self._pull_heap:
             return
-        pull_item = min(self._pull_queue, key=lambda item: (item[0].priority, item[1]))
-        self._send_pull_batch(self.downlink, pull_item)
+        self._send_pull_batch(self.downlink)
 
-    def _send_pull_batch(self, link: Link, head: tuple[PullUnit, float]) -> None:
-        """Send the head pull, coalescing more pending pulls if the
-        strategy batches responses (see ``pull_batch_limit``)."""
-        self._pull_queue.remove(head)
-        batch = [head[0]]
-        total = head[0].total_bytes
+    def _send_pull_batch(self, link: Link) -> None:
+        """Send the head pull (the heap front), coalescing more pending
+        pulls if the strategy batches responses (``pull_batch_limit``)."""
+        _, head_pull, _ = heappop(self._pull_heap)
+        batch = [head_pull]
+        total = head_pull.total_bytes
         limit = self.scheduler.pull_batch_limit(self.engine.now)
-        if limit is not None and self._pull_queue:
+        if limit is not None and self._pull_heap:
             # Strict priority prefix: stop at the first unit that does not
             # fit, so no lower-priority parameter overtakes a pending one.
-            candidates = sorted(
-                self._pull_queue, key=lambda item: (item[0].priority, item[1])
-            )
-            for item in candidates:
-                if total + item[0].total_bytes > limit:
-                    break
-                batch.append(item[0])
-                total += item[0].total_bytes
-                self._pull_queue.remove(item)
+            if self._pull_by_priority:
+                heap = self._pull_heap
+                while heap:
+                    pull = heap[0][1]
+                    if total + pull.total_bytes > limit:
+                        break
+                    heappop(heap)
+                    batch.append(pull)
+                    total += pull.total_bytes
+            else:
+                # Arrival-keyed queue asked to batch by priority: no
+                # shipped scheduler hits this (FIFO engines never batch),
+                # but the contract is kept via a sorted snapshot.
+                candidates = sorted(
+                    self._pull_heap, key=lambda e: (e[1].priority, e[2], e[0])
+                )
+                taken: set = set()
+                for entry in candidates:
+                    pull = entry[1]
+                    if total + pull.total_bytes > limit:
+                        break
+                    batch.append(pull)
+                    total += pull.total_bytes
+                    taken.add(entry)
+                if taken:
+                    self._pull_heap = [
+                        e for e in self._pull_heap if e not in taken
+                    ]
+                    heapify(self._pull_heap)
         if self._faults is not None:
             self._inflight_pulls[link] = batch
         link.send(
@@ -598,9 +634,9 @@ class Worker:
         trace = self.engine.trace
         prefix = f"worker{self.worker_id}"
         readies = [
-            float(self._ready_time[seg.grad])
+            self._ready_time[seg.grad]
             for seg in unit.segments
-            if np.isfinite(self._ready_time[seg.grad])
+            if self._ready_time[seg.grad] is not None
         ]
         trace.complete(
             f"assemble p{unit.priority}",
@@ -613,8 +649,8 @@ class Worker:
         for seg in unit.segments:
             if seg.offset > _TOL:
                 continue
-            ready = float(self._ready_time[seg.grad])
-            if np.isfinite(ready) and now > ready:
+            ready = self._ready_time[seg.grad]
+            if ready is not None and now > ready:
                 trace.complete(
                     f"wait g{seg.grad}",
                     "wait",
@@ -676,6 +712,7 @@ class Worker:
                 )
                 layer = self._layer_of[seg.grad]
                 self._layer_pending[layer] -= 1
+                self._pending_updates -= 1
                 if self._layer_pending[layer] < 0:
                     raise SimulationError(
                         f"worker {self.worker_id}: layer {layer} over-updated"
@@ -724,7 +761,7 @@ class Worker:
             return
         now = self.engine.now
         for pull in batch:
-            self._pull_queue.append((pull, now))
+            self._enqueue_pull_item(pull, now)
         if self.downlink is not None:
             self._pump_downlink()
         self._pump()
@@ -733,7 +770,7 @@ class Worker:
     def _check_done(self) -> None:
         if self._done or not self._compute_done:
             return
-        if int(self._layer_pending.sum()) == 0:
+        if self._pending_updates == 0:
             self._done = True
             if self._on_done is not None:
                 self._on_done(self.worker_id)

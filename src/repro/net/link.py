@@ -17,6 +17,7 @@ noise to represent cross-traffic.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -46,8 +47,12 @@ class BandwidthSchedule:
             raise ConfigurationError("bandwidth values must be positive")
         if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
             raise ConfigurationError("schedule times must be strictly increasing")
-        self._times = np.asarray(times)
-        self._values = np.asarray(values)
+        self._times = times
+        self._values = values
+        # Segment of the most recent lookup.  Simulation time only moves
+        # forward, so nearly every ``value()`` call lands in the cached
+        # segment (or the next one) and resolves without a bisect.
+        self._cursor = 0
 
     @classmethod
     def constant(cls, bandwidth: float) -> "BandwidthSchedule":
@@ -56,18 +61,29 @@ class BandwidthSchedule:
 
     def value(self, time: float) -> float:
         """Available bandwidth at ``time``."""
-        idx = int(np.searchsorted(self._times, time, side="right")) - 1
-        if idx < 0:
-            idx = 0
-        return float(self._values[idx])
+        times = self._times
+        idx = self._cursor
+        if times[idx] <= time:
+            nxt = idx + 1
+            if nxt == len(times) or time < times[nxt]:
+                return self._values[idx]
+            idx = bisect_right(times, time, lo=nxt) - 1
+        else:
+            # Query behind the cursor (replay, fault-injection probes):
+            # fall back to a bisect over the prefix.
+            idx = bisect_right(times, time, hi=idx) - 1
+            if idx < 0:
+                idx = 0
+        self._cursor = idx
+        return self._values[idx]
 
     @property
     def mean(self) -> float:
         """Unweighted mean of the schedule's levels (for summaries)."""
-        return float(self._values.mean())
+        return float(np.mean(self._values))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferRecord:
     """One completed transfer on a link (for timelines and throughput)."""
 
@@ -86,7 +102,7 @@ class TransferRecord:
         return self.nbytes / self.duration if self.duration > 0 else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     nbytes: float
     tag: object
@@ -275,11 +291,21 @@ class Link:
 
     # ------------------------------------------------------------------
     def busy_time(self, until: float | None = None) -> float:
-        """Total time the link spent transferring, up to ``until``."""
+        """Total time the link spent transferring, up to ``until``.
+
+        O(1) for the common case: completed records all lie in the past,
+        so the maintained ``_busy_accum`` already is their sum.  Only a
+        horizon strictly before ``now`` (retrospective queries) needs the
+        per-record clamp.
+        """
         horizon = self.engine.now if until is None else until
-        total = sum(
-            max(0.0, min(r.end, horizon) - min(r.start, horizon)) for r in self.records
-        )
+        if horizon >= self.engine.now:
+            total = self._busy_accum
+        else:
+            total = sum(
+                max(0.0, min(r.end, horizon) - min(r.start, horizon))
+                for r in self.records
+            )
         if self._inflight is not None and self._inflight.start < horizon:
             total += min(self._inflight.end, horizon) - self._inflight.start
         return total

@@ -24,8 +24,12 @@ paper requires.  Small partitions (P3 with sub-MB slices) pay the per-round
 RTTs over and over; multi-MB blocks amortize them — this single model drives
 the Fig. 3(a) result.
 
-All functions accept scalars or NumPy arrays for ``nbytes`` (vectorized over
-transfer sizes, which is how the partition-sweep benchmark calls them).
+All functions accept scalars or NumPy arrays for ``nbytes``.  Arrays go
+through the vectorized numpy path (how the partition-sweep benchmark calls
+them); scalars take a pure-Python fast path backed by a memoized
+per-``(bandwidth, params)`` slow-start table, which is how the simulator's
+per-message hot loop calls them.  Both paths replay the identical IEEE-754
+operation sequence, so scalar and vectorized results are bit-equal.
 """
 
 from __future__ import annotations
@@ -41,6 +45,15 @@ __all__ = ["TCPParams", "transfer_time", "effective_bandwidth", "half_rate_size"
 # Slow start doubles the window every round; 64 doublings cover any
 # physically plausible bandwidth-delay product.
 _MAX_SLOW_START_ROUNDS = 64
+
+#: Memoized slow-start tables, keyed ``(bandwidth, params)``.  Bounded
+#: because bandwidth noise makes every send see a unique bandwidth — the
+#: cache must not grow with the transfer count.  FIFO eviction (dict
+#: preserves insertion order) is fine: a noisy run misses every time and
+#: just pays the cheap table build, while the common fixed-bandwidth run
+#: hits the same handful of entries forever.
+_TABLE_CACHE: dict[tuple[float, "TCPParams"], "_SlowStartTable"] = {}
+_TABLE_CACHE_MAX = 256
 
 
 @dataclass(frozen=True)
@@ -109,6 +122,77 @@ class TCPParams:
             )
 
 
+class _SlowStartTable:
+    """Precomputed slow-start schedule for one ``(bandwidth, params)`` pair.
+
+    Stores the congestion window and the *exact* full-round time
+    (``rtt * cwnd / cwnd``, which is not bit-equal to ``rtt`` in general)
+    for every doubling round below the bandwidth-delay product, plus the
+    cumulative bytes delivered after each round.  A scalar
+    :func:`transfer_time` then replays the same float64 operation sequence
+    as the vectorized loop — a handful of adds and one divide — instead of
+    allocating numpy temporaries per round.
+    """
+
+    __slots__ = ("line_rate", "setup", "rtt", "cwnds", "full_times", "cum_bytes")
+
+    def __init__(self, bandwidth: float, params: TCPParams) -> None:
+        line_rate = bandwidth * params.goodput
+        rtt = params.rtt
+        self.line_rate = line_rate
+        self.rtt = rtt
+        self.setup = params.fixed_overhead + params.handshake_rtts * rtt
+        bdp = line_rate * rtt
+        cwnds: list[float] = []
+        full_times: list[float] = []
+        cum_bytes: list[float] = []
+        total = 0.0
+        cwnd = params.init_cwnd_segments * params.mss
+        while cwnd < bdp and len(cwnds) < _MAX_SLOW_START_ROUNDS:
+            cwnds.append(cwnd)
+            full_times.append(rtt * cwnd / cwnd)
+            total += cwnd
+            cum_bytes.append(total)
+            cwnd *= 2.0
+        self.cwnds = cwnds
+        self.full_times = full_times
+        self.cum_bytes = cum_bytes
+
+    def transfer_time(self, nbytes: float, warm: bool) -> float:
+        """Bit-identical scalar replay of the vectorized slow-start loop."""
+        if nbytes <= 0.0:
+            return 0.0
+        time = self.setup
+        remaining = nbytes
+        if not warm:
+            rtt = self.rtt
+            for cwnd, full_time in zip(self.cwnds, self.full_times):
+                if cwnd < remaining:
+                    # Full round: one RTT's worth at window ``cwnd``.  The
+                    # round time is precomputed with the same divide the
+                    # vectorized path performs.
+                    time += full_time
+                    remaining -= cwnd
+                else:
+                    # Final partial round, prorated; drains the transfer.
+                    time += rtt * remaining / cwnd
+                    remaining = 0.0
+                    break
+        return time + remaining / self.line_rate
+
+
+def _slow_start_table(bandwidth: float, params: TCPParams) -> _SlowStartTable:
+    """Fetch (or build and memoize) the table for this path."""
+    key = (bandwidth, params)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        if len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
+            del _TABLE_CACHE[next(iter(_TABLE_CACHE))]
+        table = _SlowStartTable(bandwidth, params)
+        _TABLE_CACHE[key] = table
+    return table
+
+
 def transfer_time(
     nbytes: float | np.ndarray,
     bandwidth: float,
@@ -130,6 +214,12 @@ def transfer_time(
     """
     if bandwidth <= 0:
         raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+    if isinstance(nbytes, (int, float)):  # np.float64 subclasses float
+        if nbytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        return _slow_start_table(bandwidth, params).transfer_time(
+            float(nbytes), warm
+        )
     bandwidth = bandwidth * params.goodput
     arr = np.asarray(nbytes, dtype=float)
     if np.any(arr < 0):
@@ -180,6 +270,12 @@ def effective_bandwidth(
     Satisfies ``f(s, B) -> 0`` as ``s -> 0`` and ``f(s, B) -> B`` as
     ``s -> inf`` (Eq. (10) of the paper).  Defined as 0 for ``s == 0``.
     """
+    if isinstance(nbytes, (int, float)):
+        size = float(nbytes)
+        t = transfer_time(size, bandwidth, params)
+        if size > 0.0 and t > 0.0:
+            return size / t
+        return 0.0
     arr = np.asarray(nbytes, dtype=float)
     t = np.asarray(transfer_time(arr, bandwidth, params), dtype=float)
     with np.errstate(divide="ignore", invalid="ignore"):

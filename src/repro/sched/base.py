@@ -25,6 +25,7 @@ ready, no double-sending bytes) so concrete strategies contain only policy.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,7 +36,7 @@ from repro.errors import SchedulingError
 __all__ = ["Segment", "TransferUnit", "CommScheduler"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """A contiguous byte range of one gradient inside a transfer unit."""
 
@@ -50,7 +51,7 @@ class Segment:
             raise SchedulingError(f"segment of gradient {self.grad} has offset < 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferUnit:
     """One network message: an ordered tuple of gradient segments."""
 
@@ -105,8 +106,17 @@ class CommScheduler:
 
     def __init__(self) -> None:
         self._sizes: np.ndarray | None = None
+        self._sizes_list: list[float] | None = None
         self._remaining: dict[int, float] = {}
         self._ready: set[int] = set()
+        #: ``sorted(self._remaining)`` maintained incrementally (insort on
+        #: ready, bisect-removal on full send) so the per-decision
+        #: ``ready_grads`` walk needs no per-call sort.
+        self._ready_order: list[int] = []
+        #: Running total of ``self._remaining.values()`` — only its sign is
+        #: load-bearing (idle/stall detection), so incremental float drift
+        #: is fine; it snaps to exactly 0.0 whenever the dict empties.
+        self._pending_acc = 0.0
         self._iteration = -1
 
     # ------------------------------------------------------------------
@@ -123,7 +133,10 @@ class CommScheduler:
             )
         self._iteration = iteration
         self._sizes = schedule.sizes
+        self._sizes_list = schedule.sizes.tolist()
         self._ready = set()
+        self._ready_order = []
+        self._pending_acc = 0.0
 
     def gradient_ready(self, grad: int, now: float) -> None:
         """Gradient ``grad`` flushed from the KV store and can be pushed."""
@@ -132,7 +145,10 @@ class CommScheduler:
         if grad in self._ready or grad in self._remaining:
             raise SchedulingError(f"gradient {grad} signalled ready twice")
         self._ready.add(grad)
-        self._remaining[grad] = float(self._sizes[grad])
+        size = self._sizes_list[grad]
+        self._remaining[grad] = size
+        insort(self._ready_order, grad)
+        self._pending_acc += size
 
     def propose_unit(self, now: float) -> TransferUnit | None:
         """The unit the scheduler would push now (``None`` = idle the link).
@@ -198,7 +214,7 @@ class CommScheduler:
     @property
     def ready_grads(self) -> list[int]:
         """Ready gradients with un-pushed bytes, most urgent first."""
-        return sorted(self._remaining)
+        return list(self._ready_order)
 
     def remaining_bytes(self, grad: int) -> float:
         """Un-pushed bytes of ``grad`` (0 when fully sent or not ready)."""
@@ -207,13 +223,15 @@ class CommScheduler:
     @property
     def pending_bytes(self) -> float:
         """Total un-pushed bytes across ready gradients."""
-        return sum(self._remaining.values())
+        if not self._remaining:
+            return 0.0
+        return self._pending_acc
 
     def size_of(self, grad: int) -> float:
         """Full size of gradient ``grad`` in bytes."""
-        if self._sizes is None:
+        if self._sizes_list is None:
             raise SchedulingError("size_of before begin_iteration")
-        return float(self._sizes[grad])
+        return self._sizes_list[grad]
 
     # ------------------------------------------------------------------
     # Internals
@@ -260,8 +278,20 @@ class CommScheduler:
             new_remaining = remaining - seg.nbytes
             if new_remaining <= 1e-9:
                 del self._remaining[seg.grad]
+                self._remove_ready(seg.grad)
+                # Drop the full leftover (incl. the sub-tolerance residual)
+                # so the accumulator tracks the dict, not the raw debits.
+                self._pending_acc -= remaining
             else:
                 self._remaining[seg.grad] = new_remaining
+                self._pending_acc -= seg.nbytes
+
+    def _remove_ready(self, grad: int) -> None:
+        """Remove ``grad`` from the maintained sorted ready order."""
+        order = self._ready_order
+        idx = bisect_left(order, grad)
+        if idx < len(order) and order[idx] == grad:
+            order.pop(idx)
 
     # ------------------------------------------------------------------
     # Segment-construction helpers shared by partitioned strategies

@@ -47,13 +47,11 @@ Every detection fires the ``notify`` hook (wired by the factory to a
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Callable
 
-import numpy as np
-
 from repro.agg.kvstore import GenerationSchedule
-from repro.core.intervals import next_generation_boundary
 from repro.core.profiler import JobProfile, JobProfiler
 from repro.errors import ConfigurationError
 from repro.net.tcp import TCPParams
@@ -143,8 +141,18 @@ class ProphetScheduler(CommScheduler):
         self.forward_block_bytes = float(forward_block_bytes)
         self._profiler: JobProfiler | None = None
         self._backward_start = 0.0
-        self._signalled: np.ndarray | None = None
+        self._signalled: list[bool] | None = None
         self._fallback_queue: deque[int] = deque()
+        # Derived per-profile / per-iteration boundary state (see
+        # ``_boundary``): ``_c_order`` sorts gradient indices by predicted
+        # generation time; ``_c_ptr`` advances monotonically past
+        # signalled gradients, so the next-generation boundary is an O(1)
+        # amortized lookup instead of a per-call masked-numpy min.
+        self._c_src: JobProfile | None = None
+        self._c_list: list[float] = []
+        self._c_order: list[int] = []
+        self._c_abs: list[float] = []
+        self._c_ptr = 0
         #: Number of iterations scheduled with the profile active (stats).
         self.planned_iterations = 0
 
@@ -189,7 +197,7 @@ class ProphetScheduler(CommScheduler):
     ) -> None:
         super().begin_iteration(iteration, schedule, now)
         self._backward_start = now
-        self._signalled = np.zeros(len(schedule.sizes), dtype=bool)
+        self._signalled = [False] * len(schedule.sizes)
         self._fallback_queue.clear()
         self._drift_err = 0.0
         self._drift_base = 0.0
@@ -214,6 +222,34 @@ class ProphetScheduler(CommScheduler):
             )
         if self._profile is not None:
             self.planned_iterations += 1
+            if self._c_src is not self._profile:
+                self._c_src = self._profile
+                self._c_list = self._profile.c.tolist()
+                self._c_order = sorted(
+                    range(len(self._c_list)), key=self._c_list.__getitem__
+                )
+            self._c_abs = [self._backward_start + c for c in self._c_list]
+            self._c_ptr = 0
+
+    def _boundary(self, now: float) -> float:
+        """Absolute time of the next predicted generation among gradients
+        not yet signalled (``max(min c(i), now)``, ``inf`` if none pending).
+
+        Gradients only ever *become* signalled within an iteration, so a
+        pointer over the c-sorted order advances monotonically and the
+        masked min is the first unsignalled entry — no numpy temporaries.
+        """
+        signalled = self._signalled
+        order = self._c_order
+        ptr = self._c_ptr
+        n = len(order)
+        while ptr < n and signalled[order[ptr]]:
+            ptr += 1
+        self._c_ptr = ptr
+        if ptr == n:
+            return math.inf
+        b = self._c_abs[order[ptr]]
+        return b if b > now else now
 
     def gradient_ready(self, grad: int, now: float) -> None:
         super().gradient_ready(grad, now)
@@ -281,9 +317,8 @@ class ProphetScheduler(CommScheduler):
         """
         if self._profile is None or self._signalled is None or self._signalled[0]:
             return self.pull_batch_bytes
-        c_abs = self._backward_start + self._profile.c
-        boundary = next_generation_boundary(c_abs, ~self._signalled, now)
-        if not np.isfinite(boundary):
+        boundary = self._boundary(now)
+        if boundary == math.inf:
             return self.pull_batch_bytes
         budget = boundary - now - self._guard
         line_rate = self._bandwidth_provider() * self._tcp.goodput
@@ -301,7 +336,7 @@ class ProphetScheduler(CommScheduler):
 
         # Line 17: gradient 0 travels alone, the instant it is ready.
         if ready[0] == 0:
-            return TransferUnit(segments=(self._segment_for(0, np.inf),))
+            return TransferUnit(segments=(self._segment_for(0, math.inf),))
 
         assert self._signalled is not None
         if self._signalled[0]:
@@ -318,12 +353,10 @@ class ProphetScheduler(CommScheduler):
             return TransferUnit(segments=tuple(segments))
 
         # Backward phase: block assembly against the predicted boundary.
-        c_abs = self._backward_start + self._profile.c
-        pending = ~self._signalled
-        boundary = next_generation_boundary(c_abs, pending, now)
+        # budget is inf when nothing is pending (boundary == inf) and
+        # >= -guard otherwise (the boundary is clamped to now).
+        boundary = self._boundary(now)
         budget = boundary - now - self._guard
-        if not np.isfinite(budget):
-            budget = np.inf
         bandwidth = self._bandwidth_provider()
         # The warm path is affine in bytes (setup + bytes/line-rate), so
         # the interval budget inverts exactly to a byte allowance for the
@@ -360,7 +393,7 @@ class ProphetScheduler(CommScheduler):
         if not self._fallback_queue:
             return None
         grad = self._fallback_queue[0]
-        return TransferUnit(segments=(self._segment_for(grad, np.inf),))
+        return TransferUnit(segments=(self._segment_for(grad, math.inf),))
 
     def _committed(self, unit: TransferUnit, now: float) -> None:
         if self._profile is None and self._fallback_queue:

@@ -53,6 +53,20 @@ class TestBandwidthSchedule:
         sched = BandwidthSchedule([(0.0, 1.0), (1.0, 3.0)])
         assert sched.mean == 2.0
 
+    def test_cursor_survives_backward_queries(self):
+        """The monotone cursor must not poison out-of-order lookups
+        (fault-injection probes and replay query behind sim time)."""
+        points = [(0.0, 1.0), (5.0, 2.0), (10.0, 3.0), (20.0, 4.0)]
+        sched = BandwidthSchedule(points)
+        queries = [0.0, 7.0, 25.0, 3.0, 12.0, 0.5, 19.9, 20.0, 4.9, 5.0]
+        expected = [1.0, 2.0, 4.0, 1.0, 3.0, 1.0, 3.0, 4.0, 1.0, 2.0]
+        for q, want in zip(queries, expected):
+            assert sched.value(q) == want
+        # A fresh schedule (cursor at 0) agrees on every query.
+        fresh = BandwidthSchedule(points)
+        for q, want in zip(queries, expected):
+            assert fresh.value(q) == want
+
 
 class TestLink:
     def test_send_completes_and_records(self, engine, link):
@@ -132,6 +146,37 @@ class TestLink:
         link.send(4 * MB)
         engine.run()
         assert link.busy_time() == pytest.approx(link.records[0].duration)
+
+    def test_busy_time_accumulator_matches_record_sum(self, engine, link):
+        """The O(1) running total must equal the per-record sum exactly."""
+        for i in range(4):
+            engine.schedule(float(i), lambda: link.send(2 * MB))
+            engine.run()
+        assert len(link.records) == 4
+        assert link.busy_time() == sum(r.duration for r in link.records)
+
+    def test_busy_time_retrospective_horizon(self, engine, link):
+        """A horizon before ``now`` still clamps per record (slow path)."""
+        for i in range(3):
+            engine.schedule(float(i), lambda: link.send(2 * MB))
+            engine.run()
+        first = link.records[0]
+        second = link.records[1]
+        # Horizon mid-way through the second transfer: full first record
+        # plus the covered part of the second.
+        horizon = second.start + 0.5 * second.duration
+        expected = first.duration + (horizon - second.start)
+        assert link.busy_time(until=horizon) == pytest.approx(expected)
+        assert link.busy_time(until=0.0) == 0.0
+
+    def test_busy_time_prorates_in_flight(self, engine, link):
+        end = link.send(8 * MB)
+        mid = end / 2
+        engine.run(until=mid)
+        assert link.busy
+        assert link.busy_time() == pytest.approx(mid)
+        # Future horizon caps at the transfer's end.
+        assert link.busy_time(until=end * 2) == pytest.approx(end)
 
     def test_total_bytes_accumulates(self, engine, link):
         link.send(1 * MB)

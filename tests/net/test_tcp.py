@@ -88,6 +88,55 @@ def test_vectorized_matches_scalar(params):
         assert transfer_time(float(s), 2 * Gbps, params) == pytest.approx(float(t))
 
 
+def test_scalar_matches_vectorized_bitwise(params):
+    """The scalar fast path replays the numpy loop bit-for-bit.
+
+    Sizes span sub-MSS to multi-GB so both the partial-round and the
+    line-rate-tail branches are hit; cold and warm paths both gate.
+    """
+    sizes = np.array([1.0, 500.0, 1448.0, 14_480.0, 1e6, 64e6, 3.2e9])
+    for bw in (0.5 * Gbps, 3 * Gbps, 25 * Gbps):
+        for warm in (False, True):
+            vec = transfer_time(sizes, bw, params, warm=warm)
+            for s, t in zip(sizes, vec):
+                scalar = transfer_time(float(s), bw, params, warm=warm)
+                assert scalar == float(t)  # bitwise, not approx
+
+
+def test_memo_table_tracks_bandwidth_changes(params):
+    """A bandwidth change mid-run must not serve a stale slow-start table."""
+    sizes = np.array([1e5, 4e6])
+    for bw in (1 * Gbps, 2 * Gbps, 1 * Gbps, 0.7 * Gbps):
+        vec = transfer_time(sizes, bw, params)
+        for s, t in zip(sizes, vec):
+            assert transfer_time(float(s), bw, params) == float(t)
+
+
+def test_memo_table_tracks_params_changes():
+    """Distinct TCPParams key distinct tables (frozen dataclass hash)."""
+    a = TCPParams(rtt=0.8e-3)
+    b = TCPParams(rtt=1.6e-3)
+    size = 4e6
+    t_a = transfer_time(size, 1 * Gbps, a)
+    t_b = transfer_time(size, 1 * Gbps, b)
+    assert t_a != t_b
+    assert t_a == float(transfer_time(np.array([size]), 1 * Gbps, a)[0])
+    assert t_b == float(transfer_time(np.array([size]), 1 * Gbps, b)[0])
+
+
+def test_memo_cache_stays_bounded(params):
+    """Noisy bandwidths (every send unique) must not grow the cache."""
+    from repro.net.tcp import _TABLE_CACHE, _TABLE_CACHE_MAX
+
+    for i in range(2 * _TABLE_CACHE_MAX):
+        transfer_time(1e6, 1 * Gbps + float(i), params)
+    assert len(_TABLE_CACHE) <= _TABLE_CACHE_MAX
+    # Evicted entries still compute correctly when re-requested.
+    assert transfer_time(1e6, 1 * Gbps, params) == float(
+        transfer_time(np.array([1e6]), 1 * Gbps, params)[0]
+    )
+
+
 def test_half_rate_size_is_consistent(params):
     bw = 3 * Gbps
     s_half = half_rate_size(bw, params)

@@ -1,0 +1,72 @@
+"""Property-based tests for :class:`repro.net.link.BandwidthSchedule`.
+
+The cursor-accelerated ``value()`` must agree with the textbook numpy
+reference (``searchsorted(side="right") - 1``, clamped to the first
+segment) for *any* interleaving of forward and backward queries — the
+cursor is an optimization for monotone simulation time, never a change
+in semantics.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.link import BandwidthSchedule
+
+
+@st.composite
+def schedules(draw):
+    """A valid schedule: strictly increasing times, positive bandwidths."""
+    n = draw(st.integers(1, 12))
+    deltas = draw(
+        st.lists(st.floats(1e-6, 100.0), min_size=n, max_size=n)
+    )
+    start = draw(st.floats(0.0, 50.0))
+    times = []
+    t = start
+    for d in deltas:
+        times.append(t)
+        t += d
+    values = draw(
+        st.lists(st.floats(1e-3, 1e12), min_size=n, max_size=n)
+    )
+    return [(t, b) for t, b in zip(times, values)]
+
+
+def _reference_value(points, time):
+    """Numpy reference lookup, independent of any cursor state."""
+    times = np.array([t for t, _ in points])
+    values = np.array([b for _, b in points])
+    idx = int(np.searchsorted(times, time, side="right")) - 1
+    return float(values[max(idx, 0)])
+
+
+@given(
+    points=schedules(),
+    queries=st.lists(st.floats(0.0, 500.0), min_size=1, max_size=50),
+)
+@settings(max_examples=200, deadline=None)
+def test_value_matches_numpy_reference(points, queries):
+    sched = BandwidthSchedule(points)
+    for q in queries:
+        assert sched.value(q) == _reference_value(points, q)
+
+
+@given(points=schedules(), queries=st.lists(st.floats(0.0, 500.0), min_size=2, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_query_order_is_irrelevant(points, queries):
+    """Sorted (monotone) and shuffled query orders give identical answers."""
+    monotone = BandwidthSchedule(points)
+    answers = {q: monotone.value(q) for q in sorted(queries)}
+    shuffled = BandwidthSchedule(points)
+    for q in reversed(queries):
+        assert shuffled.value(q) == answers[q]
+
+
+@given(points=schedules())
+@settings(max_examples=100, deadline=None)
+def test_boundary_queries_pick_right_segment(points):
+    """Exactly-at-boundary queries belong to the segment that starts there."""
+    sched = BandwidthSchedule(points)
+    for t, b in points:
+        assert sched.value(t) == b

@@ -89,3 +89,20 @@ def test_vectorization_consistency(s, p):
     vec = np.atleast_1d(transfer_time(arr, 1 * Gbps, p))
     for size, t in zip(s, vec):
         assert transfer_time(float(size), 1 * Gbps, p) == float(t)
+
+
+@given(
+    s=st.lists(st.floats(0.0, 5e9), min_size=1, max_size=20),
+    b=bandwidths,
+    warm=st.booleans(),
+    p=params_strategy,
+)
+@settings(max_examples=150, deadline=None)
+def test_scalar_fast_path_bit_equals_vectorized(s, b, warm, p):
+    """The memoized scalar path is bit-identical to the numpy loop for
+    any (size, bandwidth, params, warm) — this is what licenses the
+    simulator's hot loop to skip numpy entirely."""
+    arr = np.asarray(s)
+    vec = np.atleast_1d(transfer_time(arr, b, p, warm=warm))
+    for size, t in zip(s, vec):
+        assert transfer_time(float(size), b, p, warm=warm) == float(t)

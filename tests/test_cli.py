@@ -53,6 +53,24 @@ class TestParser:
         args = build_parser().parse_args(["cache", "clear"])
         assert args.action == "clear"
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "fig8"])
+        assert args.experiment == "fig8"
+        assert args.top == 25
+        assert args.sort == "cumulative"
+        assert args.dump is None
+        assert args.use_cache is False
+
+    def test_profile_accepts_sort_and_dump(self):
+        args = build_parser().parse_args(
+            ["profile", "fig2", "--top", "10", "--sort", "tottime",
+             "--dump", "out.prof", "--use-cache"]
+        )
+        assert args.top == 10
+        assert args.sort == "tottime"
+        assert args.dump == "out.prof"
+        assert args.use_cache is True
+
 
 class TestErrorHandling:
     """Unknown names exit with a one-line ``error:`` message and status 2
@@ -84,6 +102,10 @@ class TestErrorHandling:
     def test_unknown_model_in_chaos(self, capsys):
         assert main(["chaos", "--model", "lenet"]) == 2
         self._assert_one_line_error(capsys, "model")
+
+    def test_unknown_experiment_in_profile(self, capsys):
+        assert main(["profile", "fig99"]) == 2
+        self._assert_one_line_error(capsys, "experiment")
 
     def test_error_message_lists_alternatives(self, capsys):
         main(["sched", "tcp-fair"])

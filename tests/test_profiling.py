@@ -1,0 +1,67 @@
+"""Unit tests for the cProfile harness (``repro profile``)."""
+
+import os
+import pstats
+import sys
+import types
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.profiling import profile_experiment
+from repro.runner import JOBS_ENV, NO_CACHE_ENV
+
+
+@pytest.fixture
+def stub_experiment(monkeypatch):
+    """Install a tiny fake experiment module so the harness runs in ms."""
+
+    def busy_work():
+        return sum(i * i for i in range(2_000))
+
+    module = types.ModuleType("repro.experiments.stubprof")
+    module.main = lambda: busy_work()
+    monkeypatch.setitem(sys.modules, "repro.experiments.stubprof", module)
+    # The harness mutates the runner env knobs; keep the test hermetic.
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    monkeypatch.delenv(NO_CACHE_ENV, raising=False)
+    return "stubprof"
+
+
+class TestProfileExperiment:
+    def test_report_fields(self, stub_experiment):
+        report = profile_experiment(stub_experiment, top=5)
+        assert report.experiment == stub_experiment
+        assert report.total_calls > 0
+        assert report.total_seconds >= 0.0
+        assert "Ordered by: cumulative time" in report.text
+        assert report.dump_path is None
+
+    def test_forces_serial_and_no_cache(self, stub_experiment):
+        profile_experiment(stub_experiment)
+        assert os.environ[JOBS_ENV] == "1"
+        assert os.environ[NO_CACHE_ENV] == "1"
+
+    def test_use_cache_leaves_cache_enabled(self, stub_experiment):
+        profile_experiment(stub_experiment, use_cache=True)
+        assert os.environ[JOBS_ENV] == "1"
+        assert NO_CACHE_ENV not in os.environ
+
+    def test_sort_key_reaches_report(self, stub_experiment):
+        report = profile_experiment(stub_experiment, sort="tottime")
+        assert "Ordered by: internal time" in report.text
+
+    def test_dump_is_loadable_by_pstats(self, stub_experiment, tmp_path):
+        out = tmp_path / "stub.prof"
+        report = profile_experiment(stub_experiment, dump=str(out))
+        assert report.dump_path == str(out)
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+    def test_invalid_sort_raises(self, stub_experiment):
+        with pytest.raises(ConfigurationError):
+            profile_experiment(stub_experiment, sort="bogus")
+
+    def test_nonpositive_top_raises(self, stub_experiment):
+        with pytest.raises(ConfigurationError):
+            profile_experiment(stub_experiment, top=0)
