@@ -106,6 +106,43 @@ def test_link_transfer_pump(benchmark):
     assert benchmark(run) == n_transfers
 
 
+def test_sharded_link_transfer_pump(benchmark):
+    """Engine-driven sends over 4 concurrent shard links (4k transfers).
+
+    The ShardedTopology data path: each (worker, shard) link pumps its own
+    stream, all interleaved through one event loop — measures how the
+    per-message cost composes when the tier multiplies the link count.
+    """
+    from repro.net.link import BandwidthSchedule, Link
+
+    n_links = 4
+    per_link = 1_000
+
+    def run():
+        eng = Engine()
+        links = [
+            Link(eng, BandwidthSchedule.constant(3 * Gbps), TCPParams())
+            for _ in range(n_links)
+        ]
+        counts = [0] * n_links
+
+        def make_pump(idx):
+            def pump():
+                if counts[idx] < per_link:
+                    counts[idx] += 1
+                    links[idx].send(64_000.0, tag=("push", idx, counts[idx]))
+
+            return pump
+
+        for idx, link in enumerate(links):
+            link.on_idle = make_pump(idx)
+            eng.schedule(0.0, link.on_idle)
+        eng.run()
+        return sum(counts)
+
+    assert benchmark(run) == n_links * per_link
+
+
 def test_gp_fit_predict(benchmark):
     """GP fit + predict at ByteScheduler's tuning scale (30 points)."""
     rng = np.random.default_rng(0)

@@ -53,6 +53,13 @@ SMOKE_ITERATIONS = 8
 CHAOS_MODEL = ("resnet18", 64)
 CHAOS_ITERATIONS = 8
 
+#: Sharded-PS smoke: the fast workload under a PS-side NIC cap, once on
+#: the single-PS star and once over a 4-way key-sharded tier.  Gates both
+#: the water-filled PS cap and the sharded routing end to end.
+SHARDED_MODEL = ("resnet18", 32)
+SHARDED_ITERATIONS = 8
+SHARDED_SERVERS = 4
+
 
 def measure(jobs: int | None = None) -> tuple[dict[str, float], dict[str, float]]:
     """Return (deterministic scalars, timing scalars)."""
@@ -99,6 +106,28 @@ def measure(jobs: int | None = None) -> tuple[dict[str, float], dict[str, float]
             chaos_res.goodput_retained[name]
         )
         deterministic[f"chaos.{name}.recovery_s"] = chaos_res.recovery_time[name]
+
+    from repro.cluster.trainer import run_training
+    from repro.workloads.presets import EXTENDED_FACTORIES, paper_config
+
+    model, batch = SHARDED_MODEL
+    for n_servers in (1, SHARDED_SERVERS):
+        sharded_config = paper_config(
+            model,
+            batch,
+            bandwidth=10 * Gbps,
+            n_iterations=SHARDED_ITERATIONS,
+            seed=0,
+            record_gradients=False,
+            ps_bandwidth=3 * Gbps,
+            n_servers=n_servers,
+        )
+        rate = run_training(
+            sharded_config, EXTENDED_FACTORIES["prophet"]
+        ).training_rate()
+        deterministic[
+            f"scalability.{model}.bs{batch}.s{n_servers}.prophet_rate"
+        ] = rate
 
     timing: dict[str, float] = {}
     n_events = 50_000
@@ -201,6 +230,38 @@ def measure(jobs: int | None = None) -> tuple[dict[str, float], dict[str, float]
     transfers()  # warmup
     best = min(_timed(transfers) for _ in range(3))
     timing["sim.transfers_per_s"] = n_transfers / best
+
+    # Multi-shard pump: the same end-to-end per-message cost over 4
+    # concurrent shard links (the ShardedTopology data path) — each link
+    # pumps its own stream through the shared event loop.
+    n_shard_links = 4
+    n_shard_transfers = 10_000  # total across the tier
+
+    def sharded_transfers() -> None:
+        eng = Engine()
+        links = [
+            Link(eng, BandwidthSchedule.constant(bandwidth), params)
+            for _ in range(n_shard_links)
+        ]
+        counts = [0] * n_shard_links
+        per_link = n_shard_transfers // n_shard_links
+
+        def make_pump(idx: int):
+            def pump() -> None:
+                if counts[idx] < per_link:
+                    counts[idx] += 1
+                    links[idx].send(64_000.0, tag=("push", idx, counts[idx]))
+
+            return pump
+
+        for idx, link in enumerate(links):
+            link.on_idle = make_pump(idx)
+            eng.schedule(0.0, link.on_idle)
+        eng.run()
+
+    sharded_transfers()  # warmup
+    best = min(_timed(sharded_transfers) for _ in range(3))
+    timing["sim.sharded_transfers_per_s"] = n_shard_transfers / best
 
     return deterministic, timing
 

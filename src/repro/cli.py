@@ -54,7 +54,7 @@ __all__ = ["main", "build_parser"]
 EXPERIMENTS = (
     "fig2", "fig3", "fig4", "fig5", "fig8", "fig9_10", "fig11", "fig12",
     "fig13", "table2", "table3", "hetero", "overhead", "ablations", "asp",
-    "devices", "dynamic", "convergence", "chaos",
+    "devices", "dynamic", "convergence", "chaos", "scalability",
 )
 
 
@@ -64,6 +64,30 @@ def _validate_choice(kind: str, name: str, options: Sequence[str]) -> None:
         raise ConfigurationError(
             f"unknown {kind} {name!r}; available: {', '.join(sorted(options))}"
         )
+
+
+def _add_ps_tier_args(sub: argparse.ArgumentParser) -> None:
+    """PS-tier knobs shared by the ad-hoc workload subcommands."""
+    sub.add_argument(
+        "--n-servers", type=int, default=1,
+        help="key-sharded parameter servers (default 1: the paper's "
+        "single-PS star)",
+    )
+    sub.add_argument(
+        "--ps-gbps", type=float, default=None,
+        help="per-server PS NIC cap in Gbps (default: uncapped); with "
+        "--n-servers > 1 each shard server gets its own cap",
+    )
+
+
+def _ps_tier_overrides(args: argparse.Namespace) -> dict:
+    """Translate the PS-tier CLI flags into paper_config overrides."""
+    overrides: dict = {}
+    if args.n_servers != 1:
+        overrides["n_servers"] = args.n_servers
+    if args.ps_gbps is not None:
+        overrides["ps_bandwidth"] = args.ps_gbps * Gbps
+    return overrides
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--iterations", type=int, default=12)
     compare.add_argument("--sync", default="bsp", choices=("bsp", "asp", "ssp"))
     compare.add_argument("--seed", type=int, default=0)
+    _add_ps_tier_args(compare)
 
     sched = sub.add_parser(
         "sched", help="run one scheduling strategy, optionally tracing it"
@@ -117,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--iterations", type=int, default=12)
     sched.add_argument("--sync", default="bsp", choices=("bsp", "asp", "ssp"))
     sched.add_argument("--seed", type=int, default=0)
+    _add_ps_tier_args(sched)
     sched.add_argument(
         "--trace",
         metavar="OUT.json",
@@ -135,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=3)
     sweep.add_argument("--iterations", type=int, default=12)
     sweep.add_argument("--seed", type=int, default=0)
+    _add_ps_tier_args(sweep)
 
     chaos = sub.add_parser(
         "chaos", help="paired clean/faulty resilience comparison"
@@ -264,6 +291,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
         sync_mode=args.sync,
         record_gradients=False,
+        **_ps_tier_overrides(args),
     )
     rows = []
     for name, factory in EXTENDED_FACTORIES.items():
@@ -302,6 +330,7 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         seed=args.seed,
         sync_mode=args.sync,
         trace=tracing,
+        **_ps_tier_overrides(args),
     )
     result = run_training(config, EXTENDED_FACTORIES[args.strategy])
     summary = result.summary()
@@ -346,6 +375,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             n_iterations=args.iterations,
             seed=args.seed,
             record_gradients=False,
+            **_ps_tier_overrides(args),
         )
         rates = {
             name: run_training(config, factory).training_rate()

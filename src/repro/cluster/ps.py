@@ -50,6 +50,7 @@ class ParameterServer:
         sync_mode: str = "bsp",
         staleness: int = 2,
         faults=None,
+        name: str = "ps",
     ):
         if sync_mode not in SYNC_MODES:
             raise ConfigurationError(
@@ -59,6 +60,8 @@ class ParameterServer:
             raise ConfigurationError(f"staleness must be >= 0, got {staleness}")
         self.engine = engine
         self.n_workers = n_workers
+        #: Trace-track label; shard ``s`` of a sharded tier is ``"ps{s}"``.
+        self.name = name
         self.sizes = np.asarray(sizes, dtype=float)
         # Scalar-indexed copy for the per-segment hot loop (indexing a
         # numpy array boxes a fresh np.float64 per lookup).
@@ -130,7 +133,7 @@ class ParameterServer:
                     "push.duplicate",
                     "fault",
                     self.engine.now,
-                    "ps",
+                    self.name,
                     {"worker": worker, "seq": seq, "iteration": iteration},
                 )
             return False
@@ -141,7 +144,7 @@ class ParameterServer:
                     "push.reordered",
                     "fault",
                     self.engine.now,
-                    "ps",
+                    self.name,
                     {"worker": worker, "seq": seq, "expected": self._next_seq[worker]},
                 )
             return True
@@ -221,7 +224,7 @@ class ParameterServer:
                 "ps.pending_pulls",
                 "ps",
                 self.engine.now,
-                "ps",
+                self.name,
                 {"pending": self.pending_pulls},
             )
 
@@ -261,7 +264,7 @@ class ParameterServer:
                 f"release g{pull.segment.grad}",
                 "ps",
                 self.engine.now,
-                "ps",
+                self.name,
                 {
                     "worker": pull.worker,
                     "iteration": pull.iteration,

@@ -23,7 +23,7 @@ from repro.metrics.timeline import GradientRecord, Recorder
 from repro.metrics.utilization import mean_utilization, windowed_utilization
 from repro.models.compute import ComputeProfile
 from repro.net.link import TransferRecord
-from repro.net.topology import StarTopology
+from repro.net.topology import ShardedTopology, StarTopology
 from repro.trace.export import summarize_trace, write_chrome_trace, write_trace_jsonl
 from repro.trace.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
 
@@ -47,7 +47,7 @@ class TrainingResult:
 
     config: TrainingConfig
     recorder: Recorder
-    topology: StarTopology
+    topology: StarTopology | ShardedTopology
     schedulers: list
     gen_schedule: GenerationSchedule
     compute: ComputeProfile
@@ -126,9 +126,12 @@ class TrainingResult:
     ) -> list[TransferRecord]:
         if direction not in ("both", "push", "pull"):
             raise ConfigurationError(f"unknown direction {direction!r}")
-        records = list(self.topology.uplink(worker).records)
+        records: list[TransferRecord] = []
+        for link in self.topology.worker_uplinks(worker):
+            records += link.records
         if self.config.duplex:
-            records += list(self.topology.downlink(worker).records)
+            for link in self.topology.worker_downlinks(worker):
+                records += link.records
         if direction == "both":
             return records
         return [r for r in records if isinstance(r.tag, tuple) and r.tag[0] == direction]

@@ -14,6 +14,11 @@ from __future__ import annotations
 from repro.agg.kvstore import KVStore
 from repro.cluster.ps import ParameterServer
 from repro.cluster.result import TrainingResult
+from repro.cluster.sharded import ShardedWorker
+from repro.cluster.sharding import (
+    assign_shards,
+    restrict_generation_schedule,
+)
 from repro.cluster.worker import Worker
 from repro.config import SchedulerFactory, TrainingConfig, WorkerContext
 from repro.core.profiler import JobProfile
@@ -23,7 +28,7 @@ from repro.metrics.timeline import Recorder
 from repro.models.compute import build_compute_profile
 from repro.models.registry import get_model
 from repro.net.monitor import BandwidthMonitor
-from repro.net.topology import StarTopology
+from repro.net.topology import ShardedTopology, StarTopology
 from repro.sim.engine import Engine
 from repro.sim.rng import spawn_rng
 from repro.trace.recorder import NULL_RECORDER, NullRecorder, TraceRecorder
@@ -32,9 +37,20 @@ __all__ = ["Trainer", "run_training"]
 
 
 class Trainer:
-    """One simulated training run."""
+    """One simulated training run.
 
-    def __init__(self, config: TrainingConfig, scheduler_factory: SchedulerFactory):
+    ``force_sharded`` routes even an ``n_servers=1`` config through the
+    sharded build path (one shard).  It exists for equivalence testing —
+    the sharded machinery with a single shard must reproduce the
+    single-PS results — and is not part of the public configuration.
+    """
+
+    def __init__(
+        self,
+        config: TrainingConfig,
+        scheduler_factory: SchedulerFactory,
+        force_sharded: bool = False,
+    ):
         self.config = config
         self.engine = Engine()
         if config.trace:
@@ -58,6 +74,20 @@ class Trainer:
         self.gen_schedule = kvstore.generation_schedule(self.compute)
         self.oracle_profile = JobProfile.from_generation_schedule(self.gen_schedule)
 
+        self.monitors: list[BandwidthMonitor] = []
+        self.workers: list[Worker] = []
+        self.schedulers = []
+        self.injector: FaultInjector | None = None
+        self._done_count = 0
+        if config.n_servers > 1 or force_sharded:
+            self._build_sharded(scheduler_factory)
+        else:
+            self._build_single(scheduler_factory)
+
+    # ------------------------------------------------------------------
+    def _build_single(self, scheduler_factory: SchedulerFactory) -> None:
+        """The paper's topology: one PS, one duplex channel per worker."""
+        config = self.config
         self.topology = StarTopology(
             self.engine,
             n_workers=config.n_workers,
@@ -73,7 +103,6 @@ class Trainer:
         # ``is None`` fast path and the event sequence is bit-identical
         # to a fault-free build.
         plan = config.faults
-        self.injector: FaultInjector | None = None
         if plan is not None and not plan.is_empty:
             self.injector = FaultInjector(
                 self.engine,
@@ -91,10 +120,8 @@ class Trainer:
             staleness=config.ssp_staleness,
             faults=self.injector,
         )
+        self.servers = [self.ps]
 
-        self.monitors: list[BandwidthMonitor] = []
-        self.workers: list[Worker] = []
-        self.schedulers = []
         compute_scale = dict(config.worker_compute_scale or {})
         for w in range(config.n_workers):
             channel = self.topology.uplink(w)
@@ -150,7 +177,109 @@ class Trainer:
                 self.workers,
                 {w: self.topology.uplink(w) for w in range(config.n_workers)},
             )
-        self._done_count = 0
+
+    # ------------------------------------------------------------------
+    def _build_sharded(self, scheduler_factory: SchedulerFactory) -> None:
+        """The BytePS-style tier: ``n_servers`` key-sharded PSs.
+
+        Per worker and shard: a dedicated duplex link pair, a bandwidth
+        monitor on the shard uplink, and an independent scheduler instance
+        over the shard's locally re-indexed generation schedule (its own
+        RNG stream, ``("sched", worker, shard)``).  Each shard PS holds
+        the shard's piece sizes and attaches the workers' shard ports.
+        """
+        config = self.config
+        n_shards = config.n_servers
+        self.topology = ShardedTopology(
+            self.engine,
+            n_workers=config.n_workers,
+            n_servers=n_shards,
+            bandwidth=config.bandwidth,
+            tcp=config.tcp,
+            worker_bandwidth=config.worker_bandwidth,
+            ps_bandwidth=config.ps_bandwidth,
+            seed=config.seed,
+            noise_std=config.bandwidth_noise_std,
+        )
+        self.assignment = assign_shards(
+            self.gen_schedule.sizes, n_shards, config.shard_slice_bytes
+        )
+        shard_templates = [
+            restrict_generation_schedule(self.gen_schedule, self.assignment, s)
+            for s in range(n_shards)
+        ]
+        self.servers = [
+            ParameterServer(
+                self.engine,
+                n_workers=config.n_workers,
+                sizes=shard_templates[s].sizes,
+                update_fixed=config.ps_update_fixed,
+                update_per_byte=config.ps_update_per_byte,
+                sync_mode=config.sync_mode,
+                staleness=config.ssp_staleness,
+                name=f"ps{s}",
+            )
+            for s in range(n_shards)
+        ]
+        self.ps = self.servers[0]
+        shard_profiles = [
+            JobProfile.from_generation_schedule(t) for t in shard_templates
+        ]
+
+        compute_scale = dict(config.worker_compute_scale or {})
+        for w in range(config.n_workers):
+            scale = compute_scale.get(w, 1.0)
+            schedulers: list = []
+            for s in range(n_shards):
+                monitor = BandwidthMonitor(
+                    self.engine,
+                    self.topology.uplink(w, s),
+                    interval=config.monitor_interval,
+                )
+                self.monitors.append(monitor)
+                profile = shard_profiles[s]
+                if scale != 1.0:
+                    profile = JobProfile(
+                        c=profile.c * scale, sizes=profile.sizes, iterations=0
+                    )
+                ctx = WorkerContext(
+                    worker_id=w,
+                    monitor=monitor,
+                    oracle_profile=profile,
+                    tcp=config.tcp,
+                    rng=spawn_rng(config.seed, "sched", w, s),
+                    engine=self.engine,
+                )
+                schedulers.append(scheduler_factory(ctx))
+            self.schedulers.extend(schedulers)
+            worker = ShardedWorker(
+                engine=self.engine,
+                worker_id=w,
+                compute=self.compute,
+                gen_schedule=self.gen_schedule,
+                assignment=self.assignment,
+                shard_schedules=shard_templates,
+                schedulers=schedulers,
+                channels=[self.topology.uplink(w, s) for s in range(n_shards)],
+                downlinks=(
+                    [self.topology.downlink(w, s) for s in range(n_shards)]
+                    if config.duplex
+                    else None
+                ),
+                servers=self.servers,
+                recorder=self.recorder,
+                n_iterations=config.n_iterations,
+                jitter_rng=spawn_rng(config.seed, "jitter", w),
+                jitter_std=config.jitter_std,
+                compute_scale=scale,
+                on_done=self._worker_done,
+                stall_timeout=config.sched.stall_timeout,
+            )
+            self.workers.append(worker)
+        for s in range(n_shards):
+            self.servers[s].attach_workers(
+                [worker.port(s) for worker in self.workers]
+            )
 
     def _worker_done(self, worker_id: int) -> None:
         self._done_count += 1
@@ -191,7 +320,9 @@ class Trainer:
 
 
 def run_training(
-    config: TrainingConfig, scheduler_factory: SchedulerFactory
+    config: TrainingConfig,
+    scheduler_factory: SchedulerFactory,
+    force_sharded: bool = False,
 ) -> TrainingResult:
     """Convenience one-shot: build a :class:`Trainer` and run it."""
-    return Trainer(config, scheduler_factory).run()
+    return Trainer(config, scheduler_factory, force_sharded=force_sharded).run()

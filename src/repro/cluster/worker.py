@@ -169,6 +169,24 @@ class Worker:
         self.engine.schedule(self.engine.now, self._begin_forward, 0)
 
     # ------------------------------------------------------------------
+    # Scheduler fan-out hooks.  The single-PS worker drives exactly one
+    # scheduler over one channel; the sharded worker
+    # (:class:`~repro.cluster.sharded.ShardedWorker`) overrides these to
+    # fan every compute-side event out to its per-shard comm agents.
+    # ------------------------------------------------------------------
+    def _sched_begin_iteration(self, iteration: int, sched, now: float) -> None:
+        self.scheduler.begin_iteration(iteration, sched, now)
+
+    def _sched_end_iteration(self, iteration: int, span: float, now: float) -> None:
+        self.scheduler.end_iteration(iteration, span, now)
+
+    def _sched_gradient_ready(self, grad: int, now: float) -> None:
+        self.scheduler.gradient_ready(grad, now)
+
+    def _pump_all(self) -> None:
+        self._pump()
+
+    # ------------------------------------------------------------------
     # Fault handling: crash/restart and deferred-event plumbing
     # ------------------------------------------------------------------
     def _schedule_at(self, time: float, fn: Callable[..., None], *args):
@@ -237,7 +255,7 @@ class Worker:
         now = self.engine.now
         if iteration > 0:
             span = now - self._fwd_start_times[-1]
-            self.scheduler.end_iteration(iteration - 1, span, now)
+            self._sched_end_iteration(iteration - 1, span, now)
         self._iter = iteration
         self._fwd_start_times.append(now)
         self._factor = self._compute_scale * math.exp(
@@ -293,7 +311,7 @@ class Worker:
         self._pushed = [0.0] * self._n_grads
         self._ready_time = [None] * self._n_grads
 
-        self.scheduler.begin_iteration(iteration, sched, now)
+        self._sched_begin_iteration(iteration, sched, now)
         self.recorder.gpu_busy(
             self.worker_id, iteration, "bwd", now, now + sched.backward_time
         )
@@ -318,10 +336,10 @@ class Worker:
                 {"iteration": iteration, "grads": list(bucket)},
             )
         for grad in bucket:
-            self.scheduler.gradient_ready(grad, now)
+            self._sched_gradient_ready(grad, now)
             self._ready_time[grad] = now
             self.recorder.mark_ready(self.worker_id, iteration, grad, now)
-        self._pump()
+        self._pump_all()
 
     def _backward_done(self, iteration: int) -> None:
         assert self._iter_rec is not None
@@ -330,7 +348,7 @@ class Worker:
             self._begin_forward(iteration + 1)
         else:
             span = self.engine.now - self._fwd_start_times[-1]
-            self.scheduler.end_iteration(iteration, span, self.engine.now)
+            self._sched_end_iteration(iteration, span, self.engine.now)
             self._compute_done = True
             self._check_done()
 

@@ -80,6 +80,18 @@ class TrainingConfig:
     model: str = "resnet50"
     batch_size: int = 64
     n_workers: int = 3
+    #: Number of key-sharded parameter servers.  1 (default) runs the
+    #: paper's single-PS star; >1 builds a BytePS-style sharded tier —
+    #: a :class:`~repro.net.topology.ShardedTopology` with per-shard
+    #: links, one :class:`~repro.cluster.ps.ParameterServer` per shard,
+    #: and per-shard scheduler instances (see DESIGN.md).  With a
+    #: sharded tier, ``ps_bandwidth`` is each server's own NIC capacity.
+    n_servers: int = 1
+    #: Optional P3-style slicing threshold for the key→shard assignment:
+    #: gradients larger than this are split into equal slices across
+    #: shards.  ``None`` (default) keeps whole tensors (BytePS keying).
+    #: Only meaningful with ``n_servers > 1``.
+    shard_slice_bytes: float | None = None
     n_iterations: int = 30
     bandwidth: float | BandwidthSchedule = 3 * Gbps
     worker_bandwidth: Mapping[int, float | BandwidthSchedule] | None = None
@@ -138,8 +150,21 @@ class TrainingConfig:
             raise ConfigurationError(
                 f"ssp_staleness must be >= 0, got {self.ssp_staleness}"
             )
+        if self.n_servers < 1:
+            raise ConfigurationError(
+                f"n_servers must be >= 1, got {self.n_servers}"
+            )
+        if self.shard_slice_bytes is not None and self.shard_slice_bytes <= 0:
+            raise ConfigurationError(
+                f"shard_slice_bytes must be positive, got {self.shard_slice_bytes}"
+            )
         if self.faults is not None:
             self.faults.validate_workers(self.n_workers)
+            if not self.faults.is_empty and self.n_servers > 1:
+                raise ConfigurationError(
+                    "fault injection is not supported with a sharded PS tier "
+                    "(n_servers > 1); run faults against the single-PS star"
+                )
         if self.worker_compute_scale:
             for w, scale in self.worker_compute_scale.items():
                 if not 0 <= w < self.n_workers:

@@ -23,6 +23,7 @@ hetero     Sec. 5.3 — heterogeneous cluster (one slow worker)
 overhead   Sec. 5.4 — job-profiling and planning overhead
 ablations  design-choice ablations (not in the paper)
 chaos      resilience under faults (crash/flap/drops/stall; not in paper)
+scalability  iteration time vs. PS-tier width (sharded PSs; not in paper)
 =========  ==========================================================
 """
 
@@ -46,6 +47,7 @@ from repro.experiments import (  # noqa: F401
     devices,
     dynamic,
     convergence,
+    scalability,
 )
 
 __all__ = [
@@ -68,4 +70,5 @@ __all__ = [
     "devices",
     "dynamic",
     "convergence",
+    "scalability",
 ]

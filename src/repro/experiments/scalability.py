@@ -1,0 +1,106 @@
+"""PS-tier scalability — iteration time vs. number of parameter servers.
+
+Not a paper figure: the paper fixes a single PS (its star topology), so
+its PS NIC is the aggregation bottleneck whenever the workers' combined
+gradient stream exceeds one NIC.  BytePS-style deployments answer this by
+key-sharding the model over ``n_servers`` parameter servers, multiplying
+the aggregate PS-side capacity.  This experiment holds the workload and
+the *per-server* NIC cap fixed and sweeps the shard count: iteration time
+should improve monotonically (within scheduler noise) until the bottleneck
+moves back to the worker NICs or to compute.
+
+Run through the grid runner so rows are cached and fanned out like every
+other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import FAST_ITERATIONS
+from repro.metrics.report import format_table
+from repro.quantities import Gbps
+from repro.runner import RunSpec, run_grid
+from repro.workloads.presets import paper_config
+
+__all__ = ["ScalabilityRow", "run", "main"]
+
+
+@dataclass(frozen=True)
+class ScalabilityRow:
+    n_servers: int
+    mean_iteration_s: float
+    training_rate: float
+
+
+def run(
+    server_counts: tuple[int, ...] = (1, 2, 4, 8),
+    model: str = "resnet50",
+    batch_size: int = 64,
+    bandwidth: float = 10 * Gbps,
+    ps_bandwidth: float = 3 * Gbps,
+    n_workers: int = 3,
+    n_iterations: int = FAST_ITERATIONS,
+    seed: int = 0,
+    *,
+    jobs: int | None = None,
+) -> list[ScalabilityRow]:
+    """Prophet iteration time at each PS-tier width.
+
+    ``ps_bandwidth`` is each server's NIC capacity (the cap that makes the
+    single-PS baseline bottlenecked); ``bandwidth`` is the per-worker NIC.
+    """
+    specs = [
+        RunSpec(
+            config=paper_config(
+                model,
+                batch_size,
+                bandwidth=bandwidth,
+                n_workers=n_workers,
+                n_iterations=n_iterations,
+                seed=seed,
+                record_gradients=False,
+                ps_bandwidth=ps_bandwidth,
+                n_servers=k,
+            ),
+            strategy="prophet",
+        )
+        for k in server_counts
+    ]
+    results = run_grid(specs, jobs=jobs)
+    return [
+        ScalabilityRow(
+            n_servers=k,
+            mean_iteration_s=res.mean_iteration_s,
+            training_rate=res.training_rate,
+        )
+        for k, res in zip(server_counts, results)
+    ]
+
+
+def main() -> list[ScalabilityRow]:
+    rows = run()
+    base = rows[0].mean_iteration_s
+    print(
+        format_table(
+            ["servers", "iteration (ms)", "rate (samples/s)", "speedup"],
+            [
+                [
+                    r.n_servers,
+                    f"{r.mean_iteration_s * 1e3:.1f}",
+                    f"{r.training_rate:.1f}",
+                    f"{base / r.mean_iteration_s:.2f}x",
+                ]
+                for r in rows
+            ],
+            title=(
+                "PS-tier scalability — Prophet, ResNet-50 bs64, "
+                "3 Gbps per-server NIC"
+            ),
+        )
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,33 @@ class BandwidthSchedule:
         """A schedule that never changes."""
         return cls([(0.0, bandwidth)])
 
+    @property
+    def points(self) -> tuple[tuple[float, float], ...]:
+        """The ``(start_time, bandwidth)`` breakpoints, in time order."""
+        return tuple(zip(self._times, self._values))
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        """Breakpoint start times, strictly increasing."""
+        return tuple(self._times)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """Bandwidth level of each breakpoint segment (bytes/s)."""
+        return tuple(self._values)
+
+    def capped(self, limit: float) -> "BandwidthSchedule":
+        """A copy of this schedule with every level capped at ``limit``.
+
+        Used to layer a shared-resource ceiling (e.g. a parameter server's
+        NIC share) onto a worker's own bandwidth schedule.
+        """
+        if limit <= 0:
+            raise ConfigurationError(f"cap limit must be positive, got {limit}")
+        return BandwidthSchedule(
+            [(t, min(v, float(limit))) for t, v in zip(self._times, self._values)]
+        )
+
     def value(self, time: float) -> float:
         """Available bandwidth at ``time``."""
         times = self._times

@@ -17,7 +17,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.net.link import Link
 from repro.sim.engine import Engine
 
@@ -83,15 +83,32 @@ class BandwidthMonitor:
             )
         self._sample_event = self.engine.schedule_after(self.interval, self._sample)
 
+    def _latest(self) -> tuple[float, float]:
+        """The most recent sample, enforcing the non-empty invariant.
+
+        The constructor takes an immediate first sample, so ``history`` is
+        only ever empty if a consumer cleared it externally (or a bounded
+        deque was resized underneath a stopped monitor).  Surface that as
+        a diagnosable :class:`SimulationError` instead of a bare
+        ``IndexError`` from the deque.
+        """
+        if not self.history:
+            raise SimulationError(
+                f"bandwidth monitor for link {self.link.name!r} has no "
+                "samples: its history was cleared externally (the monitor "
+                "always records one sample at construction)"
+            )
+        return self.history[-1]
+
     @property
     def bandwidth(self) -> float:
         """Most recent bandwidth sample (bytes/s)."""
-        return self.history[-1][1]
+        return self._latest()[1]
 
     @property
     def last_sample_time(self) -> float:
         """Simulation time of the most recent sample."""
-        return self.history[-1][0]
+        return self._latest()[0]
 
     def sample_age(self) -> float:
         """How stale the current :attr:`bandwidth` estimate is (seconds)."""

@@ -7,14 +7,29 @@ Table 2 and caps a single worker to 500 Mbps in the heterogeneity
 experiment — so the topology materializes one uplink (worker→PS, used by
 push) and one downlink (PS→worker, used by pull) per worker.
 
-An optional ``ps_bandwidth`` models a PS-side NIC cap by statically dividing
-it among workers (the regime where the PS becomes the bottleneck; used by
-the scalability ablation).
+An optional ``ps_bandwidth`` models a PS-side NIC cap (the regime where the
+PS becomes the bottleneck; used by the scalability ablation).  The cap is
+divided among workers with **water-filling** (max-min fair) semantics: a
+worker whose own NIC is already slower than the fair share keeps its NIC
+rate, and the share it cannot use is redistributed to the faster workers —
+the steady state competing TCP flows converge to.  A static
+``ps_bandwidth / n_workers`` split would instead strand the slow worker's
+unused share (over-capping heterogeneous clusters).
+
+:class:`ShardedTopology` generalizes the star to a BytePS-style sharded PS
+tier: ``n_servers`` key-sharded parameter servers, each with its own
+``ps_bandwidth`` NIC, and per-``(worker, shard)`` duplex links so a worker
+pushes to (and pulls from) every shard concurrently.  Each shard's NIC is
+water-filled across the workers independently.  In this model the worker
+NIC caps each individual shard flow but not their sum — the sharded regime
+of interest is the one where the PS tier, not the worker NIC, is the
+bottleneck (see DESIGN.md).
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+import math
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -24,7 +39,85 @@ from repro.net.tcp import TCPParams
 from repro.sim.engine import Engine
 from repro.sim.rng import spawn_rng
 
-__all__ = ["StarTopology"]
+__all__ = ["StarTopology", "ShardedTopology", "water_fill_level", "water_fill_shares"]
+
+
+def water_fill_level(demands: Sequence[float], capacity: float) -> float:
+    """Max-min fair water level ``L`` for ``demands`` sharing ``capacity``.
+
+    ``L`` solves ``sum(min(d, L)) == capacity``; each flow's fair share is
+    ``min(d, L)``.  Returns ``inf`` when the demands fit entirely
+    (``sum(demands) <= capacity`` — nobody needs capping).
+    """
+    if capacity <= 0:
+        raise ConfigurationError(f"capacity must be positive, got {capacity}")
+    if any(d <= 0 for d in demands):
+        raise ConfigurationError("demands must be positive")
+    ordered = sorted(demands)
+    if sum(ordered) <= capacity:
+        return math.inf
+    remaining = capacity
+    for i, d in enumerate(ordered):
+        level = remaining / (len(ordered) - i)
+        if d >= level:
+            return level
+        remaining -= d
+    # Unreachable: sum(demands) > capacity guarantees some demand >= level.
+    return remaining  # pragma: no cover - defensive
+
+
+def water_fill_shares(demands: Sequence[float], capacity: float) -> list[float]:
+    """Per-flow max-min fair shares of ``capacity`` (``min(d, L)`` each)."""
+    level = water_fill_level(demands, capacity)
+    return [min(float(d), level) for d in demands]
+
+
+def _merged_times(schedules: Sequence[BandwidthSchedule]) -> list[float]:
+    """Union of all breakpoint times across ``schedules``, sorted."""
+    times: set[float] = set()
+    for sched in schedules:
+        times.update(sched.times)
+    times.add(0.0)
+    return sorted(times)
+
+
+def _ps_capped_schedules(
+    schedules: Sequence[BandwidthSchedule], ps_bandwidth: float
+) -> list[BandwidthSchedule]:
+    """Water-fill ``ps_bandwidth`` across per-worker bandwidth schedules.
+
+    Piecewise: at every union breakpoint the water level is recomputed from
+    the workers' instantaneous demands, and each worker's capped schedule
+    takes ``min(demand, level)`` there.  For a homogeneous cluster this
+    reduces exactly to the classic ``min(b, ps_bandwidth / n)`` split.
+    """
+    merged = _merged_times(schedules)
+    capped_points: list[list[tuple[float, float]]] = [[] for _ in schedules]
+    for t in merged:
+        demands = [sched.value(t) for sched in schedules]
+        shares = water_fill_shares(demands, ps_bandwidth)
+        for points, share in zip(capped_points, shares):
+            points.append((t, share))
+    return [BandwidthSchedule(points) for points in capped_points]
+
+
+def _as_schedule(bandwidth: float | BandwidthSchedule) -> BandwidthSchedule:
+    if isinstance(bandwidth, BandwidthSchedule):
+        return bandwidth
+    return BandwidthSchedule.constant(float(bandwidth))
+
+
+def _effective_schedules(
+    n_workers: int,
+    bandwidth: float | BandwidthSchedule,
+    overrides: Mapping[int, float | BandwidthSchedule],
+    ps_bandwidth: float | None,
+) -> list[BandwidthSchedule]:
+    """Per-worker effective bandwidth schedules under the PS-side cap."""
+    raw = [_as_schedule(overrides.get(w, bandwidth)) for w in range(n_workers)]
+    if ps_bandwidth is None:
+        return raw
+    return _ps_capped_schedules(raw, ps_bandwidth)
 
 
 class StarTopology:
@@ -46,8 +139,9 @@ class StarTopology:
         (bytes/s) or schedule.  Used by the heterogeneous-cluster
         experiments (e.g. worker 0 capped to 500 Mbps).
     ps_bandwidth:
-        Optional PS NIC capacity in bytes/s; when set, each worker's
-        effective bandwidth is capped at ``ps_bandwidth / n_workers``.
+        Optional PS NIC capacity in bytes/s; when set, it is divided among
+        the workers with water-filling (max-min fair) semantics — see the
+        module docstring.
     seed / noise_std:
         Optional multiplicative bandwidth noise per transfer, independent
         per link.
@@ -81,9 +175,8 @@ class StarTopology:
         self.uplinks: list[Link] = []
         self.downlinks: list[Link] = []
 
-        ps_share = None if ps_bandwidth is None else ps_bandwidth / n_workers
-        for w in range(n_workers):
-            sched = self._as_schedule(overrides.get(w, bandwidth), ps_share)
+        schedules = _effective_schedules(n_workers, bandwidth, overrides, ps_bandwidth)
+        for w, sched in enumerate(schedules):
             for direction, bucket in (("up", self.uplinks), ("down", self.downlinks)):
                 rng: np.random.Generator | None = None
                 if noise_std > 0:
@@ -99,23 +192,6 @@ class StarTopology:
                     )
                 )
 
-    @staticmethod
-    def _as_schedule(
-        bandwidth: float | BandwidthSchedule, ps_share: float | None
-    ) -> BandwidthSchedule:
-        if isinstance(bandwidth, BandwidthSchedule):
-            if ps_share is None:
-                return bandwidth
-            capped = [
-                (float(t), min(float(b), ps_share))
-                for t, b in zip(bandwidth._times, bandwidth._values)
-            ]
-            return BandwidthSchedule(capped)
-        value = float(bandwidth)
-        if ps_share is not None:
-            value = min(value, ps_share)
-        return BandwidthSchedule.constant(value)
-
     # ------------------------------------------------------------------
     def uplink(self, worker: int) -> Link:
         """The push link of ``worker`` (worker → PS)."""
@@ -125,6 +201,14 @@ class StarTopology:
         """The pull link of ``worker`` (PS → worker)."""
         return self.downlinks[worker]
 
+    def worker_uplinks(self, worker: int) -> list[Link]:
+        """All push links of ``worker`` (one; topology-generic accessor)."""
+        return [self.uplinks[worker]]
+
+    def worker_downlinks(self, worker: int) -> list[Link]:
+        """All pull links of ``worker`` (one; topology-generic accessor)."""
+        return [self.downlinks[worker]]
+
     def min_bandwidth(self) -> float:
         """Lowest configured bandwidth across workers right now.
 
@@ -132,3 +216,99 @@ class StarTopology:
         that need a single cluster-level bandwidth estimate use this.
         """
         return min(link.current_bandwidth() for link in self.uplinks)
+
+
+class ShardedTopology:
+    """Key-sharded PS tier: ``n_servers`` servers, per-shard duplex links.
+
+    Every worker gets one uplink and one downlink **per shard**, so pushes
+    to different shards proceed concurrently (no head-of-line blocking
+    between shards — the BytePS deployment model).  Each server has its own
+    ``ps_bandwidth`` NIC, water-filled across the workers; each
+    ``(worker, shard)`` link is additionally capped by the worker's own
+    configured bandwidth.
+
+    The worker NIC caps each shard flow individually but not their sum —
+    an accepted simplification for the PS-bound regime this topology
+    targets (see DESIGN.md, "Sharded PS tier").
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_workers: int,
+        n_servers: int,
+        bandwidth: float | BandwidthSchedule,
+        tcp: TCPParams | None = None,
+        worker_bandwidth: Mapping[int, float | BandwidthSchedule] | None = None,
+        ps_bandwidth: float | None = None,
+        seed: int | None = 0,
+        noise_std: float = 0.0,
+    ):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if n_servers < 1:
+            raise ConfigurationError(f"n_servers must be >= 1, got {n_servers}")
+        if ps_bandwidth is not None and ps_bandwidth <= 0:
+            raise ConfigurationError(f"ps_bandwidth must be positive, got {ps_bandwidth}")
+        overrides = dict(worker_bandwidth or {})
+        for idx in overrides:
+            if not 0 <= idx < n_workers:
+                raise ConfigurationError(
+                    f"worker_bandwidth override for unknown worker {idx}"
+                )
+
+        self.engine = engine
+        self.n_workers = n_workers
+        self.n_servers = n_servers
+        self.tcp = tcp if tcp is not None else TCPParams()
+        # uplinks[worker][shard] / downlinks[worker][shard]
+        self.uplinks: list[list[Link]] = []
+        self.downlinks: list[list[Link]] = []
+
+        # Every shard serves all workers, so the per-shard water-filling is
+        # identical across shards; compute it once.
+        schedules = _effective_schedules(n_workers, bandwidth, overrides, ps_bandwidth)
+        for w in range(n_workers):
+            ups: list[Link] = []
+            downs: list[Link] = []
+            for s in range(n_servers):
+                for direction, bucket in (("up", ups), ("down", downs)):
+                    rng: np.random.Generator | None = None
+                    if noise_std > 0:
+                        rng = spawn_rng(seed, "link", w, s, direction)
+                    bucket.append(
+                        Link(
+                            engine,
+                            schedules[w],
+                            self.tcp,
+                            name=f"worker{w}-s{s}-{direction}",
+                            noise_rng=rng,
+                            noise_std=noise_std,
+                        )
+                    )
+            self.uplinks.append(ups)
+            self.downlinks.append(downs)
+
+    # ------------------------------------------------------------------
+    def uplink(self, worker: int, shard: int = 0) -> Link:
+        """The push link of ``worker`` towards ``shard``."""
+        return self.uplinks[worker][shard]
+
+    def downlink(self, worker: int, shard: int = 0) -> Link:
+        """The pull link of ``shard`` towards ``worker``."""
+        return self.downlinks[worker][shard]
+
+    def worker_uplinks(self, worker: int) -> list[Link]:
+        """All push links of ``worker``, shard order."""
+        return list(self.uplinks[worker])
+
+    def worker_downlinks(self, worker: int) -> list[Link]:
+        """All pull links of ``worker``, shard order."""
+        return list(self.downlinks[worker])
+
+    def min_bandwidth(self) -> float:
+        """Lowest configured bandwidth across all worker/shard links."""
+        return min(
+            link.current_bandwidth() for links in self.uplinks for link in links
+        )

@@ -58,10 +58,7 @@ def canonical(obj: Any) -> Any:
     if isinstance(obj, BandwidthSchedule):
         return {
             "__type__": "BandwidthSchedule",
-            "points": [
-                [float(t), float(v)]
-                for t, v in zip(obj._times, obj._values)
-            ],
+            "points": [[float(t), float(v)] for t, v in obj.points],
         }
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         out: dict[str, Any] = {"__type__": _type_tag(obj)}

@@ -1,0 +1,174 @@
+"""Integration tests for training over the sharded PS tier.
+
+The hard bar: routing an ``n_servers=1`` workload through the sharded
+machinery (``force_sharded=True``) must reproduce the single-PS results
+*exactly* — same event sequence, same iteration timings — for every
+scheduling strategy.  Beyond that, multi-shard runs must complete under
+every sync mode, honor P3-style slicing, and label per-shard trace rows.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster.trainer import run_training
+from repro.errors import ConfigurationError
+from repro.quantities import Gbps
+from repro.workloads.presets import EXTENDED_FACTORIES, paper_config
+
+STRATEGIES = ("prophet", "mxnet-fifo", "p3", "bytescheduler")
+
+
+# ----------------------------------------------------------------------
+# Equivalence: one shard == the single-PS star
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_single_shard_bit_identical_to_star(tiny_config, strategy):
+    factory = EXTENDED_FACTORIES[strategy]
+    single = run_training(tiny_config, factory)
+    sharded = run_training(tiny_config, factory, force_sharded=True)
+    # Bit-identical, not approximately equal: same iteration start times
+    # on every worker.
+    for w in range(tiny_config.n_workers):
+        t_single = [r.fwd_start for r in single.recorder.worker_iterations(w)]
+        t_sharded = [r.fwd_start for r in sharded.recorder.worker_iterations(w)]
+        assert t_single == t_sharded
+    assert single.end_time == sharded.end_time
+
+
+@pytest.mark.parametrize("workload", [("resnet18", 32)])
+def test_single_shard_matches_fig8_scalars(workload):
+    """The committed fig8 baselines are produced by the single-PS path;
+    the one-shard sharded build must reproduce them bit-exactly."""
+    model, batch = workload
+    config = paper_config(
+        model, batch, bandwidth=3 * Gbps, n_iterations=6, record_gradients=False
+    )
+    for strategy in ("prophet", "bytescheduler"):
+        factory = EXTENDED_FACTORIES[strategy]
+        rate_single = run_training(config, factory).training_rate()
+        rate_sharded = run_training(config, factory, force_sharded=True).training_rate()
+        assert rate_single == rate_sharded
+
+
+# ----------------------------------------------------------------------
+# Multi-shard runs
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("sync_mode", ["bsp", "asp", "ssp"])
+def test_multi_shard_completes_under_all_sync_modes(tiny_config, sync_mode):
+    config = replace(tiny_config, n_servers=3, sync_mode=sync_mode)
+    result = run_training(config, EXTENDED_FACTORIES["prophet"])
+    for w in range(config.n_workers):
+        assert len(result.recorder.worker_iterations(w)) == config.n_iterations
+    assert result.training_rate() > 0
+
+
+def test_multi_shard_gradient_records_complete(tiny_config):
+    """Every gradient's push/pull marks fire exactly once per iteration
+    even though its bytes cross several shard links."""
+    config = replace(tiny_config, n_servers=3)
+    result = run_training(config, EXTENDED_FACTORIES["prophet"])
+    recs = [
+        r for r in result.gradient_records(worker=0)
+        if r.iteration >= 2
+    ]
+    n_grads = len(result.gen_schedule.sizes)
+    assert len(recs) == n_grads * (config.n_iterations - 2)
+    for r in recs:
+        assert np.isfinite(r.ready)
+        assert np.isfinite(r.push_start) and np.isfinite(r.push_end)
+        assert r.push_start >= r.ready
+        assert r.push_end > r.push_start
+
+
+def test_multi_shard_duplex(tiny_config):
+    config = replace(tiny_config, n_servers=2, duplex=True)
+    result = run_training(config, EXTENDED_FACTORIES["prophet"])
+    assert result.training_rate() > 0
+    # pull traffic rides the per-shard downlinks
+    down_bytes = sum(
+        r.nbytes
+        for link in result.topology.worker_downlinks(0)
+        for r in link.records
+    )
+    assert down_bytes > 0
+
+
+def test_slicing_spreads_large_tensors(tiny_config):
+    config = replace(tiny_config, n_servers=2, shard_slice_bytes=1e6)
+    result = run_training(config, EXTENDED_FACTORIES["prophet"])
+    assert result.training_rate() > 0
+    # the 8 MB tensor must land on both shards
+    from repro.cluster.sharding import assign_shards
+
+    assignment = assign_shards(
+        result.gen_schedule.sizes, 2, config.shard_slice_bytes
+    )
+    big = int(np.argmax(result.gen_schedule.sizes))
+    shards = {p.shard for p in assignment.pieces_of(big)}
+    assert shards == {0, 1}
+
+
+def test_sharding_relieves_ps_bottleneck(tiny_config):
+    """Under a PS-side NIC cap, widening the tier speeds up iterations."""
+    times = []
+    for k in (1, 2):
+        config = replace(
+            tiny_config,
+            bandwidth=4 * Gbps,
+            ps_bandwidth=1 * Gbps,
+            n_servers=k,
+            n_iterations=8,
+        )
+        result = run_training(config, EXTENDED_FACTORIES["prophet"])
+        times.append(float(result.iteration_spans(0).mean()))
+    assert times[1] < times[0]
+
+
+def test_per_shard_trace_tracks(tiny_config):
+    config = replace(tiny_config, n_servers=2, trace=True)
+    result = run_training(config, EXTENDED_FACTORIES["prophet"])
+    tracks = {e.track for e in result.trace.events}
+    assert "ps0" in tracks and "ps1" in tracks
+    # per-shard worker comm rows
+    assert any(t.startswith("worker0/s0") for t in tracks)
+    assert any(t.startswith("worker0/s1") for t in tracks)
+
+
+def test_sharded_monitors_one_per_worker_shard(tiny_config):
+    from repro.cluster.trainer import Trainer
+
+    config = replace(tiny_config, n_servers=3)
+    trainer = Trainer(config, EXTENDED_FACTORIES["prophet"])
+    assert len(trainer.monitors) == config.n_workers * 3
+    assert len(trainer.servers) == 3
+    assert len(trainer.schedulers) == config.n_workers * 3
+
+
+# ----------------------------------------------------------------------
+# Rejections
+# ----------------------------------------------------------------------
+
+def test_faults_with_sharded_tier_rejected(tiny_config):
+    from repro.faults.plan import FaultPlan, MessageDrops
+
+    plan = FaultPlan(drops=[MessageDrops(push=0.1)])
+    with pytest.raises(ConfigurationError, match="fault injection"):
+        replace(tiny_config, n_servers=2, faults=plan)
+
+
+def test_more_servers_than_keys_rejected(tiny_config):
+    # the tiny model has 8 gradient tensors
+    config = replace(tiny_config, n_servers=9)
+    with pytest.raises(ConfigurationError, match="exceeds"):
+        run_training(config, EXTENDED_FACTORIES["prophet"])
+
+
+def test_invalid_n_servers_rejected(tiny_config):
+    with pytest.raises(ConfigurationError):
+        replace(tiny_config, n_servers=0)
+    with pytest.raises(ConfigurationError):
+        replace(tiny_config, shard_slice_bytes=-1.0)

@@ -117,3 +117,16 @@ def test_experiment_mains_print(capsys):
     fig5.main()
     out = capsys.readouterr().out
     assert "Fig. 4" in out and "Fig. 5" in out
+
+
+def test_scalability_runner():
+    from repro.experiments import scalability
+
+    rows = scalability.run(
+        server_counts=(1, 2), model="resnet18", batch_size=32, n_iterations=N
+    )
+    assert [r.n_servers for r in rows] == [1, 2]
+    assert all(r.training_rate > 0 for r in rows)
+    # the whole point: widening the PS tier under a per-server NIC cap
+    # shortens iterations
+    assert rows[1].mean_iteration_s < rows[0].mean_iteration_s

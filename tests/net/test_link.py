@@ -209,3 +209,34 @@ class TestLink:
             engine.run(until=float(i) + 0.9)
         durations = [r.duration for r in link.records]
         assert len(set(round(d, 9) for d in durations)) > 1
+
+
+# ----------------------------------------------------------------------
+# BandwidthSchedule public accessors and capping
+# ----------------------------------------------------------------------
+
+class TestScheduleCapped:
+    def test_points_roundtrip(self):
+        sched = BandwidthSchedule([(0.0, 5.0), (2.0, 9.0)])
+        assert sched.points == ((0.0, 5.0), (2.0, 9.0))
+        assert sched.times == (0.0, 2.0)
+        assert sched.values == (5.0, 9.0)
+
+    def test_capped_limits_every_segment(self):
+        sched = BandwidthSchedule([(0.0, 5.0), (2.0, 9.0), (4.0, 1.0)])
+        capped = sched.capped(4.0)
+        assert capped.values == (4.0, 4.0, 1.0)
+        assert capped.times == sched.times
+        # the original is untouched
+        assert sched.values == (5.0, 9.0, 1.0)
+
+    def test_capped_above_peak_is_identity(self):
+        sched = BandwidthSchedule([(0.0, 5.0), (2.0, 9.0)])
+        assert sched.capped(100.0).points == sched.points
+
+    def test_capped_rejects_nonpositive_limit(self):
+        from repro.errors import ConfigurationError
+
+        sched = BandwidthSchedule.constant(5.0)
+        with pytest.raises(ConfigurationError):
+            sched.capped(0.0)

@@ -159,3 +159,19 @@ def test_prophet_reads_stale_monitor_sample_until_next_tick(
     sched.end_iteration(0, engine.now, engine.now)
     sched.begin_iteration(1, gen, engine.now)
     assert sched.degraded and sched.collapse_detections == 1
+
+
+def test_cleared_history_raises_simulation_error(engine):
+    """Regression: reading a monitor whose history was cleared externally
+    used to surface a bare ``IndexError``; it now raises a diagnosable
+    :class:`SimulationError` naming the link."""
+    from repro.errors import SimulationError
+
+    link = Link(engine, BandwidthSchedule.constant(1 * Gbps), TCPParams(),
+                name="worker0-up")
+    mon = BandwidthMonitor(engine, link, interval=1.0)
+    mon.history.clear()
+    with pytest.raises(SimulationError, match="worker0-up"):
+        _ = mon.bandwidth
+    with pytest.raises(SimulationError, match="no samples"):
+        _ = mon.last_sample_time

@@ -78,3 +78,150 @@ def test_invalid_worker_count_raises(engine):
 def test_invalid_ps_bandwidth_raises(engine):
     with pytest.raises(ConfigurationError):
         StarTopology(engine, n_workers=1, bandwidth=1 * Gbps, ps_bandwidth=0.0)
+
+
+# ----------------------------------------------------------------------
+# Water-filling (max-min fair) division of the PS-side NIC
+# ----------------------------------------------------------------------
+
+class TestWaterFilling:
+    def test_fitting_demands_are_uncapped(self):
+        from repro.net.topology import water_fill_level, water_fill_shares
+
+        assert water_fill_level([1.0, 2.0], capacity=10.0) == float("inf")
+        assert water_fill_shares([1.0, 2.0], 10.0) == [1.0, 2.0]
+
+    def test_homogeneous_reduces_to_static_split(self):
+        from repro.net.topology import water_fill_shares
+
+        shares = water_fill_shares([10.0, 10.0, 10.0, 10.0], capacity=4.0)
+        assert shares == pytest.approx([1.0, 1.0, 1.0, 1.0])
+
+    def test_slow_flow_keeps_rate_and_surplus_is_reclaimed(self):
+        from repro.net.topology import water_fill_shares
+
+        # Static split would give each flow 2.0, stranding 1.5 of the
+        # slow flow's share; water-filling hands it to the fast flows.
+        shares = water_fill_shares([0.5, 10.0, 10.0], capacity=6.0)
+        assert shares[0] == pytest.approx(0.5)
+        assert shares[1] == shares[2] == pytest.approx(2.75)
+        assert sum(shares) == pytest.approx(6.0)
+
+    def test_shares_exhaust_capacity_when_oversubscribed(self):
+        from repro.net.topology import water_fill_shares
+
+        shares = water_fill_shares([1.0, 3.0, 5.0, 7.0], capacity=8.0)
+        assert sum(shares) == pytest.approx(8.0)
+        # max-min: nobody below the level exceeds their demand
+        assert shares[0] == pytest.approx(1.0)
+
+    def test_invalid_inputs_raise(self):
+        from repro.net.topology import water_fill_level
+
+        with pytest.raises(ConfigurationError):
+            water_fill_level([1.0], capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            water_fill_level([0.0, 1.0], capacity=5.0)
+
+
+def test_ps_cap_water_fills_heterogeneous_workers(engine):
+    """The slow worker's unusable share flows to the fast workers."""
+    topo = StarTopology(
+        engine,
+        n_workers=3,
+        bandwidth=10 * Gbps,
+        worker_bandwidth={0: 500 * Mbps},
+        ps_bandwidth=6 * Gbps,
+    )
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(500 * Mbps)
+    fast = (6 * Gbps - 500 * Mbps) / 2
+    assert topo.uplink(1).current_bandwidth() == pytest.approx(fast)
+    assert topo.uplink(2).current_bandwidth() == pytest.approx(fast)
+
+
+def test_schedule_bandwidth_with_ps_cap_regression(engine):
+    """Regression: a schedule-valued ``bandwidth`` combined with
+    ``ps_bandwidth`` used to reach into the schedule's private attributes;
+    it now goes through the public ``capped``/water-fill path and the cap
+    is applied piecewise at every breakpoint."""
+    sched = BandwidthSchedule([(0.0, 1 * Gbps), (5.0, 8 * Gbps)])
+    topo = StarTopology(engine, n_workers=2, bandwidth=sched, ps_bandwidth=4 * Gbps)
+    # t=0: both demand 1 Gbps, total 2 <= 4 — uncapped.
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(1 * Gbps)
+    engine.run(until=6.0)
+    # t>5: both demand 8 Gbps; the 4 Gbps PS NIC splits evenly.
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(2 * Gbps)
+    assert topo.uplink(1).current_bandwidth() == pytest.approx(2 * Gbps)
+
+
+def test_per_worker_schedule_override_with_ps_cap(engine):
+    """Mixed scalar + schedule overrides water-fill piecewise."""
+    slow = BandwidthSchedule([(0.0, 4 * Gbps), (2.0, 1 * Gbps)])
+    topo = StarTopology(
+        engine,
+        n_workers=2,
+        bandwidth=10 * Gbps,
+        worker_bandwidth={0: slow},
+        ps_bandwidth=6 * Gbps,
+    )
+    # t=0: demands (4, 10) vs 6 -> shares (3, 3).
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(3 * Gbps)
+    assert topo.uplink(1).current_bandwidth() == pytest.approx(3 * Gbps)
+    engine.run(until=3.0)
+    # t>2: demands (1, 10) vs 6 -> slow keeps 1, fast reclaims to 5.
+    assert topo.uplink(0).current_bandwidth() == pytest.approx(1 * Gbps)
+    assert topo.uplink(1).current_bandwidth() == pytest.approx(5 * Gbps)
+
+
+# ----------------------------------------------------------------------
+# ShardedTopology
+# ----------------------------------------------------------------------
+
+class TestShardedTopology:
+    def test_builds_per_shard_duplex_links(self, engine):
+        from repro.net.topology import ShardedTopology
+
+        topo = ShardedTopology(engine, n_workers=2, n_servers=3, bandwidth=1 * Gbps)
+        assert len(topo.uplinks) == 2
+        assert all(len(links) == 3 for links in topo.uplinks)
+        assert topo.uplink(1, 2).name == "worker1-s2-up"
+        assert topo.downlink(0, 1).name == "worker0-s1-down"
+        assert topo.worker_uplinks(0) == topo.uplinks[0]
+        assert topo.worker_downlinks(1) == topo.downlinks[1]
+
+    def test_ps_bandwidth_is_per_server(self, engine):
+        from repro.net.topology import ShardedTopology
+
+        topo = ShardedTopology(
+            engine, n_workers=4, n_servers=2,
+            bandwidth=10 * Gbps, ps_bandwidth=4 * Gbps,
+        )
+        # Each server's 4 Gbps NIC is split across the 4 workers — every
+        # shard link gets 1 Gbps, independent of the number of shards.
+        for w in range(4):
+            for s in range(2):
+                assert topo.uplink(w, s).current_bandwidth() == pytest.approx(1 * Gbps)
+
+    def test_worker_nic_caps_each_shard_flow(self, engine):
+        from repro.net.topology import ShardedTopology
+
+        topo = ShardedTopology(
+            engine, n_workers=2, n_servers=2,
+            bandwidth=10 * Gbps, worker_bandwidth={0: 500 * Mbps},
+            ps_bandwidth=40 * Gbps,
+        )
+        assert topo.uplink(0, 1).current_bandwidth() == pytest.approx(500 * Mbps)
+        assert topo.min_bandwidth() == pytest.approx(500 * Mbps)
+
+    def test_invalid_counts_raise(self, engine):
+        from repro.net.topology import ShardedTopology
+
+        with pytest.raises(ConfigurationError):
+            ShardedTopology(engine, n_workers=0, n_servers=2, bandwidth=1 * Gbps)
+        with pytest.raises(ConfigurationError):
+            ShardedTopology(engine, n_workers=2, n_servers=0, bandwidth=1 * Gbps)
+        with pytest.raises(ConfigurationError):
+            ShardedTopology(
+                engine, n_workers=1, n_servers=1, bandwidth=1 * Gbps,
+                ps_bandwidth=-1.0,
+            )

@@ -279,3 +279,41 @@ class TestSchedCommand:
         assert jsonl_path.read_text().count("\n") == sum(
             1 for e in events if e.get("ph") != "M"
         )
+
+
+class TestPsTierFlags:
+    def test_defaults_leave_config_untouched(self):
+        for cmd in ("compare", "sched", "sweep"):
+            argv = [cmd, "prophet"] if cmd == "sched" else [cmd]
+            args = build_parser().parse_args(argv)
+            assert args.n_servers == 1
+            assert args.ps_gbps is None
+
+    def test_parse_n_servers_and_ps_gbps(self):
+        args = build_parser().parse_args(
+            ["sched", "prophet", "--n-servers", "4", "--ps-gbps", "3"]
+        )
+        assert args.n_servers == 4
+        assert args.ps_gbps == 3.0
+
+    def test_sched_runs_sharded(self, capsys):
+        code = main(
+            [
+                "sched", "prophet",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--gbps", "10",
+                "--workers", "2",
+                "--iterations", "5",
+                "--n-servers", "2",
+                "--ps-gbps", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "training rate" in out
+
+    def test_invalid_n_servers_is_clean_error(self, capsys):
+        code = main(["sched", "prophet", "--n-servers", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
