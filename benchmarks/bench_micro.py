@@ -143,6 +143,38 @@ def test_sharded_link_transfer_pump(benchmark):
     assert benchmark(run) == n_links * per_link
 
 
+def test_ring_allreduce_step_pump(benchmark):
+    """Engine-driven back-to-back ring allreduce operations (100 ops).
+
+    The collective backend's end-to-end per-step cost: N chunk sends per
+    step through the event loop, step-barrier bookkeeping, and operation
+    completion — 2(N-1) steps per operation on a 4-worker ring.
+    """
+    from repro.net.collective import RingExecutor, RingTopology
+
+    n_workers = 4
+    n_ops = 100
+    steps_per_op = 2 * (n_workers - 1)
+
+    def run():
+        eng = Engine()
+        topo = RingTopology(eng, n_workers=n_workers, bandwidth=3 * Gbps)
+        executor = RingExecutor(topo)
+        count = 0
+
+        def pump():
+            nonlocal count
+            if count < n_ops:
+                count += 1
+                executor.send_unit(1e6, tag=("allreduce", count), on_complete=pump)
+
+        eng.schedule(0.0, pump)
+        eng.run()
+        return executor.steps_completed
+
+    assert benchmark(run) == n_ops * steps_per_op
+
+
 def test_gp_fit_predict(benchmark):
     """GP fit + predict at ByteScheduler's tuning scale (30 points)."""
     rng = np.random.default_rng(0)

@@ -1,8 +1,9 @@
 """CI benchmark smoke test — reduced-mode scalars vs committed baselines.
 
 Runs a cut-down Fig. 8 comparison, a chaos resilience run (crash + flap +
-drops + PS stall), and the substrate micro-benchmarks, and compares a
-handful of key scalars against ``benchmarks/baselines.json``:
+drops + PS stall), a collective-backend comparison (ring + hierarchical
+allreduce), and the substrate micro-benchmarks, and compares a handful of
+key scalars against ``benchmarks/baselines.json``:
 
 * **Deterministic scalars** (simulated training rates) must match the
   baseline within a tight relative tolerance — the simulator is a seeded
@@ -23,6 +24,8 @@ Usage::
     PYTHONPATH=src python benchmarks/ci_smoke.py           # check
     PYTHONPATH=src python benchmarks/ci_smoke.py --jobs 2  # parallel grid
     PYTHONPATH=src python benchmarks/ci_smoke.py --update  # rewrite baselines
+    PYTHONPATH=src python benchmarks/ci_smoke.py --suite collective
+    PYTHONPATH=src python benchmarks/ci_smoke.py --report /tmp/report.json
 
 Regenerate baselines (and commit the diff) whenever an intentional change
 shifts simulation results; see EXPERIMENTS.md for the workflow.
@@ -60,9 +63,95 @@ SHARDED_MODEL = ("resnet18", 32)
 SHARDED_ITERATIONS = 8
 SHARDED_SERVERS = 4
 
+#: Collective smoke: the fast workload over the allreduce backend — one
+#: ring run per strategy family plus one hierarchical Prophet run.  Gates
+#: the topology/scheduler split end to end (controller negotiation, ring
+#: step pipelining, effective-bandwidth planning, MG-WFBP fusion).
+COLLECTIVE_MODEL = ("resnet18", 32)
+COLLECTIVE_ITERATIONS = 8
+COLLECTIVE_WORKERS = 4
+COLLECTIVE_STRATEGIES = ("mxnet-fifo", "mg-wfbp", "prophet")
 
-def measure(jobs: int | None = None) -> tuple[dict[str, float], dict[str, float]]:
-    """Return (deterministic scalars, timing scalars)."""
+
+def _measure_collective() -> tuple[dict[str, float], dict[str, float]]:
+    """Collective-backend scalars: deterministic rates + ring-step timing."""
+    from repro.agg.fusion import MGWFBPFusionPolicy
+    from repro.cluster.trainer import run_training
+    from repro.net.collective import RingExecutor, RingTopology
+    from repro.quantities import Gbps
+    from repro.sim.engine import Engine
+    from repro.workloads.presets import EXTENDED_FACTORIES, PAPER_TCP, paper_config
+
+    deterministic: dict[str, float] = {}
+    model, batch = COLLECTIVE_MODEL
+    n = COLLECTIVE_WORKERS
+    bandwidth = 3 * Gbps
+    ring_factor = 2.0 * (n - 1) / n
+    fusion = MGWFBPFusionPolicy(tcp=PAPER_TCP, bandwidth=bandwidth / ring_factor)
+
+    for collective, strategies in (
+        ("ring", COLLECTIVE_STRATEGIES),
+        ("hierarchical", ("prophet",)),
+    ):
+        for strategy in strategies:
+            overrides = {"agg_policy": fusion} if strategy == "mg-wfbp" else {}
+            config = paper_config(
+                model,
+                batch,
+                bandwidth=bandwidth,
+                n_workers=n,
+                n_iterations=COLLECTIVE_ITERATIONS,
+                seed=0,
+                record_gradients=False,
+                backend="allreduce",
+                collective=collective,
+                collective_group_size=2,
+                **overrides,
+            )
+            rate = run_training(
+                config, EXTENDED_FACTORIES[strategy]
+            ).training_rate()
+            deterministic[
+                f"collective.{model}.bs{batch}.{collective}.{strategy}_rate"
+            ] = rate
+
+    # Ring-step throughput: back-to-back allreduce operations through the
+    # step executor — the collective backend's end-to-end per-step cost
+    # (N chunk sends per step through the event loop, barrier bookkeeping,
+    # op completion).  2(N-1) steps per operation.
+    n_ops = 400
+    steps_per_op = 2 * (n - 1)
+
+    def ring_ops() -> int:
+        eng = Engine()
+        topo = RingTopology(eng, n_workers=n, bandwidth=bandwidth)
+        executor = RingExecutor(topo)
+        count = 0
+
+        def pump() -> None:
+            nonlocal count
+            if count < n_ops:
+                count += 1
+                executor.send_unit(1e6, tag=("allreduce", count), on_complete=pump)
+
+        eng.schedule(0.0, pump)
+        eng.run()
+        return executor.steps_completed
+
+    total_steps = ring_ops()  # warmup (also validates the step count)
+    assert total_steps == n_ops * steps_per_op, total_steps
+    best = min(_timed(ring_ops) for _ in range(3))
+    timing = {"collective.ring_steps_per_s": n_ops * steps_per_op / best}
+    return deterministic, timing
+
+
+def measure(
+    jobs: int | None = None, suite: str = "all"
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Return (deterministic scalars, timing scalars) for ``suite``."""
+    if suite == "collective":
+        return _measure_collective()
+
     from repro.experiments import fig8
     from repro.quantities import Gbps
     from repro.sim.engine import Engine
@@ -263,6 +352,10 @@ def measure(jobs: int | None = None) -> tuple[dict[str, float], dict[str, float]
     best = min(_timed(sharded_transfers) for _ in range(3))
     timing["sim.sharded_transfers_per_s"] = n_shard_transfers / best
 
+    collective_det, collective_timing = _measure_collective()
+    deterministic.update(collective_det)
+    timing.update(collective_timing)
+
     return deterministic, timing
 
 
@@ -276,8 +369,13 @@ def compare(
     baseline: dict[str, dict[str, float]],
     deterministic: dict[str, float],
     timing: dict[str, float],
+    complete: bool = True,
 ) -> list[str]:
-    """Return a list of human-readable failures (empty == pass)."""
+    """Return a list of human-readable failures (empty == pass).
+
+    ``complete=False`` (a partial ``--suite``) skips the check that every
+    baseline key was measured — only the measured subset gates.
+    """
     failures: list[str] = []
 
     base_det = baseline.get("deterministic", {})
@@ -295,9 +393,10 @@ def compare(
                 f"{key}: {value:.3f} deviates {rel * 100:.2f}% from "
                 f"baseline {ref:.3f} (tolerance {DETERMINISTIC_RTOL * 100:.0f}%)"
             )
-    for key in base_det:
-        if key not in deterministic:
-            failures.append(f"{key}: in baseline but not measured")
+    if complete:
+        for key in base_det:
+            if key not in deterministic:
+                failures.append(f"{key}: in baseline but not measured")
 
     base_timing = baseline.get("timing", {})
     for key, value in timing.items():
@@ -329,12 +428,26 @@ def main(argv: list[str] | None = None) -> int:
         help="parallel processes for the fig8 grid (default: REPRO_JOBS "
         "or serial); results are identical either way",
     )
+    parser.add_argument(
+        "--suite", default="all", choices=("all", "collective"),
+        help="'all' (default) measures everything; 'collective' gates "
+        "only the allreduce-backend scalars (the allreduce-smoke CI job)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="OUT.json",
+        help="also write the measured scalars and failures as JSON here "
+        "(uploaded as a CI artifact on failure)",
+    )
     args = parser.parse_args(argv)
 
+    if args.update and args.suite != "all":
+        print("error: --update requires --suite all", file=sys.stderr)
+        return 2
+
     jobs_note = args.jobs if args.jobs is not None else "REPRO_JOBS/serial"
-    print(f"measuring smoke scalars ({len(SMOKE_WORKLOADS)} fig8 workloads, "
-          f"{SMOKE_ITERATIONS} iterations each, jobs={jobs_note})...")
-    deterministic, timing = measure(jobs=args.jobs)
+    print(f"measuring smoke scalars (suite={args.suite}, jobs={jobs_note})...")
+    deterministic, timing = measure(jobs=args.jobs, suite=args.suite)
 
     if args.update:
         payload = {
@@ -356,7 +469,18 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     baseline = json.loads(BASELINE_PATH.read_text())
 
-    failures = compare(baseline, deterministic, timing)
+    failures = compare(
+        baseline, deterministic, timing, complete=args.suite == "all"
+    )
+    if args.report:
+        report = {
+            "suite": args.suite,
+            "deterministic": {k: v for k, v in sorted(deterministic.items())},
+            "timing": {k: v for k, v in sorted(timing.items())},
+            "failures": failures,
+        }
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.report}")
     if failures:
         print(f"\nbenchmark smoke FAILED ({len(failures)} regressions):",
               file=sys.stderr)

@@ -1,0 +1,129 @@
+"""MG-WFBP optimal gradient fusion as an aggregation policy.
+
+:class:`~repro.sched.mgwfbp.MGWFBPScheduler` merges transfers at *send*
+time under a byte cap.  The original MG-WFBP algorithm (Shi et al.,
+arXiv:1912.09268) goes further: it picks merge boundaries **offline**
+from the profiled backward timeline and the network's per-message startup
+cost, so fusion happens where it is provably free — where the next
+gradient arrives before the bytes in hand could even begin transferring.
+
+:class:`MGWFBPFusionPolicy` promotes that rule into the ``agg`` layer: it
+is an :class:`~repro.agg.policies.AggregationPolicy`, so the KV store
+itself flushes MG-WFBP's merged buckets and *every* scheduler (including
+plain FIFO) transmits them as single messages.  The greedy timeline walk,
+in generation order:
+
+* track ``t_free`` — when the channel frees up from the buckets already
+  dispatched — and the current bucket's flush time (its last gradient's
+  generation time ``r``);
+* merging the next gradient is **free** iff it is generated before the
+  current bucket could start paying its startup:
+  ``r_next <= max(t_free, flush) + startup``;
+* otherwise close the bucket (it begins transferring) and start a new
+  one.
+
+``startup`` is the size-independent cost of one message on the modeled
+TCP path — handshake, slow-start ramp, fixed overhead — i.e. the Eq. 10
+small-message penalty that makes merging profitable in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.gradients import GradientSpec
+from repro.models.layers import ModelSpec
+from repro.net.tcp import TCPParams, transfer_time
+
+__all__ = ["MGWFBPFusionPolicy"]
+
+
+class MGWFBPFusionPolicy:
+    """Merge-boundary selection from profiled compute/comm times.
+
+    Parameters
+    ----------
+    tcp:
+        TCP path parameters; the per-message startup is the cold-start
+        transfer time of a single byte (pure setup, no payload).
+    bandwidth:
+        Link bandwidth in bytes/s used for the timeline walk.  For a
+        collective backend divide by the executor's per-byte cost factor
+        first (see ``EffectiveBandwidthView``).
+    max_merge_bytes:
+        Optional cap on a merged bucket (bounds channel occupancy per
+        message, like the scheduler-side ``merge_bytes``).  ``None``
+        means unbounded.
+    """
+
+    def __init__(
+        self,
+        tcp: TCPParams | None = None,
+        bandwidth: float = 375e6,
+        max_merge_bytes: float | None = None,
+    ):
+        if bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+        if max_merge_bytes is not None and max_merge_bytes <= 0:
+            raise ConfigurationError(
+                f"max_merge_bytes must be positive, got {max_merge_bytes}"
+            )
+        self.tcp = tcp if tcp is not None else TCPParams()
+        self.bandwidth = float(bandwidth)
+        self.max_merge_bytes = max_merge_bytes
+        #: Per-message startup: what one byte costs on a cold connection.
+        self.startup = float(transfer_time(1.0, self.bandwidth, self.tcp, warm=False))
+
+    def buckets(
+        self,
+        model: ModelSpec,
+        grads: Sequence[GradientSpec],
+        raw_times: np.ndarray,
+    ) -> list[list[int]]:
+        # Gradient indices in backward-generation order (descending index),
+        # matching the other aggregation policies' bucket convention.
+        order = [g.index for g in sorted(grads, key=lambda g: -g.index)]
+        sizes = {g.index: float(g.nbytes) for g in grads}
+        per_byte = 1.0 / self.bandwidth
+
+        buckets: list[list[int]] = []
+        current = [order[0]]
+        current_bytes = sizes[order[0]]
+        flush = float(raw_times[order[0]])
+        t_free = 0.0
+        for i in order[1:]:
+            r_next = float(raw_times[i])
+            fits = (
+                self.max_merge_bytes is None
+                or current_bytes + sizes[i] <= self.max_merge_bytes
+            )
+            if fits and r_next <= max(t_free, flush) + self.startup:
+                # The gradient lands before the bucket in hand could get
+                # past its message setup: merging costs no waiting and
+                # saves one startup.
+                current.append(i)
+                current_bytes += sizes[i]
+                flush = max(flush, r_next)
+            else:
+                start = max(t_free, flush)
+                t_free = start + self.startup + current_bytes * per_byte
+                buckets.append(current)
+                current = [i]
+                current_bytes = sizes[i]
+                flush = r_next
+        buckets.append(current)
+        return buckets
+
+    def __repr__(self) -> str:
+        cap = (
+            f", max_merge_bytes={self.max_merge_bytes:.0f}"
+            if self.max_merge_bytes is not None
+            else ""
+        )
+        return (
+            f"MGWFBPFusionPolicy(bandwidth={self.bandwidth:.3g}, "
+            f"startup={self.startup * 1e3:.3f}ms{cap})"
+        )

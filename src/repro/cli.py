@@ -54,7 +54,7 @@ __all__ = ["main", "build_parser"]
 EXPERIMENTS = (
     "fig2", "fig3", "fig4", "fig5", "fig8", "fig9_10", "fig11", "fig12",
     "fig13", "table2", "table3", "hetero", "overhead", "ablations", "asp",
-    "devices", "dynamic", "convergence", "chaos", "scalability",
+    "devices", "dynamic", "convergence", "chaos", "scalability", "collective",
 )
 
 
@@ -88,6 +88,47 @@ def _ps_tier_overrides(args: argparse.Namespace) -> dict:
     if args.ps_gbps is not None:
         overrides["ps_bandwidth"] = args.ps_gbps * Gbps
     return overrides
+
+
+def _add_backend_args(sub: argparse.ArgumentParser) -> None:
+    """Communication-backend knobs shared by the workload subcommands."""
+    sub.add_argument(
+        "--backend", default="ps", choices=("ps", "allreduce"),
+        help="communication backend: the paper's parameter-server star "
+        "(default) or the ring/hierarchical allreduce collective",
+    )
+    sub.add_argument(
+        "--collective", default="ring", choices=("ring", "hierarchical"),
+        help="allreduce topology (only with --backend allreduce)",
+    )
+    sub.add_argument(
+        "--group-size", type=int, default=2,
+        help="workers per group for the hierarchical collective "
+        "(must divide --workers; default 2)",
+    )
+
+
+def _backend_overrides(args: argparse.Namespace) -> dict:
+    """Translate the backend CLI flags into paper_config overrides.
+
+    PS-tier conflicts (``--n-servers``/``--ps-gbps`` with
+    ``--backend allreduce``) are left for config validation, which
+    rejects them with a precise ConfigurationError.
+    """
+    if args.backend == "ps":
+        return {}
+    return {
+        "backend": args.backend,
+        "collective": args.collective,
+        "collective_group_size": args.group_size,
+    }
+
+
+def _backend_suffix(args: argparse.Namespace) -> str:
+    """Table-title suffix naming the non-default backend, if any."""
+    if args.backend == "ps":
+        return ""
+    return f", {args.collective} allreduce"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--sync", default="bsp", choices=("bsp", "asp", "ssp"))
     compare.add_argument("--seed", type=int, default=0)
     _add_ps_tier_args(compare)
+    _add_backend_args(compare)
 
     sched = sub.add_parser(
         "sched", help="run one scheduling strategy, optionally tracing it"
@@ -143,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--sync", default="bsp", choices=("bsp", "asp", "ssp"))
     sched.add_argument("--seed", type=int, default=0)
     _add_ps_tier_args(sched)
+    _add_backend_args(sched)
     sched.add_argument(
         "--trace",
         metavar="OUT.json",
@@ -292,6 +335,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         sync_mode=args.sync,
         record_gradients=False,
         **_ps_tier_overrides(args),
+        **_backend_overrides(args),
     )
     rows = []
     for name, factory in EXTENDED_FACTORIES.items():
@@ -311,7 +355,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"{args.model} bs{args.batch} @ {args.gbps:g} Gbps, "
-                f"{args.workers} workers, {args.sync}"
+                f"{args.workers} workers, {args.sync}{_backend_suffix(args)}"
             ),
         )
     )
@@ -331,6 +375,7 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         sync_mode=args.sync,
         trace=tracing,
         **_ps_tier_overrides(args),
+        **_backend_overrides(args),
     )
     result = run_training(config, EXTENDED_FACTORIES[args.strategy])
     summary = result.summary()
@@ -348,7 +393,8 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"{args.strategy} — {args.model} bs{args.batch} @ "
-                f"{args.gbps:g} Gbps, {args.workers} workers, {args.sync}"
+                f"{args.gbps:g} Gbps, {args.workers} workers, "
+                f"{args.sync}{_backend_suffix(args)}"
             ),
         )
     )

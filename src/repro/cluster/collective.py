@@ -1,0 +1,402 @@
+"""Collective worker tier: one negotiated scheduler drives the ring.
+
+In the PS backend every worker owns a scheduler instance and its private
+uplink — decisions are local.  A collective operation is inherently
+global: one allreduce occupies *every* worker's link for the same span,
+and it can only start once **all** workers have produced the gradients it
+carries.  Real collective engines solve this with a coordinator
+negotiation (Horovod's controller, ByteScheduler's rank-0 Core): workers
+announce readiness, the coordinator decides the launch order, everybody
+executes the same sequence.
+
+This module mirrors that shape.  A :class:`CollectiveController` owns the
+single :class:`~repro.sched.base.CommScheduler` instance for the job and
+the collective executor (the :class:`~repro.net.transport.Transport`).
+:class:`CollectiveWorker` reuses the entire compute path of
+:class:`~repro.cluster.worker.Worker` (forward gating, bucket flushes,
+iteration bookkeeping — the same inheritance trick as
+:class:`~repro.cluster.sharded.ShardedWorker`) but overrides the four
+scheduler fan-out hooks to *report* to the controller instead of driving
+a private scheduler:
+
+* ``begin_iteration(k)`` fires on the scheduler when the **last** worker
+  enters backward ``k`` (the negotiated backward start);
+* ``gradient_ready(g)`` fires when the **last** worker flushes ``g``
+  (the negotiated generation time — the max over workers, which is what
+  the allreduce must wait for anyway);
+* a completed operation credits push **and** pull bytes on every worker
+  simultaneously (each worker both contributed its chunk and received
+  the reduced result), unblocking their next forward passes together.
+
+Because the scheduler still speaks propose/commit against a transport, it
+cannot tell the backends apart — FIFO, P3, ByteScheduler, MG-WFBP and
+Prophet all run unchanged, which is the point of the topology/scheduler
+split.  ``pull_completed`` fires per segment at operation completion so
+credit-based flow control (ByteScheduler) replenishes exactly as on the
+PS path, where the PS mirrors every pushed byte back as a pull.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable
+
+import numpy as np
+
+from repro.agg.kvstore import GenerationSchedule
+from repro.cluster.messages import PullUnit
+from repro.cluster.worker import Worker
+from repro.errors import SimulationError
+from repro.metrics.timeline import Recorder
+from repro.models.compute import ComputeProfile
+from repro.models.gradients import gradient_table
+from repro.net.transport import Transport
+from repro.sched.base import CommScheduler, TransferUnit
+from repro.sim.engine import Engine
+
+__all__ = ["CollectiveController", "CollectiveWorker", "EffectiveBandwidthView"]
+
+_TOL = 1e-9
+
+
+class EffectiveBandwidthView:
+    """Monitor proxy scaling samples by the collective's per-byte cost.
+
+    A flat ring serializes ``2(N-1)/N`` bytes on each link per payload
+    byte, so a scheduler that predicts transfer times as ``S / B``
+    (Prophet's planner) must see ``B / factor`` — the rate at which
+    *payload* actually clears the collective.  Duck-types the subset of
+    :class:`~repro.net.monitor.BandwidthMonitor` that scheduler factories
+    consume.
+    """
+
+    def __init__(self, monitor, factor: float):
+        self._monitor = monitor
+        self._factor = factor if factor > 0 else 1.0
+
+    @property
+    def bandwidth(self) -> float:
+        return self._monitor.bandwidth / self._factor
+
+    @property
+    def last_sample_time(self) -> float:
+        return self._monitor.last_sample_time
+
+    def sample_age(self) -> float:
+        return self._monitor.sample_age()
+
+
+class CollectiveController:
+    """Coordinator: negotiates worker readiness, drives the one scheduler.
+
+    The controller is the collective analogue of the worker's channel
+    pump: whenever the executor goes idle (or new gradients become ready
+    cluster-wide) it asks the scheduler for the next unit and launches it
+    as one allreduce operation.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler: CommScheduler,
+        executor: Transport,
+        recorder: Recorder,
+        n_workers: int,
+        stall_timeout: float = 5e-3,
+    ):
+        self.engine = engine
+        self.scheduler = scheduler
+        self.executor = executor
+        self.recorder = recorder
+        self.n_workers = n_workers
+        self.workers: list[CollectiveWorker] = []
+        self._stall_timeout = stall_timeout
+        self._stall_timer = None
+        self._iteration = -1
+        self._begin_count = 0
+        self._end_count = 0
+        self._end_span = 0.0
+        self._ready_counts: dict[int, int] = {}
+
+    def attach_workers(self, workers: list["CollectiveWorker"]) -> None:
+        if len(workers) != self.n_workers:
+            raise SimulationError(
+                f"controller wired for {self.n_workers} workers, "
+                f"got {len(workers)}"
+            )
+        self.workers = list(workers)
+
+    # ------------------------------------------------------------------
+    # Negotiation: worker reports → scheduler hooks at the Nth report
+    # ------------------------------------------------------------------
+    def worker_begin_iteration(
+        self, worker_id: int, iteration: int, sched: GenerationSchedule, now: float
+    ) -> None:
+        """A worker entered backward ``iteration``.
+
+        BSP guarantees report order: every worker's iteration-``k`` report
+        precedes any iteration-``k+1`` report (forward ``k+1`` gates on
+        the last ``k`` operation completing), so a plain counter suffices.
+        The scheduler sees the *last* reporter's scaled schedule — the
+        negotiated backward start, which is when cluster-wide generation
+        actually begins.
+        """
+        if iteration != self._iteration + 1:
+            raise SimulationError(
+                f"worker {worker_id} reported backward {iteration} while the "
+                f"collective is negotiating iteration {self._iteration + 1}"
+            )
+        self._begin_count += 1
+        if self._begin_count == self.n_workers:
+            self._begin_count = 0
+            self._iteration = iteration
+            self.scheduler.begin_iteration(iteration, sched, now)
+
+    def worker_end_iteration(
+        self, worker_id: int, iteration: int, span: float, now: float
+    ) -> None:
+        """A worker crossed its iteration boundary; the scheduler hears the
+        slowest span once all have (the BSP-binding iteration time)."""
+        self._end_count += 1
+        self._end_span = max(self._end_span, span)
+        if self._end_count == self.n_workers:
+            span, self._end_span = self._end_span, 0.0
+            self._end_count = 0
+            self.scheduler.end_iteration(iteration, span, now)
+
+    def worker_gradient_ready(self, worker_id: int, grad: int, now: float) -> None:
+        """A worker flushed ``grad``; it is collectively ready (and hence
+        schedulable) once every worker has."""
+        count = self._ready_counts.get(grad, 0) + 1
+        if count < self.n_workers:
+            self._ready_counts[grad] = count
+            return
+        self._ready_counts[grad] = 0
+        self.scheduler.gradient_ready(grad, now)
+        for worker in self.workers:
+            self.recorder.mark_ready(worker.worker_id, self._iteration, grad, now)
+        self.pump()
+
+    # ------------------------------------------------------------------
+    # Driving the executor
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        if self.executor.busy or self._all_done():
+            return
+        now = self.engine.now
+        unit = self.scheduler.propose_unit(now)
+        if unit is not None:
+            self._send_unit(unit, now)
+        elif self.scheduler.pending_bytes > 0:
+            self._arm_stall_timer()
+
+    def _all_done(self) -> bool:
+        return bool(self.workers) and all(w.done for w in self.workers)
+
+    def _arm_stall_timer(self) -> None:
+        if self._stall_timer is not None and self._stall_timer.alive:
+            return
+        self._stall_timer = self.engine.schedule_after(
+            self._stall_timeout, self._stall_check
+        )
+
+    def _stall_check(self) -> None:
+        self._stall_timer = None
+        if (
+            self._all_done()
+            or self.executor.busy
+            or self.scheduler.pending_bytes <= 0
+        ):
+            return
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.instant(
+                "stall.probe",
+                "sched",
+                self.engine.now,
+                "collective/comm",
+                {"pending_bytes": self.scheduler.pending_bytes},
+            )
+        self.scheduler.grant_probe(self.engine.now)
+        self.pump()
+
+    def _send_unit(self, unit: TransferUnit, now: float) -> None:
+        self.scheduler.commit_unit(unit, now)
+        iteration = self._iteration
+        for seg in unit.segments:
+            if seg.offset <= _TOL:
+                for worker in self.workers:
+                    self.recorder.mark_push_start(
+                        worker.worker_id, iteration, seg.grad, now
+                    )
+        desc: dict[str, object] | None = None
+        if self.engine.trace.enabled:
+            desc = self.scheduler.describe_unit(unit)
+        self.executor.send_unit(
+            unit.total_bytes,
+            tag=("allreduce", iteration),
+            on_complete=partial(self._op_done, iteration, unit, now, desc),
+            extra_time=self.scheduler.unit_sync_rtts * self.executor.tcp.rtt,
+        )
+
+    def _op_done(
+        self,
+        iteration: int,
+        unit: TransferUnit,
+        start: float,
+        desc: dict[str, object] | None,
+    ) -> None:
+        now = self.engine.now
+        trace = self.engine.trace
+        if trace.enabled:
+            trace.complete(
+                f"allreduce i{iteration}",
+                "comm",
+                start,
+                now,
+                "collective/comm",
+                desc if desc is not None else {},
+            )
+        self.scheduler.unit_sent(unit, now)
+        # The reduced result is now resident on every worker: the unit's
+        # bytes count as both pushed and pulled, and credit-based flow
+        # control replenishes as if the PS had mirrored the bytes back.
+        for seg in unit.segments:
+            self.scheduler.pull_completed(seg.grad, seg.nbytes, now)
+        for worker in self.workers:
+            worker._collective_credit(unit, iteration, now)
+        self.pump()
+
+
+class CollectiveWorker(Worker):
+    """Worker whose communication is a negotiated collective (no PS)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        worker_id: int,
+        compute: ComputeProfile,
+        gen_schedule: GenerationSchedule,
+        controller: CollectiveController,
+        recorder: Recorder,
+        n_iterations: int,
+        jitter_rng: np.random.Generator,
+        jitter_std: float = 0.0,
+        compute_scale: float = 1.0,
+        on_done: Callable[[int], None] | None = None,
+    ):
+        # Deliberately does NOT call Worker.__init__ (same pattern as
+        # ShardedWorker): the base constructor wires a private channel,
+        # scheduler and PS, none of which exist here.  Only the compute-
+        # path state the inherited methods read is set up.
+        self.engine = engine
+        self.worker_id = worker_id
+        self.compute = compute
+        self.gen_schedule = gen_schedule
+        self.controller = controller
+        self.recorder = recorder
+        self.n_iterations = n_iterations
+        self._jitter_rng = jitter_rng
+        self._jitter_std = jitter_std
+        self._compute_scale = compute_scale
+        self._on_done = on_done
+
+        grads = gradient_table(compute.model)
+        self._n_grads = len(grads)
+        self._layer_of = [g.layer_index for g in grads]
+        self._layer_tensor_counts = [0] * len(compute.model.layers)
+        for g in grads:
+            self._layer_tensor_counts[g.layer_index] += 1
+        self._total_tensor_count = sum(self._layer_tensor_counts)
+        self._sizes = [float(s) for s in gen_schedule.sizes]
+
+        self._iter = -1
+        self._comm_iter = -1
+        self._factor = 1.0
+        self._fwd_layer = 0
+        self._fwd_chunk_pending = False
+        self._fwd_start_times: list[float] = []
+        self._layer_pending = [0] * len(self._layer_tensor_counts)
+        self._pending_updates = 0
+        self._pulled = [0.0] * self._n_grads
+        self._pushed = [0.0] * self._n_grads
+        self._ready_time: list[float | None] = [None] * self._n_grads
+        self._iter_rec = None
+        self._compute_done = False
+        self._done = False
+        # Never installed for a collective tier; keeps the inherited
+        # ``_schedule_at``/``_schedule_after`` on the ``is None`` fast path.
+        self._faults = None
+        self._suspended = False
+        self._deferred: list = []
+
+        # Base-class aliases for shared helpers and debuggers.
+        self.scheduler = controller.scheduler
+        self.channel = None
+        self.downlink = None
+        self.ps = None
+
+    # ------------------------------------------------------------------
+    # Scheduler fan-out hooks (see Worker): report to the controller
+    # ------------------------------------------------------------------
+    def _sched_begin_iteration(self, iteration: int, sched, now: float) -> None:
+        self.controller.worker_begin_iteration(self.worker_id, iteration, sched, now)
+
+    def _sched_end_iteration(self, iteration: int, span: float, now: float) -> None:
+        self.controller.worker_end_iteration(self.worker_id, iteration, span, now)
+
+    def _sched_gradient_ready(self, grad: int, now: float) -> None:
+        self.controller.worker_gradient_ready(self.worker_id, grad, now)
+
+    def _pump_all(self) -> None:
+        self.controller.pump()
+
+    # ------------------------------------------------------------------
+    # Operation-completion credit (called by the controller)
+    # ------------------------------------------------------------------
+    def _collective_credit(
+        self, unit: TransferUnit, iteration: int, now: float
+    ) -> None:
+        if iteration != self._comm_iter:
+            raise SimulationError(
+                f"worker {self.worker_id} credited for iteration {iteration} "
+                f"while communicating iteration {self._comm_iter}"
+            )
+        forward_was_blocked = (
+            self._fwd_layer < len(self.compute.fwd_times)
+            and not self._fwd_chunk_pending
+        )
+        for seg in unit.segments:
+            self._pushed[seg.grad] += seg.nbytes
+            self._pulled[seg.grad] += seg.nbytes
+            if self._pulled[seg.grad] >= self._sizes[seg.grad] - _TOL:
+                self.recorder.mark_push_end(self.worker_id, iteration, seg.grad, now)
+                self.recorder.mark_pull_end(self.worker_id, iteration, seg.grad, now)
+                layer = self._layer_of[seg.grad]
+                self._layer_pending[layer] -= 1
+                self._pending_updates -= 1
+                if self._layer_pending[layer] < 0:
+                    raise SimulationError(
+                        f"worker {self.worker_id}: layer {layer} over-updated"
+                    )
+        if forward_was_blocked and self._iter == self._comm_iter + 1:
+            self._advance_forward()
+        self._check_done()
+
+    # ------------------------------------------------------------------
+    # Entry points that must not be reached in collective mode
+    # ------------------------------------------------------------------
+    def enqueue_pull(self, pull: PullUnit) -> None:  # pragma: no cover
+        raise SimulationError(
+            "CollectiveWorker has no parameter server to pull from"
+        )
+
+    def crash(self) -> None:  # pragma: no cover
+        raise SimulationError(
+            "fault injection is not supported with the allreduce backend"
+        )
+
+    def restart(self) -> None:  # pragma: no cover
+        raise SimulationError(
+            "fault injection is not supported with the allreduce backend"
+        )

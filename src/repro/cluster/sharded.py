@@ -47,6 +47,7 @@ from repro.metrics.timeline import Recorder
 from repro.models.compute import ComputeProfile
 from repro.models.gradients import gradient_table
 from repro.net.link import Link
+from repro.net.transport import LinkTransport
 from repro.sched.base import CommScheduler, TransferUnit
 
 __all__ = ["ShardedWorker"]
@@ -78,6 +79,7 @@ class _ShardPort:
         self.shard = shard
         self.scheduler = scheduler
         self.channel = channel
+        self.transport = LinkTransport(channel)
         self.downlink = downlink
         self.ps = ps
         #: Local index -> :class:`~repro.cluster.sharding.ShardPiece`.
@@ -241,7 +243,7 @@ class _ShardPort:
         if worker.engine.trace.enabled:
             desc = self.scheduler.describe_unit(unit)
             self._trace_push_spans(unit, desc, now)
-        self.channel.send(
+        self.transport.send_unit(
             unit.total_bytes,
             tag=("push", worker._comm_iter),
             on_complete=partial(self._push_done, worker._comm_iter, unit, now, desc),

@@ -12,6 +12,11 @@ paired.
 from __future__ import annotations
 
 from repro.agg.kvstore import KVStore
+from repro.cluster.collective import (
+    CollectiveController,
+    CollectiveWorker,
+    EffectiveBandwidthView,
+)
 from repro.cluster.ps import ParameterServer
 from repro.cluster.result import TrainingResult
 from repro.cluster.sharded import ShardedWorker
@@ -27,6 +32,12 @@ from repro.faults.injector import FaultInjector
 from repro.metrics.timeline import Recorder
 from repro.models.compute import build_compute_profile
 from repro.models.registry import get_model
+from repro.net.collective import (
+    HierarchicalExecutor,
+    HierarchicalTopology,
+    RingExecutor,
+    RingTopology,
+)
 from repro.net.monitor import BandwidthMonitor
 from repro.net.topology import ShardedTopology, StarTopology
 from repro.sim.engine import Engine
@@ -79,7 +90,9 @@ class Trainer:
         self.schedulers = []
         self.injector: FaultInjector | None = None
         self._done_count = 0
-        if config.n_servers > 1 or force_sharded:
+        if config.backend == "allreduce":
+            self._build_collective(scheduler_factory)
+        elif config.n_servers > 1 or force_sharded:
             self._build_sharded(scheduler_factory)
         else:
             self._build_single(scheduler_factory)
@@ -280,6 +293,88 @@ class Trainer:
             self.servers[s].attach_workers(
                 [worker.port(s) for worker in self.workers]
             )
+
+    def _build_collective(self, scheduler_factory: SchedulerFactory) -> None:
+        """The allreduce tier: a collective topology, one executor, and a
+        single negotiated scheduler instance (see
+        :mod:`repro.cluster.collective`).
+
+        The scheduler factory gets worker 0's context with a bandwidth
+        view scaled by the collective's per-byte cost, so strategies that
+        plan from a bandwidth estimate (Prophet) predict operation times
+        on the ring as accurately as they predict PS pushes.
+        """
+        config = self.config
+        if config.collective == "hierarchical":
+            self.topology = HierarchicalTopology(
+                self.engine,
+                n_workers=config.n_workers,
+                group_size=config.collective_group_size,
+                bandwidth=config.bandwidth,
+                tcp=config.tcp,
+                worker_bandwidth=config.worker_bandwidth,
+                seed=config.seed,
+                noise_std=config.bandwidth_noise_std,
+            )
+            self.executor = HierarchicalExecutor(self.topology)
+            monitor_link = self.topology.local_links[0]
+        else:
+            self.topology = RingTopology(
+                self.engine,
+                n_workers=config.n_workers,
+                bandwidth=config.bandwidth,
+                tcp=config.tcp,
+                worker_bandwidth=config.worker_bandwidth,
+                seed=config.seed,
+                noise_std=config.bandwidth_noise_std,
+            )
+            self.executor = RingExecutor(self.topology)
+            monitor_link = self.topology.links[0]
+        self.ps = None
+        self.servers = []
+
+        monitor = BandwidthMonitor(
+            self.engine, monitor_link, interval=config.monitor_interval
+        )
+        self.monitors.append(monitor)
+        ctx = WorkerContext(
+            worker_id=0,
+            monitor=EffectiveBandwidthView(
+                monitor, self.executor.efficiency_factor
+            ),
+            oracle_profile=self.oracle_profile,
+            tcp=config.tcp,
+            rng=spawn_rng(config.seed, "sched", 0),
+            engine=self.engine,
+        )
+        scheduler = scheduler_factory(ctx)
+        self.schedulers.append(scheduler)
+        self.controller = CollectiveController(
+            self.engine,
+            scheduler,
+            self.executor,
+            self.recorder,
+            n_workers=config.n_workers,
+            stall_timeout=config.sched.stall_timeout,
+        )
+
+        compute_scale = dict(config.worker_compute_scale or {})
+        for w in range(config.n_workers):
+            worker = CollectiveWorker(
+                engine=self.engine,
+                worker_id=w,
+                compute=self.compute,
+                gen_schedule=self.gen_schedule,
+                controller=self.controller,
+                recorder=self.recorder,
+                n_iterations=config.n_iterations,
+                jitter_rng=spawn_rng(config.seed, "jitter", w),
+                jitter_std=config.jitter_std,
+                compute_scale=compute_scale.get(w, 1.0),
+                on_done=self._worker_done,
+            )
+            self.workers.append(worker)
+        self.controller.attach_workers(self.workers)
 
     def _worker_done(self, worker_id: int) -> None:
         self._done_count += 1

@@ -54,6 +54,7 @@ from repro.metrics.timeline import Recorder
 from repro.models.compute import ComputeProfile
 from repro.models.gradients import gradient_table
 from repro.net.link import Link
+from repro.net.transport import LinkTransport, Transport
 from repro.sched.base import CommScheduler, TransferUnit
 from repro.sim.engine import Engine
 
@@ -83,6 +84,7 @@ class Worker:
         on_done: Callable[[int], None] | None = None,
         stall_timeout: float = 5e-3,
         faults=None,
+        transport: Transport | None = None,
     ):
         self.engine = engine
         self.worker_id = worker_id
@@ -90,6 +92,12 @@ class Worker:
         self.gen_schedule = gen_schedule
         self.scheduler = scheduler
         self.channel = channel
+        # Committed push units leave through the transport abstraction;
+        # the default wraps the shared channel and is a pure pass-through
+        # (bit-identical to calling ``channel.send`` directly).
+        self.transport: Transport = (
+            transport if transport is not None else LinkTransport(channel)
+        )
         self.downlink = downlink
         self.ps = ps
         self.recorder = recorder
@@ -517,7 +525,7 @@ class Worker:
             desc = self.scheduler.describe_unit(unit)
             self._trace_push_spans(unit, desc, now)
         if self._faults is None:
-            self.channel.send(
+            self.transport.send_unit(
                 unit.total_bytes,
                 tag=("push", self._comm_iter),
                 on_complete=partial(self._push_done, self._comm_iter, unit, now, desc),

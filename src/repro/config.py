@@ -80,6 +80,20 @@ class TrainingConfig:
     model: str = "resnet50"
     batch_size: int = 64
     n_workers: int = 3
+    #: Communication backend.  ``"ps"`` (default) is the paper's
+    #: parameter-server star (or the sharded tier with ``n_servers > 1``);
+    #: ``"allreduce"`` replaces the PS with a collective tier — a single
+    #: negotiated scheduler instance driving ring (or hierarchical)
+    #: allreduce operations over :mod:`repro.net.collective` topologies.
+    backend: str = "ps"
+    #: Collective topology for ``backend="allreduce"``: ``"ring"`` (flat
+    #: ring, ``2(N-1)`` chunk steps) or ``"hierarchical"`` (two-level
+    #: reduce-scatter / all-gather with ``collective_group_size`` workers
+    #: per group).
+    collective: str = "ring"
+    #: Workers per group of the hierarchical collective; must divide
+    #: ``n_workers``.  Ignored by the flat ring.
+    collective_group_size: int = 2
     #: Number of key-sharded parameter servers.  1 (default) runs the
     #: paper's single-PS star; >1 builds a BytePS-style sharded tier —
     #: a :class:`~repro.net.topology.ShardedTopology` with per-shard
@@ -164,6 +178,52 @@ class TrainingConfig:
                 raise ConfigurationError(
                     "fault injection is not supported with a sharded PS tier "
                     "(n_servers > 1); run faults against the single-PS star"
+                )
+        if self.backend not in ("ps", "allreduce"):
+            raise ConfigurationError(
+                f"backend must be 'ps' or 'allreduce', got {self.backend!r}"
+            )
+        if self.collective not in ("ring", "hierarchical"):
+            raise ConfigurationError(
+                f"collective must be 'ring' or 'hierarchical', "
+                f"got {self.collective!r}"
+            )
+        if self.collective_group_size < 1:
+            raise ConfigurationError(
+                f"collective_group_size must be >= 1, "
+                f"got {self.collective_group_size}"
+            )
+        if self.backend == "allreduce":
+            if self.n_servers > 1:
+                raise ConfigurationError(
+                    "backend='allreduce' has no PS tier; n_servers must be 1"
+                )
+            if self.duplex:
+                raise ConfigurationError(
+                    "backend='allreduce' has no pull direction; duplex "
+                    "links only apply to the PS backend"
+                )
+            if self.ps_bandwidth is not None:
+                raise ConfigurationError(
+                    "ps_bandwidth only applies to the PS backend"
+                )
+            if self.sync_mode != "bsp":
+                raise ConfigurationError(
+                    "the allreduce backend is inherently bulk-synchronous; "
+                    f"sync_mode must be 'bsp', got {self.sync_mode!r}"
+                )
+            if self.faults is not None and not self.faults.is_empty:
+                raise ConfigurationError(
+                    "fault injection is not supported with the allreduce "
+                    "backend; run faults against the PS star"
+                )
+            if (
+                self.collective == "hierarchical"
+                and self.n_workers % self.collective_group_size != 0
+            ):
+                raise ConfigurationError(
+                    f"collective_group_size {self.collective_group_size} "
+                    f"does not divide n_workers {self.n_workers}"
                 )
         if self.worker_compute_scale:
             for w, scale in self.worker_compute_scale.items():

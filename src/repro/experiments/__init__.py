@@ -24,6 +24,7 @@ overhead   Sec. 5.4 — job-profiling and planning overhead
 ablations  design-choice ablations (not in the paper)
 chaos      resilience under faults (crash/flap/drops/stall; not in paper)
 scalability  iteration time vs. PS-tier width (sharded PSs; not in paper)
+collective   Prophet vs MG-WFBP vs FIFO on ring/hierarchical allreduce
 =========  ==========================================================
 """
 
@@ -48,6 +49,7 @@ from repro.experiments import (  # noqa: F401
     dynamic,
     convergence,
     scalability,
+    collective,
 )
 
 __all__ = [
@@ -71,4 +73,5 @@ __all__ = [
     "dynamic",
     "convergence",
     "scalability",
+    "collective",
 ]

@@ -1,0 +1,382 @@
+"""Allreduce collective topologies and their transport executors.
+
+The PS star moves a gradient twice over one worker NIC (push up, pull
+down).  A ring allreduce instead moves it as ``2(N-1)`` pipelined chunk
+steps of ``S/N`` bytes around a ring of worker-to-neighbor links — the
+reduce-scatter then all-gather decomposition — so each worker NIC carries
+``2(N-1)/N · S`` bytes per operation regardless of cluster size.  The
+hierarchical variant splits the ring into ``m`` groups of ``g`` workers
+(``N = m·g``): an intra-group reduce-scatter (``g-1`` steps of ``S/g``),
+an inter-group ring allreduce among the group leaders (``2(m-1)`` steps of
+``S/(g·m)``), and an intra-group all-gather (``g-1`` steps of ``S/g``) —
+fewer inter-node steps at the cost of extra intra-group traffic, the
+classic two-level NCCL/Horovod shape.
+
+Every chunk step is a real message on a real :class:`~repro.net.link.Link`
+through the same TCP model as the PS path: it pays the Eq. 10 handshake +
+slow-start setup unless it rides a warm window (back-to-back steps within
+``warm_threshold`` keep the connection warm, exactly like consecutive PS
+pushes).  Small transfer units therefore suffer the paper's small-message
+penalty **per step**, which makes the tensor-fusion tradeoff the
+MG-WFBP policy optimizes genuinely present in the collective backend.
+
+The executors implement the :class:`~repro.net.transport.Transport`
+interface, so the worker tier hands them scheduler-committed
+:class:`~repro.sched.base.TransferUnit`s exactly as it hands them to a PS
+uplink.  Steps are barrier-synchronized: a step completes when its
+slowest link finishes (synchronous ring semantics), which is how a
+heterogeneous or noisy link slows the whole collective.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.link import BandwidthSchedule, Link
+from repro.net.tcp import TCPParams
+from repro.sim.engine import Engine
+from repro.sim.rng import spawn_rng
+from repro.net.transport import Transport
+
+__all__ = [
+    "RingTopology",
+    "HierarchicalTopology",
+    "RingExecutor",
+    "HierarchicalExecutor",
+]
+
+
+def _worker_schedules(
+    n_workers: int,
+    bandwidth: float | BandwidthSchedule,
+    overrides: Mapping[int, float | BandwidthSchedule],
+) -> list[BandwidthSchedule]:
+    out: list[BandwidthSchedule] = []
+    for w in range(n_workers):
+        b = overrides.get(w, bandwidth)
+        out.append(
+            b if isinstance(b, BandwidthSchedule) else BandwidthSchedule.constant(float(b))
+        )
+    return out
+
+
+class RingTopology:
+    """``n_workers`` in a ring; one next-neighbor link per worker.
+
+    ``links[w]`` is worker ``w``'s transmit link towards worker
+    ``(w+1) % n_workers``.  Chunk steps occupy every ring link at once, so
+    the slowest link paces the collective — the ring analogue of the
+    star's "slowest worker gates BSP".
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_workers: int,
+        bandwidth: float | BandwidthSchedule,
+        tcp: TCPParams | None = None,
+        worker_bandwidth: Mapping[int, float | BandwidthSchedule] | None = None,
+        seed: int | None = 0,
+        noise_std: float = 0.0,
+    ):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        overrides = dict(worker_bandwidth or {})
+        for idx in overrides:
+            if not 0 <= idx < n_workers:
+                raise ConfigurationError(
+                    f"worker_bandwidth override for unknown worker {idx}"
+                )
+        self.engine = engine
+        self.n_workers = n_workers
+        self.tcp = tcp if tcp is not None else TCPParams()
+        self.links: list[Link] = []
+        for w, sched in enumerate(
+            _worker_schedules(n_workers, bandwidth, overrides)
+        ):
+            rng: np.random.Generator | None = None
+            if noise_std > 0:
+                rng = spawn_rng(seed, "link", w, "ring")
+            self.links.append(
+                Link(
+                    engine,
+                    sched,
+                    self.tcp,
+                    name=f"worker{w}-ring",
+                    noise_rng=rng,
+                    noise_std=noise_std,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def ring_link(self, worker: int) -> Link:
+        """Worker ``worker``'s transmit link to its next ring neighbor."""
+        return self.links[worker]
+
+    def worker_uplinks(self, worker: int) -> list[Link]:
+        """All transmit links of ``worker`` (topology-generic accessor)."""
+        return [self.links[worker]]
+
+    def worker_downlinks(self, worker: int) -> list[Link]:
+        """Receive side: ring traffic is accounted on the transmit links
+        (every byte sent is a byte received by the neighbor), so this is
+        empty — mirroring the half-duplex PS accounting."""
+        return []
+
+    def min_bandwidth(self) -> float:
+        """Lowest configured bandwidth on the ring right now (the pace of
+        every barrier-synchronized chunk step)."""
+        return min(link.current_bandwidth() for link in self.links)
+
+
+class HierarchicalTopology:
+    """Two-level ring: ``m`` groups of ``group_size`` workers each.
+
+    Groups are contiguous blocks (group ``i`` holds workers
+    ``[i·g, (i+1)·g)``); worker ``i·g`` is group ``i``'s leader.  Every
+    worker gets a *local* link for the intra-group phases; every leader
+    additionally gets a *global* link for the inter-group ring.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_workers: int,
+        group_size: int,
+        bandwidth: float | BandwidthSchedule,
+        tcp: TCPParams | None = None,
+        worker_bandwidth: Mapping[int, float | BandwidthSchedule] | None = None,
+        seed: int | None = 0,
+        noise_std: float = 0.0,
+    ):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if group_size < 1:
+            raise ConfigurationError(f"group_size must be >= 1, got {group_size}")
+        if n_workers % group_size != 0:
+            raise ConfigurationError(
+                f"group_size {group_size} does not divide n_workers {n_workers}"
+            )
+        overrides = dict(worker_bandwidth or {})
+        for idx in overrides:
+            if not 0 <= idx < n_workers:
+                raise ConfigurationError(
+                    f"worker_bandwidth override for unknown worker {idx}"
+                )
+        self.engine = engine
+        self.n_workers = n_workers
+        self.group_size = group_size
+        self.n_groups = n_workers // group_size
+        self.tcp = tcp if tcp is not None else TCPParams()
+        schedules = _worker_schedules(n_workers, bandwidth, overrides)
+
+        def _mk(w: int, kind: str) -> Link:
+            rng: np.random.Generator | None = None
+            if noise_std > 0:
+                rng = spawn_rng(seed, "link", w, kind)
+            return Link(
+                engine,
+                schedules[w],
+                self.tcp,
+                name=f"worker{w}-{kind}",
+                noise_rng=rng,
+                noise_std=noise_std,
+            )
+
+        #: Intra-group transmit link of every worker.
+        self.local_links: list[Link] = [_mk(w, "local") for w in range(n_workers)]
+        #: Inter-group transmit link of each group leader, group order.
+        self.global_links: list[Link] = [
+            _mk(i * group_size, "global") for i in range(self.n_groups)
+        ]
+
+    # ------------------------------------------------------------------
+    def group_of(self, worker: int) -> int:
+        return worker // self.group_size
+
+    def leader_of(self, group: int) -> int:
+        return group * self.group_size
+
+    def worker_uplinks(self, worker: int) -> list[Link]:
+        """All transmit links of ``worker`` (local; plus global for a
+        group leader)."""
+        links = [self.local_links[worker]]
+        if worker % self.group_size == 0:
+            links.append(self.global_links[worker // self.group_size])
+        return links
+
+    def worker_downlinks(self, worker: int) -> list[Link]:
+        """Receive side — empty, as for :class:`RingTopology`."""
+        return []
+
+    def min_bandwidth(self) -> float:
+        """Lowest configured bandwidth across every collective link."""
+        return min(
+            link.current_bandwidth()
+            for link in (*self.local_links, *self.global_links)
+        )
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class _StepExecutor(Transport):
+    """Shared machinery: run a unit as barrier-synchronized link steps.
+
+    Subclasses provide :meth:`_plan`, the list of ``(links, chunk_bytes)``
+    steps for one operation of ``nbytes``.  Each step launches one chunk
+    send on every participating link; the step's barrier releases when the
+    slowest send finishes, and the next step starts inside that completion
+    callback — so back-to-back steps on the same link are gap-free and the
+    TCP window stays warm, while idle gaps (a busy scheduler, a slow peer
+    phase) cool it down exactly as on the PS path.
+    """
+
+    def __init__(self, engine: Engine, tcp: TCPParams):
+        self.engine = engine
+        self.tcp = tcp
+        self._inflight_tag: object | None = None
+        self._steps: list[tuple[Sequence[Link], float]] = []
+        self._step_idx = 0
+        self._step_pending = 0
+        self._extra_time = 0.0
+        self._on_complete: Callable[[], None] | None = None
+        #: Completed chunk steps across the executor's lifetime (the
+        #: micro-benchmark counts these per wall second).
+        self.steps_completed = 0
+        self.ops_completed = 0
+
+    # -- Transport interface -------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._inflight_tag is not None or self._on_complete is not None
+
+    def send_unit(
+        self,
+        nbytes: float,
+        tag: object = None,
+        on_complete: Callable[[], None] | None = None,
+        extra_time: float = 0.0,
+    ) -> float | None:
+        if self.busy:
+            raise SimulationError("collective executor is busy")
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes!r}")
+        self._steps = self._plan(float(nbytes))
+        self._step_idx = 0
+        self._extra_time = extra_time
+        self._on_complete = on_complete
+        self._inflight_tag = tag
+        if not self._steps:
+            # Single-worker degenerate ring: the allreduce is the identity
+            # and moves no bytes.  Completion still goes through the event
+            # loop (zero simulated time) so callback ordering matches the
+            # multi-worker path.
+            self.engine.schedule(self.engine.now, self._op_done)
+            return self.engine.now
+        self._launch_step()
+        return None
+
+    # -- step machinery -------------------------------------------------
+    def _plan(self, nbytes: float) -> list[tuple[Sequence[Link], float]]:
+        raise NotImplementedError
+
+    def _launch_step(self) -> None:
+        links, chunk = self._steps[self._step_idx]
+        self._step_pending = len(links)
+        tag = self._inflight_tag
+        for link in links:
+            link.send(
+                chunk,
+                tag=tag,
+                on_complete=self._chunk_done,
+                extra_time=self._extra_time,
+            )
+
+    def _chunk_done(self) -> None:
+        self._step_pending -= 1
+        if self._step_pending > 0:
+            return
+        self.steps_completed += 1
+        self._step_idx += 1
+        if self._step_idx < len(self._steps):
+            self._launch_step()
+        else:
+            self._op_done()
+
+    def _op_done(self) -> None:
+        on_complete = self._on_complete
+        self._on_complete = None
+        self._inflight_tag = None
+        self._steps = []
+        self.ops_completed += 1
+        if on_complete is not None:
+            on_complete()
+
+
+class RingExecutor(_StepExecutor):
+    """Flat ring allreduce: ``2(N-1)`` steps of ``S/N`` bytes each."""
+
+    def __init__(self, topology: RingTopology):
+        super().__init__(topology.engine, topology.tcp)
+        self.topology = topology
+
+    @property
+    def efficiency_factor(self) -> float:
+        """Serialized bytes per payload byte on one link: ``2(N-1)/N``.
+
+        Schedulers that plan transfer times from a bandwidth estimate
+        (Prophet) divide the link bandwidth by this factor to get the
+        collective's *effective* per-byte rate.
+        """
+        n = self.topology.n_workers
+        if n == 1:
+            return 0.0
+        return 2.0 * (n - 1) / n
+
+    def _plan(self, nbytes: float) -> list[tuple[Sequence[Link], float]]:
+        n = self.topology.n_workers
+        if n == 1 or nbytes <= 0.0:
+            return []
+        chunk = nbytes / n
+        links = self.topology.links
+        return [(links, chunk)] * (2 * (n - 1))
+
+
+class HierarchicalExecutor(_StepExecutor):
+    """Two-level allreduce: intra reduce-scatter, inter ring, intra
+    all-gather (``2(g-1) + 2(m-1)`` steps total)."""
+
+    def __init__(self, topology: HierarchicalTopology):
+        super().__init__(topology.engine, topology.tcp)
+        self.topology = topology
+
+    @property
+    def efficiency_factor(self) -> float:
+        """Critical-path bytes per payload byte: intra phases move
+        ``2(g-1)/g``, the inter-group ring ``2(m-1)/(g·m)``."""
+        topo = self.topology
+        if topo.n_workers == 1:
+            return 0.0
+        g = topo.group_size
+        m = topo.n_groups
+        return 2.0 * (g - 1) / g + 2.0 * (m - 1) / (g * m)
+
+    def _plan(self, nbytes: float) -> list[tuple[Sequence[Link], float]]:
+        topo = self.topology
+        g = topo.group_size
+        m = topo.n_groups
+        if topo.n_workers == 1 or nbytes <= 0.0:
+            return []
+        steps: list[tuple[Sequence[Link], float]] = []
+        intra = [(topo.local_links, nbytes / g)] * (g - 1)
+        steps.extend(intra)  # reduce-scatter within every group
+        if m > 1:
+            steps.extend(
+                [(topo.global_links, nbytes / (g * m))] * (2 * (m - 1))
+            )
+        steps.extend(intra)  # all-gather within every group
+        return steps

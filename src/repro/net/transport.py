@@ -1,0 +1,97 @@
+"""Abstract transport: the boundary between schedulers and the network.
+
+A :class:`~repro.sched.base.CommScheduler` decides *what* to send and
+*when* (the ordering policy); a :class:`Transport` decides *how* the bytes
+move (the topology mechanics).  The worker tiers sit between the two: they
+drive the scheduler's propose/commit protocol and hand each committed
+:class:`~repro.sched.base.TransferUnit` to a transport as one opaque
+message.  This is the split P3 (arXiv:1905.03960) argues for — priority
+and slicing decisions are orthogonal to the transfer mechanism — and it is
+what lets every scheduler strategy drive either the parameter-server star
+or the allreduce collectives unchanged.
+
+Two families implement the interface:
+
+* :class:`LinkTransport` — the PS path: one serialized
+  :class:`~repro.net.link.Link` carries the unit as a single message
+  (push towards the PS).  A pure pass-through: wrapping a link changes
+  neither timing nor event order, so the PS event sequence is
+  bit-identical to the pre-abstraction worker.
+* The collective executors in :mod:`repro.net.collective` — the unit is
+  transferred as a barrier-synchronized sequence of ring chunk steps
+  across every worker's link at once.
+
+The contract mirrors :meth:`Link.send`: at most one unit may be in flight
+(``busy``), completion is signalled through ``on_complete`` and then the
+transport-level ``on_idle`` callback, and ``extra_time`` charges
+strategy-level blocking synchronization (P3's stop-and-wait) while the
+transport is occupied.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.net.link import Link
+from repro.net.tcp import TCPParams
+
+__all__ = ["Transport", "LinkTransport"]
+
+
+class Transport(ABC):
+    """One-message-at-a-time conduit for committed transfer units."""
+
+    #: TCP path parameters of the underlying channel (schedulers use the
+    #: RTT for their per-message synchronization charges).
+    tcp: TCPParams
+
+    @property
+    @abstractmethod
+    def busy(self) -> bool:
+        """Whether a unit is currently in flight."""
+
+    @abstractmethod
+    def send_unit(
+        self,
+        nbytes: float,
+        tag: object = None,
+        on_complete: Callable[[], None] | None = None,
+        extra_time: float = 0.0,
+    ) -> float | None:
+        """Start transferring one unit of ``nbytes``.
+
+        Returns the completion time when it is known upfront (a single
+        link message), or ``None`` when it is not (a multi-step collective
+        whose barrier times depend on in-flight dynamics).  Callers must
+        not send while ``busy``.
+        """
+
+
+class LinkTransport(Transport):
+    """PS-path transport: the unit is one message on one serialized link.
+
+    Delegation only — the link computes the duration, records the
+    transfer, and fires ``on_complete``/``on_idle`` exactly as it did when
+    the worker called :meth:`Link.send` directly, so a run through this
+    wrapper is bit-identical to one without it.
+    """
+
+    def __init__(self, link: Link):
+        self.link = link
+        self.tcp = link.tcp
+
+    @property
+    def busy(self) -> bool:
+        return self.link.busy
+
+    def send_unit(
+        self,
+        nbytes: float,
+        tag: object = None,
+        on_complete: Callable[[], None] | None = None,
+        extra_time: float = 0.0,
+    ) -> float | None:
+        return self.link.send(
+            nbytes, tag=tag, on_complete=on_complete, extra_time=extra_time
+        )

@@ -1,0 +1,122 @@
+"""Unit tests for the MG-WFBP optimal-merging fusion policy."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.agg.fusion import MGWFBPFusionPolicy
+from repro.errors import ConfigurationError
+from repro.models.compute import build_compute_profile
+from repro.models.gradients import gradient_table
+from repro.net.tcp import TCPParams, transfer_time
+from repro.quantities import Gbps, MB
+
+
+@pytest.fixture
+def tiny_inputs(tiny_model, tiny_device):
+    prof = build_compute_profile(tiny_model, tiny_device, batch_size=8)
+    grads = gradient_table(tiny_model)
+    completions = prof.bwd_completion_times()
+    raw = np.array([completions[g.layer_index] for g in grads])
+    return tiny_model, grads, raw
+
+
+def _assert_partition(buckets, grads):
+    flat = sorted(i for b in buckets for i in b)
+    assert flat == sorted(g.index for g in grads)
+    maxes = [max(b) for b in buckets]
+    assert maxes == sorted(maxes, reverse=True)  # generation order
+
+
+def test_produces_valid_partition(tiny_inputs):
+    model, grads, raw = tiny_inputs
+    policy = MGWFBPFusionPolicy(bandwidth=3 * Gbps)
+    buckets = policy.buckets(model, grads, raw)
+    _assert_partition(buckets, grads)
+    # Each bucket is a contiguous block of the generation order: the
+    # greedy walk never reorders, only cuts.
+    order = [g.index for g in sorted(grads, key=lambda g: -g.index)]
+    flat = [i for b in buckets for i in b]
+    assert flat == order
+
+
+def test_startup_is_cold_single_byte_cost():
+    tcp = TCPParams(rtt=0.5e-3, fixed_overhead=0.2e-3, goodput=0.8)
+    policy = MGWFBPFusionPolicy(tcp=tcp, bandwidth=3 * Gbps)
+    assert policy.startup == pytest.approx(
+        transfer_time(1.0, 3 * Gbps, tcp, warm=False)
+    )
+
+
+def test_bigger_startup_merges_more(tiny_inputs):
+    """A costlier per-message setup can only coarsen the partition."""
+    model, grads, raw = tiny_inputs
+    cheap = TCPParams(rtt=0.01e-3, fixed_overhead=0.0, goodput=1.0)
+    dear = TCPParams(rtt=5e-3, handshake_rtts=2.0, fixed_overhead=2e-3, goodput=0.5)
+    n_cheap = len(MGWFBPFusionPolicy(tcp=cheap, bandwidth=3 * Gbps).buckets(
+        model, grads, raw
+    ))
+    n_dear = len(MGWFBPFusionPolicy(tcp=dear, bandwidth=3 * Gbps).buckets(
+        model, grads, raw
+    ))
+    assert n_dear <= n_cheap
+    assert n_dear < len(grads)  # the dear path actually merged something
+
+
+def test_instant_generation_merges_everything(tiny_inputs):
+    """If every gradient is ready at t=0, one bucket holds the model."""
+    model, grads, _ = tiny_inputs
+    raw = np.zeros(len(grads))
+    policy = MGWFBPFusionPolicy(bandwidth=3 * Gbps)
+    buckets = policy.buckets(model, grads, raw)
+    assert len(buckets) == 1
+
+
+def test_distant_generation_never_merges(tiny_inputs):
+    """Gradients spaced far beyond startup + transfer each stand alone."""
+    model, grads, _ = tiny_inputs
+    # 10 s apart: no bucket could still be waiting on its startup.
+    # raw_times indexed by gradient index; index n-1 generates first.
+    n = len(grads)
+    raw = np.array([(n - 1 - i) * 10.0 for i in range(n)])
+    policy = MGWFBPFusionPolicy(bandwidth=3 * Gbps)
+    buckets = policy.buckets(model, grads, raw)
+    assert len(buckets) == n
+
+
+def test_max_merge_bytes_caps_buckets(tiny_inputs):
+    model, grads, _ = tiny_inputs
+    raw = np.zeros(len(grads))  # maximum merge pressure
+    cap = 4 * MB
+    policy = MGWFBPFusionPolicy(bandwidth=3 * Gbps, max_merge_bytes=cap)
+    sizes = {g.index: g.nbytes for g in grads}
+    for bucket in policy.buckets(model, grads, raw):
+        total = sum(sizes[i] for i in bucket)
+        # A single gradient may exceed the cap (it cannot be split);
+        # merged buckets may not.
+        assert len(bucket) == 1 or total <= cap
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        MGWFBPFusionPolicy(bandwidth=0.0)
+    with pytest.raises(ConfigurationError):
+        MGWFBPFusionPolicy(bandwidth=-1.0)
+    with pytest.raises(ConfigurationError):
+        MGWFBPFusionPolicy(max_merge_bytes=0.0)
+    assert "MGWFBPFusionPolicy" in repr(MGWFBPFusionPolicy())
+
+
+def test_usable_as_agg_policy_end_to_end(tiny_config):
+    """The policy plugs into TrainingConfig.agg_policy on both backends."""
+    from repro.cluster.trainer import run_training
+    from repro.workloads.presets import EXTENDED_FACTORIES
+
+    policy = MGWFBPFusionPolicy(tcp=tiny_config.tcp, bandwidth=tiny_config.bandwidth)
+    for backend in ("ps", "allreduce"):
+        config = replace(tiny_config, agg_policy=policy, backend=backend)
+        result = run_training(config, EXTENDED_FACTORIES["mxnet-fifo"])
+        assert result.training_rate(skip=1) > 0

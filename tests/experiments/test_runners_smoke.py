@@ -130,3 +130,19 @@ def test_scalability_runner():
     # the whole point: widening the PS tier under a per-server NIC cap
     # shortens iterations
     assert rows[1].mean_iteration_s < rows[0].mean_iteration_s
+
+
+def test_collective_runner():
+    from repro.experiments import collective
+
+    rows = collective.run(
+        workloads=(("resnet18", 32),),
+        collectives=("ring",),
+        n_workers=3,
+        n_iterations=N,
+    )
+    assert [r.strategy for r in rows] == list(collective.STRATEGIES)
+    assert all(r.training_rate > 0 for r in rows)
+    by_strategy = {r.strategy: r for r in rows}
+    # the whole point: predictable scheduling beats FIFO on the ring too
+    assert by_strategy["prophet"].training_rate > by_strategy["mxnet-fifo"].training_rate

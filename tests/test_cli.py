@@ -317,3 +317,65 @@ class TestPsTierFlags:
         code = main(["sched", "prophet", "--n-servers", "0"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestBackendFlags:
+    def test_defaults_leave_config_untouched(self):
+        for cmd in ("compare", "sched"):
+            argv = [cmd, "prophet"] if cmd == "sched" else [cmd]
+            args = build_parser().parse_args(argv)
+            assert args.backend == "ps"
+            assert args.collective == "ring"
+            assert args.group_size == 2
+
+    def test_parse_backend_and_collective(self):
+        args = build_parser().parse_args(
+            ["compare", "--backend", "allreduce",
+             "--collective", "hierarchical", "--group-size", "4"]
+        )
+        assert args.backend == "allreduce"
+        assert args.collective == "hierarchical"
+        assert args.group_size == 4
+
+    def test_compare_runs_allreduce(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--gbps", "4",
+                "--workers", "2",
+                "--iterations", "5",
+                "--backend", "allreduce",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ring allreduce" in out
+        assert "prophet" in out and "mg-wfbp" in out
+
+    def test_sched_runs_hierarchical(self, capsys):
+        code = main(
+            [
+                "sched", "prophet",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--gbps", "4",
+                "--workers", "4",
+                "--iterations", "5",
+                "--backend", "allreduce",
+                "--collective", "hierarchical",
+                "--group-size", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "training rate" in out
+        assert "hierarchical allreduce" in out
+
+    def test_allreduce_rejects_ps_tier_flags(self, capsys):
+        code = main(
+            ["compare", "--backend", "allreduce", "--n-servers", "2"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
