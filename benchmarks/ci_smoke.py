@@ -2,8 +2,10 @@
 
 Runs a cut-down Fig. 8 comparison, a chaos resilience run (crash + flap +
 drops + PS stall), a collective-backend comparison (ring + hierarchical
-allreduce), and the substrate micro-benchmarks, and compares a handful of
-key scalars against ``benchmarks/baselines.json``:
+allreduce), the chaos-collective resilience runs (elastic shrink on both
+allreduce topologies plus the sharded tier), and the substrate
+micro-benchmarks, and compares a handful of key scalars against
+``benchmarks/baselines.json``:
 
 * **Deterministic scalars** (simulated training rates) must match the
   baseline within a tight relative tolerance — the simulator is a seeded
@@ -71,6 +73,78 @@ COLLECTIVE_MODEL = ("resnet18", 32)
 COLLECTIVE_ITERATIONS = 8
 COLLECTIVE_WORKERS = 4
 COLLECTIVE_STRATEGIES = ("mxnet-fifo", "mg-wfbp", "prophet")
+
+#: Chaos-collective smoke: the fault cocktail on the allreduce backend
+#: (ring + hierarchical) plus the sharded PS tier.  Gates the elastic
+#: shrink, the straggler watchdog, and per-shard fault delivery: goodput
+#: retained, recovery time and stall amplification are all deterministic
+#: under the seed.
+CHAOS_COLLECTIVE_MODEL = ("resnet18", 32)
+CHAOS_COLLECTIVE_ITERATIONS = 8
+CHAOS_COLLECTIVE_WORKERS = 4
+
+
+def _measure_chaos_collective() -> tuple[dict[str, float], dict[str, float]]:
+    """Resilience scalars beyond the single-PS star (no timing scalars)."""
+    from repro.experiments import chaos
+    from repro.workloads.presets import STRATEGY_FACTORIES
+
+    deterministic: dict[str, float] = {}
+    model, batch = CHAOS_COLLECTIVE_MODEL
+    allreduce_plan = chaos.default_plan(
+        crash_at=1.0,
+        restart_after=0.3,
+        flap_at=2.0,
+        flap_duration=0.5,
+        backend="allreduce",
+    )
+    for collective, strategies in (
+        ("ring", ("prophet", "mxnet-fifo")),
+        ("hierarchical", ("prophet",)),
+    ):
+        res = chaos.run(
+            model=model,
+            batch_size=batch,
+            n_iterations=CHAOS_COLLECTIVE_ITERATIONS,
+            seed=0,
+            plan=allreduce_plan,
+            strategies={s: STRATEGY_FACTORIES[s] for s in strategies},
+            backend="allreduce",
+            collective=collective,
+            group_size=2,
+            n_workers=CHAOS_COLLECTIVE_WORKERS,
+        )
+        for s in strategies:
+            key = f"chaos.{collective}.{s}"
+            deterministic[f"{key}.goodput_retained"] = res.goodput_retained[s]
+            deterministic[f"{key}.recovery_s"] = res.recovery_time[s]
+            deterministic[f"{key}.stall_amplification"] = (
+                res.stall_amplification[s]
+            )
+
+    sharded_res = chaos.run(
+        model=model,
+        batch_size=batch,
+        n_iterations=CHAOS_COLLECTIVE_ITERATIONS,
+        seed=0,
+        plan=chaos.default_plan(
+            crash_at=1.0,
+            restart_after=0.3,
+            flap_at=2.0,
+            flap_duration=0.5,
+            stall_at=3.0,
+            stall_duration=0.2,
+        ),
+        strategies={"prophet": STRATEGY_FACTORIES["prophet"]},
+        n_servers=2,
+    )
+    deterministic["chaos.sharded.prophet.goodput_retained"] = (
+        sharded_res.goodput_retained["prophet"]
+    )
+    deterministic["chaos.sharded.prophet.recovery_s"] = (
+        sharded_res.recovery_time["prophet"]
+    )
+    return deterministic, {}
 
 
 def _measure_collective() -> tuple[dict[str, float], dict[str, float]]:
@@ -151,6 +225,8 @@ def measure(
     """Return (deterministic scalars, timing scalars) for ``suite``."""
     if suite == "collective":
         return _measure_collective()
+    if suite == "chaos-collective":
+        return _measure_chaos_collective()
 
     from repro.experiments import fig8
     from repro.quantities import Gbps
@@ -356,6 +432,9 @@ def measure(
     deterministic.update(collective_det)
     timing.update(collective_timing)
 
+    chaos_collective_det, _ = _measure_chaos_collective()
+    deterministic.update(chaos_collective_det)
+
     return deterministic, timing
 
 
@@ -429,9 +508,12 @@ def main(argv: list[str] | None = None) -> int:
         "or serial); results are identical either way",
     )
     parser.add_argument(
-        "--suite", default="all", choices=("all", "collective"),
+        "--suite", default="all",
+        choices=("all", "collective", "chaos-collective"),
         help="'all' (default) measures everything; 'collective' gates "
-        "only the allreduce-backend scalars (the allreduce-smoke CI job)",
+        "only the allreduce-backend scalars (the allreduce-smoke CI "
+        "job); 'chaos-collective' gates only the resilience scalars "
+        "beyond the single-PS star (the chaos-collective-smoke CI job)",
     )
     parser.add_argument(
         "--report",

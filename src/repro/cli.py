@@ -213,17 +213,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--batch", type=int, default=64)
     chaos.add_argument("--iterations", type=int, default=12)
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--workers", type=int, default=3)
     chaos.add_argument(
         "--crash-at", type=float, default=2.0,
         help="crash worker 1 at this sim time (s)",
     )
     chaos.add_argument(
         "--restart-after", type=float, default=0.5,
-        help="restart the crashed worker after this delay (s)",
+        help="restart the crashed worker after this delay (s); on the "
+        "allreduce backend the rejoin is refused (elastic shrink is "
+        "permanent) and the delay only times the refusal event",
     )
     chaos.add_argument(
         "--drop", type=float, default=0.02,
-        help="per-message drop probability on push/pull/ack legs",
+        help="per-message drop probability on push/pull/ack legs (chunk "
+        "leg on the allreduce backend)",
+    )
+    _add_backend_args(chaos)
+    chaos.add_argument(
+        "--n-servers", type=int, default=1,
+        help="key-sharded parameter servers (PS backend only; default 1)",
     )
 
     bench = sub.add_parser(
@@ -446,6 +455,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         crash_at=args.crash_at,
         restart_after=args.restart_after,
         drop=args.drop,
+        backend=args.backend,
     )
     chaos.main(
         model=args.model,
@@ -453,6 +463,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         n_iterations=args.iterations,
         seed=args.seed,
         plan=plan,
+        backend=args.backend,
+        collective=args.collective,
+        group_size=args.group_size,
+        n_servers=args.n_servers,
+        n_workers=args.workers,
     )
     return 0
 

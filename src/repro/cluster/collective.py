@@ -34,6 +34,25 @@ Prophet all run unchanged, which is the point of the topology/scheduler
 split.  ``pull_completed`` fires per segment at operation completion so
 credit-based flow control (ByteScheduler) replenishes exactly as on the
 PS path, where the PS mirrors every pushed byte back as a pull.
+
+**Fault mode.**  With a :class:`~repro.faults.injector.FaultInjector`
+wired, a worker crash triggers an *elastic shrink* — the collective
+analogue of Horovod Elastic: the in-flight operation is aborted, the
+executor rebuilds its ring over the survivors
+(:meth:`~repro.net.collective._StepExecutor.remove_worker`), the
+scheduler's effective-bandwidth view rescales to the shrunk ring's
+``2(k-1)/k`` cost, and the aborted operation resends over the new ring.
+Negotiation switches from plain counters to report *sets* so a rank that
+dies mid-negotiation cannot wedge the barrier — its removal recounts
+every pending negotiation and fires any that the dead rank was the last
+holdout of.  A crashed rank never rejoins (ring rebuild is a one-way
+door; the restart event logs ``collective.rejoin_refused``), mirroring
+how elastic collectives fold a recovered host back in only at the next
+job-level rendezvous.  Sustained bandwidth collapse needs no new
+machinery: the monitor-fed view sinks, and Prophet's own degradation
+ladder (``prophet.fallback`` trace instants) drops the plan back to
+PS-star-style FIFO ordering.  Without an injector every fault branch is
+behind an ``is None`` check and the event sequence is bit-identical.
 """
 
 from __future__ import annotations
@@ -74,6 +93,11 @@ class EffectiveBandwidthView:
         self._monitor = monitor
         self._factor = factor if factor > 0 else 1.0
 
+    def set_factor(self, factor: float) -> None:
+        """Rescale after an elastic shrink changed the collective's
+        per-byte cost (``2(k-1)/k`` over ``k`` survivors)."""
+        self._factor = factor if factor > 0 else 1.0
+
     @property
     def bandwidth(self) -> float:
         return self._monitor.bandwidth / self._factor
@@ -103,6 +127,8 @@ class CollectiveController:
         recorder: Recorder,
         n_workers: int,
         stall_timeout: float = 5e-3,
+        faults=None,
+        view: "EffectiveBandwidthView | None" = None,
     ):
         self.engine = engine
         self.scheduler = scheduler
@@ -117,6 +143,18 @@ class CollectiveController:
         self._end_count = 0
         self._end_span = 0.0
         self._ready_counts: dict[int, int] = {}
+        # Fault mode: negotiation by report *sets* over the active
+        # membership (a dead rank's removal recounts pending barriers),
+        # plus in-flight-operation tracking for abort-and-resend.
+        self._faults = faults
+        self._view = view
+        self._active: set[int] = set(range(n_workers))
+        self._begin_reports: set[int] = set()
+        self._pending_begin: tuple[int, GenerationSchedule] | None = None
+        self._end_reports: set[int] = set()
+        self._pending_end: int | None = None
+        self._ready_sets: dict[int, set[int]] = {}
+        self._inflight: tuple[int, TransferUnit, dict | None] | None = None
 
     def attach_workers(self, workers: list["CollectiveWorker"]) -> None:
         if len(workers) != self.n_workers:
@@ -146,35 +184,135 @@ class CollectiveController:
                 f"worker {worker_id} reported backward {iteration} while the "
                 f"collective is negotiating iteration {self._iteration + 1}"
             )
-        self._begin_count += 1
-        if self._begin_count == self.n_workers:
-            self._begin_count = 0
-            self._iteration = iteration
-            self.scheduler.begin_iteration(iteration, sched, now)
+        if self._faults is None:
+            self._begin_count += 1
+            if self._begin_count == self.n_workers:
+                self._begin_count = 0
+                self._iteration = iteration
+                self.scheduler.begin_iteration(iteration, sched, now)
+            return
+        self._begin_reports.add(worker_id)
+        self._pending_begin = (iteration, sched)
+        self._maybe_fire_begin(now)
+
+    def _maybe_fire_begin(self, now: float) -> None:
+        if self._pending_begin is None or not self._begin_reports >= self._active:
+            return
+        iteration, sched = self._pending_begin
+        self._pending_begin = None
+        self._begin_reports.clear()
+        self._iteration = iteration
+        self.scheduler.begin_iteration(iteration, sched, now)
 
     def worker_end_iteration(
         self, worker_id: int, iteration: int, span: float, now: float
     ) -> None:
         """A worker crossed its iteration boundary; the scheduler hears the
         slowest span once all have (the BSP-binding iteration time)."""
-        self._end_count += 1
+        if self._faults is None:
+            self._end_count += 1
+            self._end_span = max(self._end_span, span)
+            if self._end_count == self.n_workers:
+                span, self._end_span = self._end_span, 0.0
+                self._end_count = 0
+                self.scheduler.end_iteration(iteration, span, now)
+            return
+        self._end_reports.add(worker_id)
         self._end_span = max(self._end_span, span)
-        if self._end_count == self.n_workers:
-            span, self._end_span = self._end_span, 0.0
-            self._end_count = 0
-            self.scheduler.end_iteration(iteration, span, now)
+        self._pending_end = iteration
+        self._maybe_fire_end(now)
+
+    def _maybe_fire_end(self, now: float) -> None:
+        if self._pending_end is None or not self._end_reports >= self._active:
+            return
+        iteration = self._pending_end
+        self._pending_end = None
+        span, self._end_span = self._end_span, 0.0
+        self._end_reports.clear()
+        self.scheduler.end_iteration(iteration, span, now)
 
     def worker_gradient_ready(self, worker_id: int, grad: int, now: float) -> None:
         """A worker flushed ``grad``; it is collectively ready (and hence
         schedulable) once every worker has."""
-        count = self._ready_counts.get(grad, 0) + 1
-        if count < self.n_workers:
-            self._ready_counts[grad] = count
+        if self._faults is None:
+            count = self._ready_counts.get(grad, 0) + 1
+            if count < self.n_workers:
+                self._ready_counts[grad] = count
+                return
+            self._ready_counts[grad] = 0
+            self.scheduler.gradient_ready(grad, now)
+            for worker in self.workers:
+                self.recorder.mark_ready(worker.worker_id, self._iteration, grad, now)
+            self.pump()
             return
-        self._ready_counts[grad] = 0
+        self._ready_sets.setdefault(grad, set()).add(worker_id)
+        self._maybe_fire_ready(grad, now)
+
+    def _maybe_fire_ready(self, grad: int, now: float) -> None:
+        ready = self._ready_sets.get(grad)
+        if ready is None or not ready >= self._active:
+            return
+        del self._ready_sets[grad]
         self.scheduler.gradient_ready(grad, now)
         for worker in self.workers:
+            if worker.worker_id not in self._active:
+                continue
             self.recorder.mark_ready(worker.worker_id, self._iteration, grad, now)
+        self.pump()
+
+    # ------------------------------------------------------------------
+    # Elastic shrink (fault mode): a rank crashed and leaves for good
+    # ------------------------------------------------------------------
+    def worker_crashed(self, worker_id: int) -> None:
+        """Remove a crashed rank from the collective.
+
+        Aborts the in-flight operation (its chunks are lost), rebuilds
+        the executor's ring over the survivors, rescales the scheduler's
+        effective-bandwidth view, recounts every pending negotiation
+        barrier the dead rank may have been the last holdout of, and
+        resends the aborted operation on the shrunk ring.
+        """
+        faults = self._faults
+        assert faults is not None
+        if worker_id not in self._active:
+            raise SimulationError(
+                f"worker {worker_id} crashed but is not an active member"
+            )
+        resume: tuple[int, TransferUnit, dict | None] | None = None
+        if self.executor.busy and self._inflight is not None:
+            resume = self._inflight
+            self._inflight = None
+            self.executor.abort()
+        self.executor.remove_worker(worker_id)
+        self._active.discard(worker_id)
+        if self._view is not None:
+            self._view.set_factor(self.executor.efficiency_factor)
+        faults.count("shrinks")
+        faults.record(
+            "collective.shrink",
+            "collective/faults",
+            {
+                "worker": worker_id,
+                "active": sorted(self._active),
+                "factor": self.executor.efficiency_factor,
+            },
+        )
+        now = self.engine.now
+        # Resend the aborted (already-committed) operation over the shrunk
+        # ring *before* recounting barriers — a recount may pump, and the
+        # committed unit owns the executor's next slot.
+        if resume is not None:
+            iteration, unit, desc = resume
+            self._launch_unit(iteration, unit, desc, now)
+            faults.record(
+                "collective.resumed",
+                "collective/faults",
+                {"iteration": iteration, "nbytes": unit.total_bytes},
+            )
+        self._maybe_fire_begin(now)
+        for grad in sorted(self._ready_sets):
+            self._maybe_fire_ready(grad, now)
+        self._maybe_fire_end(now)
         self.pump()
 
     # ------------------------------------------------------------------
@@ -226,12 +364,25 @@ class CollectiveController:
         for seg in unit.segments:
             if seg.offset <= _TOL:
                 for worker in self.workers:
+                    if self._faults is not None and worker.worker_id not in self._active:
+                        continue
                     self.recorder.mark_push_start(
                         worker.worker_id, iteration, seg.grad, now
                     )
         desc: dict[str, object] | None = None
         if self.engine.trace.enabled:
             desc = self.scheduler.describe_unit(unit)
+        self._launch_unit(iteration, unit, desc, now)
+
+    def _launch_unit(
+        self,
+        iteration: int,
+        unit: TransferUnit,
+        desc: dict[str, object] | None,
+        now: float,
+    ) -> None:
+        if self._faults is not None:
+            self._inflight = (iteration, unit, desc)
         self.executor.send_unit(
             unit.total_bytes,
             tag=("allreduce", iteration),
@@ -247,6 +398,7 @@ class CollectiveController:
         desc: dict[str, object] | None,
     ) -> None:
         now = self.engine.now
+        self._inflight = None
         trace = self.engine.trace
         if trace.enabled:
             trace.complete(
@@ -264,6 +416,8 @@ class CollectiveController:
         for seg in unit.segments:
             self.scheduler.pull_completed(seg.grad, seg.nbytes, now)
         for worker in self.workers:
+            if self._faults is not None and worker.worker_id not in self._active:
+                continue
             worker._collective_credit(unit, iteration, now)
         self.pump()
 
@@ -284,6 +438,7 @@ class CollectiveWorker(Worker):
         jitter_std: float = 0.0,
         compute_scale: float = 1.0,
         on_done: Callable[[int], None] | None = None,
+        faults=None,
     ):
         # Deliberately does NOT call Worker.__init__ (same pattern as
         # ShardedWorker): the base constructor wires a private channel,
@@ -324,9 +479,10 @@ class CollectiveWorker(Worker):
         self._iter_rec = None
         self._compute_done = False
         self._done = False
-        # Never installed for a collective tier; keeps the inherited
-        # ``_schedule_at``/``_schedule_after`` on the ``is None`` fast path.
-        self._faults = None
+        # ``None`` keeps the inherited ``_schedule_at``/``_schedule_after``
+        # on the ``is None`` fast path; with an injector wired the
+        # compute-event guards enable crash suspension.
+        self._faults = faults
         self._suspended = False
         self._deferred: list = []
 
@@ -350,6 +506,10 @@ class CollectiveWorker(Worker):
 
     def _pump_all(self) -> None:
         self.controller.pump()
+
+    def _clear_pull_attempts(self) -> None:
+        """No per-pull retry state: collective ops carry pushes and pulls
+        in one operation, retried at the chunk level by the executor."""
 
     # ------------------------------------------------------------------
     # Operation-completion credit (called by the controller)
@@ -391,12 +551,34 @@ class CollectiveWorker(Worker):
             "CollectiveWorker has no parameter server to pull from"
         )
 
-    def crash(self) -> None:  # pragma: no cover
-        raise SimulationError(
-            "fault injection is not supported with the allreduce backend"
-        )
+    def crash(self) -> None:
+        """A crashed rank leaves the collective permanently.
 
-    def restart(self) -> None:  # pragma: no cover
-        raise SimulationError(
-            "fault injection is not supported with the allreduce backend"
-        )
+        Ring membership is a one-way door here (rejoin would need a
+        job-level rendezvous — re-splitting chunks, re-warming every
+        link): the controller shrinks the ring over the survivors, this
+        rank's pending compute events are dropped, and the rank counts as
+        done so the surviving BSP group can finish without it.
+        """
+        if self._faults is None:  # pragma: no cover - wiring guard
+            raise SimulationError(
+                "CollectiveWorker.crash() without a fault injector"
+            )
+        if self._done:
+            return
+        self._suspended = True
+        self._deferred.clear()
+        self._done = True
+        self.controller.worker_crashed(self.worker_id)
+        if self._on_done is not None:
+            self._on_done(self.worker_id)
+
+    def restart(self) -> None:
+        """Rejoin is refused: the ring already rebuilt without this rank
+        (see :meth:`crash`); the restart event is logged and ignored."""
+        if self._faults is not None:
+            self._faults.record(
+                "collective.rejoin_refused",
+                f"worker{self.worker_id}/faults",
+                {"worker": self.worker_id},
+            )

@@ -51,6 +51,7 @@ class ParameterServer:
         staleness: int = 2,
         faults=None,
         name: str = "ps",
+        server_index: int | None = None,
     ):
         if sync_mode not in SYNC_MODES:
             raise ConfigurationError(
@@ -74,6 +75,14 @@ class ParameterServer:
         #: pushes arrive through :meth:`deliver_push` with sequence numbers
         #: and pull releases absorb PS-stall windows.
         self._faults = faults
+        #: Shard index in a sharded tier (scopes per-server PS stalls);
+        #: ``None`` on the single-PS star.
+        self.server_index = server_index
+        # ServerCrash outage state: while down, the delivery layer treats
+        # in-flight pushes as lost (workers retry them against the warm
+        # standby once it answers).  Durable (acked) aggregation state
+        # survives the hand-off untouched.
+        self._down = False
         # Reliable-delivery receiver state (fault mode): next sequence
         # number to apply per worker, plus a reorder buffer for messages
         # that arrived ahead of a dropped predecessor.
@@ -99,6 +108,19 @@ class ParameterServer:
         #: pulling worker.  Always 0 under BSP (not recorded).  Feeds the
         #: convergence analysis (:mod:`repro.convergence`).
         self.staleness_samples: list[int] = []
+
+    @property
+    def down(self) -> bool:
+        """True inside a :class:`~repro.faults.plan.ServerCrash` outage."""
+        return self._down
+
+    def fail(self) -> None:
+        """Enter a ServerCrash outage: stop answering pushes."""
+        self._down = True
+
+    def recover(self) -> None:
+        """Warm standby takes over with the durable (acked) state."""
+        self._down = False
 
     def attach_workers(self, workers: list) -> None:
         """Late-bind the worker objects (they need the PS at construction)."""
@@ -276,7 +298,9 @@ class ParameterServer:
         if self._faults is not None:
             # An active PS stall defers the release to the window's end;
             # queued releases keep their relative order (engine tie-break).
-            delay += self._faults.ps_release_delay(self.engine.now)
+            delay += self._faults.ps_release_delay(
+                self.engine.now, self.server_index
+            )
         worker = self._workers[pull.worker]
         self.engine.schedule_after(delay, worker.enqueue_pull, pull)
 

@@ -23,9 +23,19 @@ Synchronization semantics are preserved across shards: each shard PS
 applies BSP/ASP/SSP per piece, and the worker's forward pass for
 iteration ``k+1`` still gates on *all* global parameter updates of
 iteration ``k`` — so global BSP is exactly the conjunction of the
-per-shard BSP conditions.  Fault injection is not supported with a
-sharded tier (the trainer rejects the combination), which keeps every
-port on the fault-free fast path.
+per-shard BSP conditions.
+
+**Fault mode.**  When the trainer wires a
+:class:`~repro.faults.injector.FaultInjector`, every port independently
+runs the :class:`~repro.cluster.worker.ReliableDeliveryMixin` protocol
+against its shard PS: per-port sequence numbers, per-leg drop rolls on
+the port's own duplex links, and per-port retry queues — a drop on one
+shard never delays another shard's traffic.  A worker crash suspends the
+shared compute pipeline once and aborts every port's in-flight transfer;
+a :class:`~repro.faults.plan.ServerCrash` takes one shard PS down, and
+that shard's unacked pushes replay against the warm standby while the
+other shards stream on undisturbed.  With no injector every port stays
+on the fault-free fast path, bit-identical to before.
 """
 
 from __future__ import annotations
@@ -38,10 +48,10 @@ from typing import Callable
 import numpy as np
 
 from repro.agg.kvstore import GenerationSchedule
-from repro.cluster.messages import PullUnit
+from repro.cluster.messages import PullUnit, PushMessage
 from repro.cluster.ps import ParameterServer
 from repro.cluster.sharding import ShardAssignment
-from repro.cluster.worker import Worker
+from repro.cluster.worker import ReliableDeliveryMixin, Worker
 from repro.errors import SimulationError
 from repro.metrics.timeline import Recorder
 from repro.models.compute import ComputeProfile
@@ -55,7 +65,7 @@ __all__ = ["ShardedWorker"]
 _TOL = 1e-9
 
 
-class _ShardPort:
+class _ShardPort(ReliableDeliveryMixin):
     """Communication agent of one worker towards one PS shard.
 
     Mirrors the single-PS worker's channel logic — shared-channel
@@ -63,7 +73,9 @@ class _ShardPort:
     priority-prefix pull batching, and the stall-probe escape hatch — on
     the shard's local index space.  The shard PS calls
     :meth:`enqueue_pull` on the port directly (ports are what
-    ``attach_workers`` receives).
+    ``attach_workers`` receives).  In fault mode each port is an
+    independent reliable-delivery endpoint (its own sequence numbers,
+    retry queue, and drop rolls) sharing the worker's crash state.
     """
 
     def __init__(
@@ -89,9 +101,33 @@ class _ShardPort:
         self._pull_by_priority = (downlink is not None) or not scheduler.fifo_channel
         self._stall_timer = None
         self._track = f"worker{worker.worker_id}/s{shard}"
+        self._init_reliable_state()
         channel.on_idle = self._pump
         if downlink is not None:
             downlink.on_idle = self._pump_downlink
+
+    # ------------------------------------------------------------------
+    # Worker-state delegation (the ReliableDeliveryMixin contract: the
+    # port is a delivery endpoint, crash/suspension state is worker-wide).
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        return self.worker.engine
+
+    @property
+    def worker_id(self) -> int:
+        return self.worker.worker_id
+
+    @property
+    def _faults(self):
+        return self.worker._faults
+
+    @property
+    def _done(self) -> bool:
+        return self.worker._done
+
+    def _schedule_after(self, delay: float, fn, *args):
+        return self.worker._schedule_after(delay, fn, *args)
 
     # ------------------------------------------------------------------
     def enqueue_pull(self, pull: PullUnit) -> None:
@@ -126,6 +162,13 @@ class _ShardPort:
         worker = self.worker
         if worker._done or self.channel.busy:
             return
+        if worker._faults is not None:
+            if worker._suspended:
+                return
+            # Retransmissions go first: they carry the oldest committed
+            # bytes, which every BSP peer is already gated on.
+            if self._transmit_next_retry():
+                return
         now = worker.engine.now
         pull_item = self._pick_pull() if self.downlink is None else None
         push = self.scheduler.propose_unit(now)
@@ -158,6 +201,7 @@ class _ShardPort:
         worker = self.worker
         if (
             worker._done
+            or worker._suspended
             or self.channel.busy
             or self._pull_heap
             or self.scheduler.pending_bytes <= 0
@@ -177,7 +221,13 @@ class _ShardPort:
 
     def _pump_downlink(self) -> None:
         assert self.downlink is not None
-        if self.worker._done or self.downlink.busy or not self._pull_heap:
+        worker = self.worker
+        if (
+            worker._done
+            or worker._suspended
+            or self.downlink.busy
+            or not self._pull_heap
+        ):
             return
         self._send_pull_batch(self.downlink)
 
@@ -215,11 +265,13 @@ class _ShardPort:
                         e for e in self._pull_heap if e not in taken
                     ]
                     heapify(self._pull_heap)
+        if self.worker._faults is not None:
+            self._inflight_pulls[link] = batch
         link.send(
             total,
             tag=("pull", batch[0].iteration),
             on_complete=partial(
-                self._pulls_done, batch, self.worker.engine.now
+                self._pulls_done, link, batch, self.worker.engine.now
             ),
             extra_time=self._unit_sync_time(),
         )
@@ -243,12 +295,22 @@ class _ShardPort:
         if worker.engine.trace.enabled:
             desc = self.scheduler.describe_unit(unit)
             self._trace_push_spans(unit, desc, now)
-        self.transport.send_unit(
-            unit.total_bytes,
-            tag=("push", worker._comm_iter),
-            on_complete=partial(self._push_done, worker._comm_iter, unit, now, desc),
-            extra_time=self._unit_sync_time(),
+        if worker._faults is None:
+            self.transport.send_unit(
+                unit.total_bytes,
+                tag=("push", worker._comm_iter),
+                on_complete=partial(
+                    self._push_done, worker._comm_iter, unit, now, desc
+                ),
+                extra_time=self._unit_sync_time(),
+            )
+            return
+        msg = PushMessage(
+            seq=next(self._push_seq), iteration=worker._comm_iter, unit=unit
         )
+        self._outstanding[msg.seq] = msg
+        self._push_desc[msg.seq] = desc
+        self._transmit_push(msg)
 
     def _trace_push_spans(
         self, unit: TransferUnit, desc: dict[str, object], now: float
@@ -311,12 +373,67 @@ class _ShardPort:
         self.scheduler.unit_sent(unit, now)
         self.ps.receive_push(worker.worker_id, iteration, unit)
 
-    def _pulls_done(self, batch: list[PullUnit], start: float) -> None:
+    def _pulls_done(self, link: Link, batch: list[PullUnit], start: float) -> None:
         worker = self.worker
         now = worker.engine.now
+        if worker._faults is not None:
+            self._inflight_pulls.pop(link, None)
+            if worker._faults.roll_drop("pull", worker.worker_id):
+                self._schedule_pull_retry(batch)
+                return
         for pull in batch:
             self.scheduler.pull_completed(pull.segment.grad, pull.segment.nbytes, now)
         worker._credit_pulls(self, batch, start, now, self._track)
+
+    def _account_push(self, msg: PushMessage, start: float) -> None:
+        """First delivery of a push on this port (fault mode): the
+        fault-free completion bookkeeping, minus the PS hand-off (which
+        :meth:`~repro.cluster.ps.ParameterServer.deliver_push` already
+        performed)."""
+        worker = self.worker
+        now = worker.engine.now
+        if msg.iteration == worker._comm_iter:
+            worker._credit_push(self, msg.unit, msg.iteration, now)
+        trace = worker.engine.trace
+        if trace.enabled:
+            desc = self._push_desc.get(msg.seq)
+            trace.complete(
+                f"push i{msg.iteration}",
+                "comm",
+                start,
+                now,
+                f"{self._track}/comm",
+                desc if desc is not None else {},
+            )
+        self.scheduler.unit_sent(msg.unit, now)
+
+    def abort_for_crash(self) -> None:
+        """Worker crashed: abort this port's in-flight traffic.
+
+        The in-flight push's bytes are lost and the message re-enters the
+        port's retry queue; an in-flight pull batch is re-queued for
+        redelivery.  Mirrors the single-PS worker's crash handling, once
+        per port.
+        """
+        if self._stall_timer is not None:
+            self._stall_timer.cancel()
+            self._stall_timer = None
+        for link in (self.channel, self.downlink):
+            if link is None:
+                continue
+            tag = link.abort()
+            if tag is None:
+                continue
+            kind = tag[0] if isinstance(tag, tuple) else None
+            if kind == "push" and self._inflight_push is not None:
+                self._retry_queue.append(self._inflight_push)
+                self._inflight_push = None
+            elif kind == "pull":
+                batch = self._inflight_pulls.pop(link, None)
+                if batch:
+                    now = self.engine.now
+                    for pull in batch:
+                        self._enqueue_pull_item(pull, now)
 
 
 class ShardedWorker(Worker):
@@ -341,6 +458,7 @@ class ShardedWorker(Worker):
         compute_scale: float = 1.0,
         on_done: Callable[[int], None] | None = None,
         stall_timeout: float = 5e-3,
+        faults=None,
     ):
         # Deliberately does NOT call Worker.__init__: the base constructor
         # wires a single channel/scheduler/PS.  The compute-path state the
@@ -382,10 +500,12 @@ class ShardedWorker(Worker):
         self._compute_done = False
         self._done = False
         self._stall_timeout = stall_timeout
-        # The fault machinery is never installed for a sharded tier; the
-        # inherited ``_schedule_at``/``_schedule_after`` stay on the
-        # ``is None`` fast path.
-        self._faults = None
+        # Crash/suspension state is worker-wide (one compute pipeline);
+        # delivery state lives per port.  Ports read ``_faults`` through
+        # their delegation properties, so this must be set before they are
+        # constructed below.  With no injector the inherited
+        # ``_schedule_at``/``_schedule_after`` stay on the fast path.
+        self._faults = faults
         self._suspended = False
         self._deferred: list = []
 
@@ -449,6 +569,10 @@ class ShardedWorker(Worker):
     def _pump_all(self) -> None:
         for port in self._ports:
             port._pump()
+
+    def _clear_pull_attempts(self) -> None:
+        for port in self._ports:
+            port._pull_attempts.clear()
 
     # ------------------------------------------------------------------
     # Port callbacks: translate local piece indices to global gradients
@@ -522,8 +646,21 @@ class ShardedWorker(Worker):
             "the worker itself — attach_workers got the wrong object"
         )
 
-    def crash(self) -> None:  # pragma: no cover
-        raise SimulationError("fault injection is not supported with n_servers > 1")
+    # ------------------------------------------------------------------
+    # Fault handling: one crash suspends the shared compute pipeline and
+    # aborts every port's in-flight traffic (see Worker.crash).
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        self._suspended = True
+        for port in self._ports:
+            port.abort_for_crash()
 
-    def restart(self) -> None:  # pragma: no cover
-        raise SimulationError("fault injection is not supported with n_servers > 1")
+    def restart(self) -> None:
+        self._suspended = False
+        deferred, self._deferred = self._deferred, []
+        for fn, args in deferred:
+            fn(*args)
+        for port in self._ports:
+            if port.downlink is not None:
+                port._pump_downlink()
+            port._pump()

@@ -47,6 +47,7 @@ __all__ = [
     "ShardPiece",
     "ShardAssignment",
     "assign_shards",
+    "failover_assignment",
     "restrict_generation_schedule",
     "restrict_profile",
 ]
@@ -177,6 +178,65 @@ def assign_shards(
         )
         next_local[shard] += 1
     return ShardAssignment(n_servers=n_servers, pieces=tuple(pieces))
+
+
+def failover_assignment(
+    assignment: ShardAssignment, dead: int
+) -> ShardAssignment:
+    """Redistribute a dead shard's keys over the survivors.
+
+    The live tier handles a :class:`~repro.faults.plan.ServerCrash` with a
+    warm standby (same shard id, same keys), so this helper is *not* on
+    the simulation's hot path; it answers the capacity-planning question
+    chaos reports need: if shard ``dead`` were lost for good, how balanced
+    would the survivors be?  The dead shard's pieces are packed onto the
+    survivors with the same greedy LPT as :func:`assign_shards`, seeded
+    with the survivors' existing loads, so surviving keys never move —
+    only orphans do — and the result is a pure function of the input.
+    Local indices are re-densified per shard in ``(grad, part)`` order;
+    the dead shard keeps its slot in ``by_shard`` but owns nothing.
+    """
+    if not 0 <= dead < assignment.n_servers:
+        raise ConfigurationError(
+            f"dead shard {dead} out of range for a {assignment.n_servers}-"
+            "server tier"
+        )
+    if assignment.n_servers < 2:
+        raise ConfigurationError(
+            "cannot fail over a single-server tier (no survivors)"
+        )
+    heap = [
+        (load, shard)
+        for shard, load in enumerate(assignment.loads)
+        if shard != dead
+    ]
+    heapify(heap)
+    orphans = sorted(
+        (p for p in assignment.pieces if p.shard == dead),
+        key=lambda p: (-p.nbytes, p.grad, p.part),
+    )
+    new_shard_of: dict[tuple[int, int], int] = {}
+    for piece in orphans:
+        load, shard = heappop(heap)
+        new_shard_of[(piece.grad, piece.part)] = shard
+        heappush(heap, (load + piece.nbytes, shard))
+
+    next_local = [0] * assignment.n_servers
+    pieces: list[ShardPiece] = []
+    for piece in assignment.pieces:  # already (grad, part)-sorted
+        shard = new_shard_of.get((piece.grad, piece.part), piece.shard)
+        pieces.append(
+            ShardPiece(
+                grad=piece.grad,
+                part=piece.part,
+                offset=piece.offset,
+                nbytes=piece.nbytes,
+                shard=shard,
+                local=next_local[shard],
+            )
+        )
+        next_local[shard] += 1
+    return ShardAssignment(n_servers=assignment.n_servers, pieces=tuple(pieces))
 
 
 def restrict_generation_schedule(

@@ -98,6 +98,24 @@ class Trainer:
             self._build_single(scheduler_factory)
 
     # ------------------------------------------------------------------
+    def _make_injector(self) -> None:
+        """Instantiate the fault injector iff the plan injects anything.
+
+        Only a non-empty plan creates any fault machinery — with
+        ``self.injector`` left ``None`` every fault branch in the workers,
+        ports, PSs, executors, and controller stays on the ``is None``
+        fast path and the event sequence is bit-identical to a fault-free
+        build, on every backend.
+        """
+        plan = self.config.faults
+        if plan is not None and not plan.is_empty:
+            self.injector = FaultInjector(
+                self.engine,
+                plan,
+                n_workers=self.config.n_workers,
+                rng=spawn_rng(self.config.seed, "faults"),
+            )
+
     def _build_single(self, scheduler_factory: SchedulerFactory) -> None:
         """The paper's topology: one PS, one duplex channel per worker."""
         config = self.config
@@ -111,18 +129,7 @@ class Trainer:
             seed=config.seed,
             noise_std=config.bandwidth_noise_std,
         )
-        # Fault injection: only a non-empty plan instantiates any fault
-        # machinery — with None every fault branch below stays on the
-        # ``is None`` fast path and the event sequence is bit-identical
-        # to a fault-free build.
-        plan = config.faults
-        if plan is not None and not plan.is_empty:
-            self.injector = FaultInjector(
-                self.engine,
-                plan,
-                n_workers=config.n_workers,
-                rng=spawn_rng(config.seed, "faults"),
-            )
+        self._make_injector()
         self.ps = ParameterServer(
             self.engine,
             n_workers=config.n_workers,
@@ -189,6 +196,7 @@ class Trainer:
             self.injector.install(
                 self.workers,
                 {w: self.topology.uplink(w) for w in range(config.n_workers)},
+                servers=self.servers,
             )
 
     # ------------------------------------------------------------------
@@ -214,6 +222,7 @@ class Trainer:
             seed=config.seed,
             noise_std=config.bandwidth_noise_std,
         )
+        self._make_injector()
         self.assignment = assign_shards(
             self.gen_schedule.sizes, n_shards, config.shard_slice_bytes
         )
@@ -230,7 +239,9 @@ class Trainer:
                 update_per_byte=config.ps_update_per_byte,
                 sync_mode=config.sync_mode,
                 staleness=config.ssp_staleness,
+                faults=self.injector,
                 name=f"ps{s}",
+                server_index=s,
             )
             for s in range(n_shards)
         ]
@@ -287,11 +298,23 @@ class Trainer:
                 compute_scale=scale,
                 on_done=self._worker_done,
                 stall_timeout=config.sched.stall_timeout,
+                faults=self.injector,
             )
             self.workers.append(worker)
         for s in range(n_shards):
             self.servers[s].attach_workers(
                 [worker.port(s) for worker in self.workers]
+            )
+        if self.injector is not None:
+            # A flapped worker degrades on every shard uplink at once (its
+            # NIC, not one flow, is what the fault models).
+            self.injector.install(
+                self.workers,
+                {
+                    w: [self.topology.uplink(w, s) for s in range(n_shards)]
+                    for w in range(config.n_workers)
+                },
+                servers=self.servers,
             )
 
     def _build_collective(self, scheduler_factory: SchedulerFactory) -> None:
@@ -332,16 +355,18 @@ class Trainer:
             monitor_link = self.topology.links[0]
         self.ps = None
         self.servers = []
+        self._make_injector()
+        if self.injector is not None:
+            self.executor.set_faults(self.injector)
 
         monitor = BandwidthMonitor(
             self.engine, monitor_link, interval=config.monitor_interval
         )
         self.monitors.append(monitor)
+        view = EffectiveBandwidthView(monitor, self.executor.efficiency_factor)
         ctx = WorkerContext(
             worker_id=0,
-            monitor=EffectiveBandwidthView(
-                monitor, self.executor.efficiency_factor
-            ),
+            monitor=view,
             oracle_profile=self.oracle_profile,
             tcp=config.tcp,
             rng=spawn_rng(config.seed, "sched", 0),
@@ -356,6 +381,8 @@ class Trainer:
             self.recorder,
             n_workers=config.n_workers,
             stall_timeout=config.sched.stall_timeout,
+            faults=self.injector,
+            view=view,
         )
 
         compute_scale = dict(config.worker_compute_scale or {})
@@ -372,9 +399,20 @@ class Trainer:
                 jitter_std=config.jitter_std,
                 compute_scale=compute_scale.get(w, 1.0),
                 on_done=self._worker_done,
+                faults=self.injector,
             )
             self.workers.append(worker)
         self.controller.attach_workers(self.workers)
+        if self.injector is not None:
+            # A flapped worker's whole NIC degrades: every transmit link it
+            # owns (ring; local + global for a leader) flaps together.
+            self.injector.install(
+                self.workers,
+                {
+                    w: self.topology.worker_uplinks(w)
+                    for w in range(config.n_workers)
+                },
+            )
 
     def _worker_done(self, worker_id: int) -> None:
         self._done_count += 1

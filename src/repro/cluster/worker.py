@@ -58,12 +58,164 @@ from repro.net.transport import LinkTransport, Transport
 from repro.sched.base import CommScheduler, TransferUnit
 from repro.sim.engine import Engine
 
-__all__ = ["Worker"]
+__all__ = ["Worker", "ReliableDeliveryMixin"]
 
 _TOL = 1e-9
 
 
-class Worker:
+class ReliableDeliveryMixin:
+    """Sequence-numbered reliable push/pull delivery (fault mode only).
+
+    Shared by the single-PS :class:`Worker` and the sharded tier's
+    per-shard ``_ShardPort`` agents: each host owns one ``channel`` towards
+    one ``ps`` and runs the same protocol — every committed push becomes a
+    :class:`~repro.cluster.messages.PushMessage` with a per-host sequence
+    number, the delivery and acknowledgement legs can each be dropped (or
+    lost wholesale while the PS is inside a
+    :class:`~repro.faults.plan.ServerCrash` outage), and unacknowledged
+    messages retransmit under the plan's exponential-backoff
+    :class:`~repro.cluster.messages.RetryPolicy`.  Lost pull responses
+    re-enter the host's pull queue after the same backoff.
+
+    Hosts provide: ``engine``, ``worker_id``, ``channel``, ``ps``,
+    ``downlink``, ``_faults``, ``_done``, ``_schedule_after``, ``_pump``,
+    ``_pump_downlink``, ``_enqueue_pull_item``, ``_unit_sync_time`` and
+    ``_account_push`` (the host-specific first-delivery bookkeeping), plus
+    the state initialised by :meth:`_init_reliable_state`.
+    """
+
+    def _init_reliable_state(self) -> None:
+        """Per-host delivery state (unused — but cheap — without faults)."""
+        self._push_seq = itertools.count()
+        self._outstanding: dict[int, PushMessage] = {}
+        self._retry_queue: deque[PushMessage] = deque()
+        self._retry_timers: dict[int, object] = {}
+        self._inflight_push: PushMessage | None = None
+        self._inflight_pulls: dict[Link, list[PullUnit]] = {}
+        self._pull_attempts: dict[PullUnit, int] = {}
+        self._push_desc: dict[int, dict[str, object] | None] = {}
+
+    # ------------------------------------------------------------------
+    # Reliable push delivery
+    # ------------------------------------------------------------------
+    def _transmit_next_retry(self) -> bool:
+        """Pop and retransmit the oldest pending retry.  Returns whether a
+        transmission was started (the channel is now busy)."""
+        while self._retry_queue:
+            msg = self._retry_queue.popleft()
+            if msg.acked:
+                continue
+            self._transmit_push(msg)
+            return True
+        return False
+
+    def _transmit_push(self, msg: PushMessage) -> None:
+        msg.attempts += 1
+        self._inflight_push = msg
+        start = self.engine.now
+        self.channel.send(
+            msg.unit.total_bytes,
+            tag=("push", msg.iteration),
+            on_complete=partial(self._push_attempt_done, msg, start),
+            extra_time=self._unit_sync_time(),
+        )
+
+    def _push_attempt_done(self, msg: PushMessage, start: float) -> None:
+        """One transmission finished occupying the link: roll the delivery
+        and acknowledgement legs, apply at most once, arm retries."""
+        self._inflight_push = None
+        assert self._faults is not None
+        if self.ps.down:
+            # ServerCrash outage: the message reaches a dead endpoint and
+            # is lost wholesale; the retransmit finds the warm standby.
+            self._faults.count("lost_pushes")
+            self._arm_retry(msg)
+            return
+        if self._faults.roll_drop("push", self.worker_id):
+            self._arm_retry(msg)
+            return
+        applied = self.ps.deliver_push(
+            self.worker_id, msg.iteration, msg.unit, msg.seq
+        )
+        if applied:
+            msg.delivered = True
+            self._account_push(msg, start)
+        else:
+            self._faults.count("duplicate_pushes")
+        if self._faults.roll_drop("ack", self.worker_id):
+            # Delivered but unacknowledged: the retransmission will reach
+            # the PS as a duplicate and exercise the at-most-once filter.
+            self._arm_retry(msg)
+        else:
+            self._schedule_after(self.channel.tcp.rtt, self._push_acked, msg)
+
+    def _push_acked(self, msg: PushMessage) -> None:
+        if msg.acked:
+            return
+        msg.acked = True
+        self._outstanding.pop(msg.seq, None)
+        self._push_desc.pop(msg.seq, None)
+        timer = self._retry_timers.pop(msg.seq, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _arm_retry(self, msg: PushMessage) -> None:
+        assert self._faults is not None
+        policy = self._faults.retry
+        if msg.attempts > policy.max_retries:
+            raise SimulationError(
+                f"worker {self.worker_id} push seq {msg.seq} exhausted "
+                f"{policy.max_retries} retries (iteration {msg.iteration})"
+            )
+        delay = policy.timeout_for(msg.attempts - 1)
+        self._retry_timers[msg.seq] = self.engine.schedule_after(
+            delay, self._retry_timeout, msg
+        )
+
+    def _retry_timeout(self, msg: PushMessage) -> None:
+        self._retry_timers.pop(msg.seq, None)
+        if msg.acked or self._done:
+            return
+        assert self._faults is not None
+        self._faults.count("push_retries")
+        self._retry_queue.append(msg)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Reliable pull delivery
+    # ------------------------------------------------------------------
+    def _schedule_pull_retry(self, batch: list[PullUnit]) -> None:
+        """A pull response was lost: re-request the whole batch after the
+        policy's backoff (the PS already released it; nothing re-credits)."""
+        assert self._faults is not None
+        policy = self._faults.retry
+        self._faults.count("pull_retries")
+        attempt = 1
+        for pull in batch:
+            n = self._pull_attempts.get(pull, 0) + 1
+            if n > policy.max_retries:
+                raise SimulationError(
+                    f"worker {self.worker_id} pull for gradient "
+                    f"{pull.segment.grad} (iteration {pull.iteration}) "
+                    f"exhausted {policy.max_retries} retries"
+                )
+            self._pull_attempts[pull] = n
+            attempt = max(attempt, n)
+        delay = policy.timeout_for(attempt - 1)
+        self.engine.schedule_after(delay, self._requeue_pulls, batch)
+
+    def _requeue_pulls(self, batch: list[PullUnit]) -> None:
+        if self._done:
+            return
+        now = self.engine.now
+        for pull in batch:
+            self._enqueue_pull_item(pull, now)
+        if self.downlink is not None:
+            self._pump_downlink()
+        self._pump()
+
+
+class Worker(ReliableDeliveryMixin):
     """One worker node of the training cluster."""
 
     def __init__(
@@ -152,14 +304,7 @@ class Worker:
         self._faults = faults
         self._suspended = False
         self._deferred: list[tuple[Callable, tuple]] = []
-        self._push_seq = itertools.count()
-        self._outstanding: dict[int, PushMessage] = {}
-        self._retry_queue: deque[PushMessage] = deque()
-        self._retry_timers: dict[int, object] = {}
-        self._inflight_push: PushMessage | None = None
-        self._inflight_pulls: dict[Link, list[PullUnit]] = {}
-        self._pull_attempts: dict[PullUnit, int] = {}
-        self._push_desc: dict[int, dict[str, object] | None] = {}
+        self._init_reliable_state()
 
     # ------------------------------------------------------------------
     @property
@@ -193,6 +338,11 @@ class Worker:
 
     def _pump_all(self) -> None:
         self._pump()
+
+    def _clear_pull_attempts(self) -> None:
+        """Reset per-pull retry counters at an iteration boundary (fault
+        mode).  The sharded worker fans this out to its ports."""
+        self._pull_attempts.clear()
 
     # ------------------------------------------------------------------
     # Fault handling: crash/restart and deferred-event plumbing
@@ -324,7 +474,7 @@ class Worker:
             self.worker_id, iteration, "bwd", now, now + sched.backward_time
         )
         if self._faults is not None:
-            self._pull_attempts.clear()  # previous iteration fully applied
+            self._clear_pull_attempts()  # previous iteration fully applied
         for bucket in sched.buckets:
             flush_time = float(sched.c[bucket[0]])
             self._schedule_at(now + flush_time, self._bucket_ready, iteration, bucket)
@@ -537,54 +687,6 @@ class Worker:
         self._push_desc[msg.seq] = desc
         self._transmit_push(msg)
 
-    # ------------------------------------------------------------------
-    # Reliable push delivery (fault mode only)
-    # ------------------------------------------------------------------
-    def _transmit_next_retry(self) -> bool:
-        """Pop and retransmit the oldest pending retry.  Returns whether a
-        transmission was started (the channel is now busy)."""
-        while self._retry_queue:
-            msg = self._retry_queue.popleft()
-            if msg.acked:
-                continue
-            self._transmit_push(msg)
-            return True
-        return False
-
-    def _transmit_push(self, msg: PushMessage) -> None:
-        msg.attempts += 1
-        self._inflight_push = msg
-        start = self.engine.now
-        self.channel.send(
-            msg.unit.total_bytes,
-            tag=("push", msg.iteration),
-            on_complete=partial(self._push_attempt_done, msg, start),
-            extra_time=self._unit_sync_time(),
-        )
-
-    def _push_attempt_done(self, msg: PushMessage, start: float) -> None:
-        """One transmission finished occupying the link: roll the delivery
-        and acknowledgement legs, apply at most once, arm retries."""
-        self._inflight_push = None
-        assert self._faults is not None
-        if self._faults.roll_drop("push", self.worker_id):
-            self._arm_retry(msg)
-            return
-        applied = self.ps.deliver_push(
-            self.worker_id, msg.iteration, msg.unit, msg.seq
-        )
-        if applied:
-            msg.delivered = True
-            self._account_push(msg, start)
-        else:
-            self._faults.count("duplicate_pushes")
-        if self._faults.roll_drop("ack", self.worker_id):
-            # Delivered but unacknowledged: the retransmission will reach
-            # the PS as a duplicate and exercise the at-most-once filter.
-            self._arm_retry(msg)
-        else:
-            self._schedule_after(self.channel.tcp.rtt, self._push_acked, msg)
-
     def _account_push(self, msg: PushMessage, start: float) -> None:
         """First delivery of a push: the fault-free completion bookkeeping.
 
@@ -613,38 +715,6 @@ class Worker:
                 desc if desc is not None else {},
             )
         self.scheduler.unit_sent(msg.unit, now)
-
-    def _push_acked(self, msg: PushMessage) -> None:
-        if msg.acked:
-            return
-        msg.acked = True
-        self._outstanding.pop(msg.seq, None)
-        self._push_desc.pop(msg.seq, None)
-        timer = self._retry_timers.pop(msg.seq, None)
-        if timer is not None:
-            timer.cancel()
-
-    def _arm_retry(self, msg: PushMessage) -> None:
-        assert self._faults is not None
-        policy = self._faults.retry
-        if msg.attempts > policy.max_retries:
-            raise SimulationError(
-                f"worker {self.worker_id} push seq {msg.seq} exhausted "
-                f"{policy.max_retries} retries (iteration {msg.iteration})"
-            )
-        delay = policy.timeout_for(msg.attempts - 1)
-        self._retry_timers[msg.seq] = self.engine.schedule_after(
-            delay, self._retry_timeout, msg
-        )
-
-    def _retry_timeout(self, msg: PushMessage) -> None:
-        self._retry_timers.pop(msg.seq, None)
-        if msg.acked or self._done:
-            return
-        assert self._faults is not None
-        self._faults.count("push_retries")
-        self._retry_queue.append(msg)
-        self._pump()
 
     def _trace_push_spans(
         self, unit: TransferUnit, desc: dict[str, object], now: float
@@ -761,36 +831,6 @@ class Worker:
             self._advance_forward()
         self._check_done()
         # Link on_idle already re-pumps the channel.
-
-    def _schedule_pull_retry(self, batch: list[PullUnit]) -> None:
-        """A pull response was lost: re-request the whole batch after the
-        policy's backoff (the PS already released it; nothing re-credits)."""
-        assert self._faults is not None
-        policy = self._faults.retry
-        self._faults.count("pull_retries")
-        attempt = 1
-        for pull in batch:
-            n = self._pull_attempts.get(pull, 0) + 1
-            if n > policy.max_retries:
-                raise SimulationError(
-                    f"worker {self.worker_id} pull for gradient "
-                    f"{pull.segment.grad} (iteration {pull.iteration}) "
-                    f"exhausted {policy.max_retries} retries"
-                )
-            self._pull_attempts[pull] = n
-            attempt = max(attempt, n)
-        delay = policy.timeout_for(attempt - 1)
-        self.engine.schedule_after(delay, self._requeue_pulls, batch)
-
-    def _requeue_pulls(self, batch: list[PullUnit]) -> None:
-        if self._done:
-            return
-        now = self.engine.now
-        for pull in batch:
-            self._enqueue_pull_item(pull, now)
-        if self.downlink is not None:
-            self._pump_downlink()
-        self._pump()
 
     # ------------------------------------------------------------------
     def _check_done(self) -> None:

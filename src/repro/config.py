@@ -172,13 +172,6 @@ class TrainingConfig:
             raise ConfigurationError(
                 f"shard_slice_bytes must be positive, got {self.shard_slice_bytes}"
             )
-        if self.faults is not None:
-            self.faults.validate_workers(self.n_workers)
-            if not self.faults.is_empty and self.n_servers > 1:
-                raise ConfigurationError(
-                    "fault injection is not supported with a sharded PS tier "
-                    "(n_servers > 1); run faults against the single-PS star"
-                )
         if self.backend not in ("ps", "allreduce"):
             raise ConfigurationError(
                 f"backend must be 'ps' or 'allreduce', got {self.backend!r}"
@@ -212,11 +205,6 @@ class TrainingConfig:
                     "the allreduce backend is inherently bulk-synchronous; "
                     f"sync_mode must be 'bsp', got {self.sync_mode!r}"
                 )
-            if self.faults is not None and not self.faults.is_empty:
-                raise ConfigurationError(
-                    "fault injection is not supported with the allreduce "
-                    "backend; run faults against the PS star"
-                )
             if (
                 self.collective == "hierarchical"
                 and self.n_workers % self.collective_group_size != 0
@@ -233,6 +221,14 @@ class TrainingConfig:
                     raise ConfigurationError(
                         f"compute scale must be positive, got {scale} for worker {w}"
                     )
+        if self.faults is not None:
+            # Plan-vs-topology validation (replaces the old blanket
+            # "faults are not supported on this backend" rejections):
+            # every referenced worker/server must exist, and fault kinds
+            # with no counterpart on the backend are configuration errors.
+            self.faults.validate_topology(
+                self.n_workers, n_servers=self.n_servers, backend=self.backend
+            )
 
     def effective_policy(self) -> AggregationPolicy:
         """The aggregation policy, defaulting to module-boundary grouping.

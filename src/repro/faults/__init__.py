@@ -13,6 +13,7 @@ from repro.faults.plan import (
     LinkFlap,
     MessageDrops,
     PSStall,
+    ServerCrash,
     WorkerCrash,
 )
 
@@ -22,6 +23,7 @@ __all__ = [
     "LinkFlap",
     "MessageDrops",
     "PSStall",
+    "ServerCrash",
     "RetryPolicy",
     "FaultInjector",
     "FlappedSchedule",

@@ -17,7 +17,7 @@ experiments' square waves.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -30,8 +30,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["FaultInjector", "FlappedSchedule"]
 
-#: Drop legs the delivery layer may roll for.
-_LEGS = ("push", "pull", "ack")
+#: Drop legs the delivery layer may roll for.  ``chunk`` is the collective
+#: backend's alias for the plan's ``push`` probability: one roll per ring
+#: chunk-step completion, a lost chunk forcing a same-link retransmit.
+_LEGS = ("push", "pull", "ack", "chunk")
 
 
 class FlappedSchedule:
@@ -80,13 +82,21 @@ class FaultInjector:
             "push_drops": 0,
             "pull_drops": 0,
             "ack_drops": 0,
+            "chunk_drops": 0,
             "push_retries": 0,
             "pull_retries": 0,
+            "chunk_retries": 0,
+            "ring_steps": 0,
+            "stalled_steps": 0,
+            "shrinks": 0,
             "duplicate_pushes": 0,
             "crashes": 0,
             "restarts": 0,
             "link_flaps": 0,
             "ps_stalls": 0,
+            "server_crashes": 0,
+            "failovers": 0,
+            "lost_pushes": 0,
         }
         #: ``(time, kind, detail)`` log of every discrete fault event.
         self.log: list[tuple[float, str, dict]] = []
@@ -100,23 +110,38 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def install(self, workers: list, links: Mapping[int, "Link"]) -> None:
+    def install(
+        self,
+        workers: list,
+        links: Mapping[int, "Link | Sequence[Link]"],
+        servers: "Sequence | None" = None,
+    ) -> None:
         """Wrap link schedules and schedule every discrete fault event.
 
         ``workers`` are the cluster's :class:`~repro.cluster.worker.Worker`
-        objects (crash targets); ``links`` maps worker id → uplink (flap
-        targets).  Must be called exactly once, before the engine runs.
+        objects (crash targets); ``links`` maps worker id → uplink or
+        sequence of uplinks (flap targets — on the sharded tier every
+        per-shard duplex uplink of a flapped worker degrades together; on
+        the collective backend the worker's ring/local/global links do).
+        ``servers`` lists the PS tier's
+        :class:`~repro.cluster.ps.ParameterServer` objects, indexed by
+        shard, when the plan contains :class:`ServerCrash` events.  Must be
+        called exactly once, before the engine runs.
         """
         if self._installed:
             raise SimulationError("FaultInjector.install() called twice")
         self._installed = True
-        for worker_id, link in links.items():
+        for worker_id, worker_links in links.items():
             flaps = tuple(
                 f
                 for f in self.plan.flaps
                 if f.worker is None or f.worker == worker_id
             )
-            if flaps:
+            if not flaps:
+                continue
+            if not isinstance(worker_links, (list, tuple)):
+                worker_links = (worker_links,)
+            for link in worker_links:
                 link.schedule = FlappedSchedule(link.schedule, flaps)
         seen_flap_windows = set()
         for flap in self.plan.flaps:
@@ -131,6 +156,17 @@ class FaultInjector:
         for stall in self._stalls:
             self.engine.schedule(stall.at, self._stall_started, stall)
             self.engine.schedule(stall.end, self._stall_ended, stall)
+        if self.plan.server_crashes:
+            if servers is None:
+                raise SimulationError(
+                    "the plan contains server crashes but install() got no "
+                    "servers"
+                )
+            for sc in self.plan.server_crashes:
+                self.engine.schedule(sc.at, self._server_crash, servers[sc.server], sc)
+                self.engine.schedule(
+                    sc.end, self._server_failover, servers[sc.server], sc
+                )
 
     # ------------------------------------------------------------------
     # Queries served to the delivery layer
@@ -144,6 +180,7 @@ class FaultInjector:
         """
         if leg not in _LEGS:
             raise SimulationError(f"unknown drop leg {leg!r}")
+        attr = "push" if leg == "chunk" else leg
         now = self.engine.now
         keep = 1.0
         for spec in self.plan.drops:
@@ -151,7 +188,7 @@ class FaultInjector:
                 continue
             if not spec.start <= now < spec.end:
                 continue
-            keep *= 1.0 - getattr(spec, leg)
+            keep *= 1.0 - getattr(spec, attr)
         p = 1.0 - keep
         if p <= 0.0:
             return False
@@ -161,10 +198,18 @@ class FaultInjector:
             self._record(f"drop.{leg}", f"worker{worker}/faults", {"worker": worker})
         return dropped
 
-    def ps_release_delay(self, now: float) -> float:
+    def ps_release_delay(self, now: float, server: int | None = None) -> float:
         """Extra delay a PS release scheduled at ``now`` must absorb
-        because of an active stall window (0 outside every window)."""
+        because of an active stall window (0 outside every window).
+
+        ``server`` is the releasing PS's shard index; stalls pinned to a
+        different shard are ignored, tier-wide stalls (``server=None`` in
+        the spec) always apply.
+        """
         for stall in self._stalls:
+            if stall.server is not None and server is not None:
+                if stall.server != server:
+                    continue
             if stall.at <= now < stall.end:
                 return stall.end - now
         return 0.0
@@ -211,12 +256,39 @@ class FaultInjector:
 
     def _stall_started(self, stall) -> None:
         self.stats["ps_stalls"] += 1
-        self._record("fault.ps_stall", "ps", {"duration": stall.duration})
+        track = "ps" if stall.server is None else f"ps{stall.server}"
+        self._record(
+            "fault.ps_stall",
+            track,
+            {"duration": stall.duration, "server": stall.server},
+        )
 
     def _stall_ended(self, stall) -> None:
-        self._record("fault.ps_resume", "ps", {})
+        track = "ps" if stall.server is None else f"ps{stall.server}"
+        self._record("fault.ps_resume", track, {"server": stall.server})
+
+    def _server_crash(self, ps, sc) -> None:
+        self.stats["server_crashes"] += 1
+        self._record(
+            "fault.server_crash",
+            ps.name,
+            {"server": sc.server, "failover_after": sc.failover_after},
+        )
+        ps.fail()
+
+    def _server_failover(self, ps, sc) -> None:
+        self.stats["failovers"] += 1
+        self._record("fault.failover", ps.name, {"server": sc.server})
+        ps.recover()
 
     # ------------------------------------------------------------------
+    def record(self, kind: str, track: str, detail: dict) -> None:
+        """Public log/trace hook for recovery events originated *outside*
+        the injector — the collective controller's elastic shrink, the
+        executors' straggler timeouts — so one timeline holds every fault
+        and every recovery action."""
+        self._record(kind, track, detail)
+
     def _record(self, kind: str, track: str, detail: dict) -> None:
         self.log.append((self.engine.now, kind, detail))
         trace = self.engine.trace

@@ -29,6 +29,7 @@ __all__ = [
     "LinkFlap",
     "MessageDrops",
     "PSStall",
+    "ServerCrash",
     "FaultPlan",
 ]
 
@@ -140,11 +141,14 @@ class PSStall:
 
     Aggregation state keeps accumulating — only the *release* of updated
     parameters is deferred to the end of the window, after which queued
-    releases flush in their original order.
+    releases flush in their original order.  On the sharded tier,
+    ``server`` restricts the stall to one shard PS; ``server=None`` stalls
+    the whole tier.
     """
 
     at: float
     duration: float
+    server: int | None = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -153,10 +157,48 @@ class PSStall:
             raise ConfigurationError(
                 f"stall duration must be positive, got {self.duration}"
             )
+        if self.server is not None and self.server < 0:
+            raise ConfigurationError(
+                f"stall server must be >= 0, got {self.server}"
+            )
 
     @property
     def end(self) -> float:
         return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """Shard PS ``server`` goes down at ``at`` and a warm standby takes
+    over ``failover_after`` seconds later.
+
+    Durable state (everything the PS has *acknowledged*) survives the
+    hand-off; pushes arriving inside the outage window are lost and are
+    replayed by the workers' reliable-delivery retry queues once the
+    standby answers.  Pull releases queued during the outage flush at
+    failover, in their original order — the same deferral semantics as a
+    :class:`PSStall`, plus the message loss.
+    """
+
+    server: int
+    at: float
+    failover_after: float
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ConfigurationError(
+                f"crash server must be >= 0, got {self.server}"
+            )
+        if self.at < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+        if self.failover_after <= 0:
+            raise ConfigurationError(
+                f"failover_after must be positive, got {self.failover_after}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.at + self.failover_after
 
 
 @dataclass(frozen=True)
@@ -168,12 +210,13 @@ class FaultPlan:
     flaps: tuple[LinkFlap, ...] = ()
     drops: tuple[MessageDrops, ...] = ()
     ps_stalls: tuple[PSStall, ...] = ()
+    server_crashes: tuple[ServerCrash, ...] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         # Tolerate lists in hand-written plans; normalize to tuples so the
         # plan stays hashable/frozen in spirit.
-        for name in ("crashes", "flaps", "drops", "ps_stalls"):
+        for name in ("crashes", "flaps", "drops", "ps_stalls", "server_crashes"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -185,9 +228,19 @@ class FaultPlan:
                     "one outage per worker per plan is supported"
                 )
             crashed.add(crash.worker)
+        downed: set[int] = set()
+        for sc in self.server_crashes:
+            if sc.server in downed:
+                raise ConfigurationError(
+                    f"multiple crashes for server {sc.server}; "
+                    "one outage per server per plan is supported"
+                )
+            downed.add(sc.server)
         stalls = sorted(self.ps_stalls, key=lambda s: s.at)
         for a, b in zip(stalls, stalls[1:]):
-            if b.at < a.end:
+            if b.at < a.end and (
+                a.server is None or b.server is None or a.server == b.server
+            ):
                 raise ConfigurationError(
                     f"PS stall windows overlap: [{a.at}, {a.end}) and "
                     f"[{b.at}, {b.end})"
@@ -200,6 +253,7 @@ class FaultPlan:
             not self.crashes
             and not self.flaps
             and not self.ps_stalls
+            and not self.server_crashes
             and all(d.is_noop for d in self.drops)
         )
 
@@ -223,3 +277,52 @@ class FaultPlan:
                     f"drop spec references worker {drop.worker} but the "
                     f"cluster has {n_workers} workers"
                 )
+
+    def validate_topology(
+        self, n_workers: int, n_servers: int = 1, backend: str = "ps"
+    ) -> None:
+        """Check the plan against the concrete cluster topology.
+
+        Replaces the old blanket "faults not supported on this backend"
+        rejections: every fault must name an entity that exists in the
+        topology, and faults whose semantics have no counterpart on a
+        backend (PS-leg faults on allreduce) are configuration errors, not
+        silent no-ops.
+        """
+        self.validate_workers(n_workers)
+        if backend == "allreduce":
+            for drop in self.drops:
+                if drop.pull != 0.0 or drop.ack != 0.0:
+                    raise ConfigurationError(
+                        "pull/ack drop probabilities have no meaning on the "
+                        "allreduce backend (there is no PS leg); only "
+                        "``push`` drops apply, as per-chunk ring-step losses"
+                    )
+            if self.ps_stalls:
+                raise ConfigurationError(
+                    "PS stalls have no meaning on the allreduce backend; "
+                    "model a slow rank with a LinkFlap instead"
+                )
+            if self.server_crashes:
+                raise ConfigurationError(
+                    "server crashes have no meaning on the allreduce "
+                    "backend; use WorkerCrash to remove a rank"
+                )
+            if len(self.crashes) >= n_workers:
+                raise ConfigurationError(
+                    "the plan crashes every rank in the collective group; "
+                    "at least one survivor is required"
+                )
+        else:
+            for sc in self.server_crashes:
+                if sc.server >= n_servers:
+                    raise ConfigurationError(
+                        f"server crash references server {sc.server} but "
+                        f"the PS tier has {n_servers} servers"
+                    )
+            for stall in self.ps_stalls:
+                if stall.server is not None and stall.server >= n_servers:
+                    raise ConfigurationError(
+                        f"PS stall references server {stall.server} but "
+                        f"the PS tier has {n_servers} servers"
+                    )

@@ -30,6 +30,7 @@ heterogeneous or noisy link slows the whole collective.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -223,6 +224,17 @@ class HierarchicalTopology:
 # ----------------------------------------------------------------------
 # Executors
 # ----------------------------------------------------------------------
+
+#: Step watchdog: a chunk step is declared stalled once it has run for
+#: this multiple of its expected time (slowest participating link's
+#: estimate at launch).  A flap that bites mid-step, or a dropped chunk
+#: awaiting its retransmit backoff, pushes the step past this bound.
+_STEP_TIMEOUT_FACTOR = 3.0
+#: Straggler mitigation cap: after this many abort-and-resend rounds the
+#: watchdog stops interfering and lets the step drain at link speed.
+_MAX_STEP_RETRIES = 2
+
+
 class _StepExecutor(Transport):
     """Shared machinery: run a unit as barrier-synchronized link steps.
 
@@ -233,6 +245,21 @@ class _StepExecutor(Transport):
     callback — so back-to-back steps on the same link are gap-free and the
     TCP window stays warm, while idle gaps (a busy scheduler, a slow peer
     phase) cool it down exactly as on the PS path.
+
+    **Fault mode** (:meth:`set_faults`) adds three behaviours, all behind
+    ``self._faults is None`` checks so the fault-free event sequence is
+    untouched:
+
+    * every chunk completion rolls the plan's ``push`` drop probability
+      (the ``chunk`` leg); a lost chunk retransmits on the same link after
+      the :class:`~repro.cluster.messages.RetryPolicy` backoff, without
+      releasing the step barrier;
+    * a per-step watchdog detects stragglers — steps exceeding
+      ``_STEP_TIMEOUT_FACTOR ×`` their launch-time estimate — and
+      mitigates with bounded abort-and-resend rounds on the lagging links;
+    * :meth:`remove_worker` (subclasses) shrinks the membership after a
+      rank crash, rebuilding the step plan over the survivors; the
+      in-flight operation must be :meth:`abort`-ed first.
     """
 
     def __init__(self, engine: Engine, tcp: TCPParams):
@@ -248,6 +275,47 @@ class _StepExecutor(Transport):
         #: micro-benchmark counts these per wall second).
         self.steps_completed = 0
         self.ops_completed = 0
+        # Fault mode (inert in fault-free builds).
+        self._faults = None
+        self._owner_of: dict[Link, int] = {}
+        #: Ranks removed by elastic shrink (never rejoin).
+        self.removed: set[int] = set()
+        self._watchdog = None
+        self._step_retries = 0
+        self._chunk_attempts: dict[Link, int] = {}
+        self._resend_timers: dict[Link, object] = {}
+        self._zero_event = None
+
+    def set_faults(self, faults) -> None:
+        """Attach a :class:`~repro.faults.injector.FaultInjector` and build
+        the link→owner map that attributes chunk drops to workers."""
+        self._faults = faults
+        self._owner_of = self._link_owners()
+
+    def _link_owners(self) -> dict[Link, int]:
+        raise NotImplementedError
+
+    def remove_worker(self, worker_id: int) -> None:
+        """Elastic shrink: permanently drop ``worker_id`` from the
+        membership and rebuild future step plans over the survivors.  The
+        executor must be idle (:meth:`abort` any in-flight operation
+        first)."""
+        if self.busy:
+            raise SimulationError(
+                "remove_worker() while an operation is in flight; abort() first"
+            )
+        if worker_id not in self._members:
+            raise SimulationError(
+                f"worker {worker_id} is not an active collective member"
+            )
+        self._members.remove(worker_id)
+        self.removed.add(worker_id)
+        self._shrunk()
+        if self._faults is not None:
+            self._owner_of = self._link_owners()
+
+    def _shrunk(self) -> None:
+        """Subclass hook run after a membership change."""
 
     # -- Transport interface -------------------------------------------
     @property
@@ -275,10 +343,39 @@ class _StepExecutor(Transport):
             # and moves no bytes.  Completion still goes through the event
             # loop (zero simulated time) so callback ordering matches the
             # multi-worker path.
-            self.engine.schedule(self.engine.now, self._op_done)
+            self._zero_event = self.engine.schedule(self.engine.now, self._op_done)
             return self.engine.now
         self._launch_step()
         return None
+
+    def abort(self) -> None:
+        """Abort the in-flight operation (a rank crashed mid-collective).
+
+        Every busy participating link drops its chunk (the bytes are lost,
+        no completion fires), pending chunk retransmits are cancelled, and
+        the executor returns to idle without invoking ``on_complete`` —
+        the caller owns resending the operation over the shrunk ring.
+        """
+        if self._inflight_tag is None and self._on_complete is None:
+            return
+        self._cancel_watchdog()
+        for timer in self._resend_timers.values():
+            timer.cancel()
+        self._resend_timers.clear()
+        self._chunk_attempts.clear()
+        if self._zero_event is not None:
+            self._zero_event.cancel()
+            self._zero_event = None
+        if self._steps:
+            links, _ = self._steps[self._step_idx]
+            for link in links:
+                if link.busy:
+                    link.abort()
+        self._steps = []
+        self._step_idx = 0
+        self._step_pending = 0
+        self._inflight_tag = None
+        self._on_complete = None
 
     # -- step machinery -------------------------------------------------
     def _plan(self, nbytes: float) -> list[tuple[Sequence[Link], float]]:
@@ -288,13 +385,25 @@ class _StepExecutor(Transport):
         links, chunk = self._steps[self._step_idx]
         self._step_pending = len(links)
         tag = self._inflight_tag
+        if self._faults is None:
+            for link in links:
+                link.send(
+                    chunk,
+                    tag=tag,
+                    on_complete=self._chunk_done,
+                    extra_time=self._extra_time,
+                )
+            return
+        self._step_retries = 0
+        self._chunk_attempts.clear()
         for link in links:
             link.send(
                 chunk,
                 tag=tag,
-                on_complete=self._chunk_done,
+                on_complete=partial(self._chunk_done_reliable, link, chunk),
                 extra_time=self._extra_time,
             )
+        self._arm_watchdog(links, chunk)
 
     def _chunk_done(self) -> None:
         self._step_pending -= 1
@@ -312,17 +421,129 @@ class _StepExecutor(Transport):
         self._on_complete = None
         self._inflight_tag = None
         self._steps = []
+        self._zero_event = None
         self.ops_completed += 1
         if on_complete is not None:
             on_complete()
 
+    # -- fault-mode step machinery --------------------------------------
+    def _chunk_done_reliable(self, link: Link, chunk: float) -> None:
+        """Fault-mode chunk completion: roll the drop leg, retransmit a
+        lost chunk on the same link after backoff, else count towards the
+        step barrier."""
+        faults = self._faults
+        assert faults is not None
+        if faults.roll_drop("chunk", self._owner_of.get(link, -1)):
+            attempt = self._chunk_attempts.get(link, 0)
+            self._chunk_attempts[link] = attempt + 1
+            faults.count("chunk_retries")
+            self._resend_timers[link] = self.engine.schedule_after(
+                faults.retry.timeout_for(attempt), self._resend_chunk, link, chunk
+            )
+            return
+        self._chunk_attempts.pop(link, None)
+        self._step_pending -= 1
+        if self._step_pending > 0:
+            return
+        self._cancel_watchdog()
+        faults.count("ring_steps")
+        self.steps_completed += 1
+        self._step_idx += 1
+        if self._step_idx < len(self._steps):
+            self._launch_step()
+        else:
+            self._op_done()
+
+    def _resend_chunk(self, link: Link, chunk: float) -> None:
+        self._resend_timers.pop(link, None)
+        if self._inflight_tag is None:
+            return  # operation aborted while the backoff timer was armed
+        link.send(
+            chunk,
+            tag=self._inflight_tag,
+            on_complete=partial(self._chunk_done_reliable, link, chunk),
+            extra_time=0.0,
+        )
+
+    def _arm_watchdog(self, links: Sequence[Link], chunk: float) -> None:
+        """Arm the straggler timeout for the step just launched: the
+        slowest link's estimate now, scaled by the timeout factor, plus
+        the retry policy's backoff for this mitigation round.  A flap that
+        starts mid-step slows the transfer below the launch-time estimate
+        and trips the timeout — exactly the observable a real straggler
+        detector keys on."""
+        assert self._faults is not None
+        expected = max(link.estimate_time(chunk) for link in links)
+        timeout = (
+            _STEP_TIMEOUT_FACTOR * (expected + self._extra_time)
+            + self._faults.retry.timeout_for(self._step_retries)
+        )
+        self._watchdog = self.engine.schedule_after(
+            timeout, self._step_timeout, self._step_idx
+        )
+
+    def _cancel_watchdog(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+
+    def _step_timeout(self, step_idx: int) -> None:
+        self._watchdog = None
+        if self._inflight_tag is None or step_idx != self._step_idx:
+            return  # stale timer: the op was aborted or the step advanced
+        faults = self._faults
+        assert faults is not None
+        faults.count("stalled_steps")
+        links, chunk = self._steps[self._step_idx]
+        lagging = [link for link in links if link.busy]
+        faults.record(
+            "collective.straggler",
+            "collective/faults",
+            {
+                "step": step_idx,
+                "lagging": sorted(self._owner_of.get(l, -1) for l in lagging),
+                "retries": self._step_retries,
+            },
+        )
+        if self._step_retries >= _MAX_STEP_RETRIES or not lagging:
+            # Mitigation exhausted (or the step is only waiting out a
+            # chunk-retransmit backoff): stop interfering and let the
+            # barrier drain at whatever pace the links manage.
+            return
+        self._step_retries += 1
+        for link in lagging:
+            link.abort()
+            faults.count("chunk_retries")
+            link.send(
+                chunk,
+                tag=self._inflight_tag,
+                on_complete=partial(self._chunk_done_reliable, link, chunk),
+                extra_time=0.0,
+            )
+        self._arm_watchdog(links, chunk)
+
 
 class RingExecutor(_StepExecutor):
-    """Flat ring allreduce: ``2(N-1)`` steps of ``S/N`` bytes each."""
+    """Flat ring allreduce: ``2(N-1)`` steps of ``S/N`` bytes each.
+
+    ``N`` is the *active* membership: after an elastic shrink
+    (:meth:`remove_worker`) the ring rebuilds over the ``k`` survivors —
+    ``2(k-1)`` steps of ``S/k`` on the survivors' links, and the
+    efficiency factor rescales to ``2(k-1)/k``.
+    """
 
     def __init__(self, topology: RingTopology):
         super().__init__(topology.engine, topology.tcp)
         self.topology = topology
+        #: Active ring members, ascending rank order.
+        self._members = list(range(topology.n_workers))
+
+    @property
+    def members(self) -> list[int]:
+        return list(self._members)
+
+    def _link_owners(self) -> dict[Link, int]:
+        return {self.topology.links[w]: w for w in self._members}
 
     @property
     def efficiency_factor(self) -> float:
@@ -332,45 +553,83 @@ class RingExecutor(_StepExecutor):
         (Prophet) divide the link bandwidth by this factor to get the
         collective's *effective* per-byte rate.
         """
-        n = self.topology.n_workers
+        n = len(self._members)
         if n == 1:
             return 0.0
         return 2.0 * (n - 1) / n
 
     def _plan(self, nbytes: float) -> list[tuple[Sequence[Link], float]]:
-        n = self.topology.n_workers
+        members = self._members
+        n = len(members)
         if n == 1 or nbytes <= 0.0:
             return []
         chunk = nbytes / n
-        links = self.topology.links
+        links = [self.topology.links[w] for w in members]
         return [(links, chunk)] * (2 * (n - 1))
 
 
 class HierarchicalExecutor(_StepExecutor):
     """Two-level allreduce: intra reduce-scatter, inter ring, intra
-    all-gather (``2(g-1) + 2(m-1)`` steps total)."""
+    all-gather (``2(g-1) + 2(m-1)`` steps total).
+
+    The two-level shape assumes full groups; a crashed rank punches a
+    hole in its group, so an elastic shrink degrades the executor to a
+    **flat ring over the survivors' local links** — the simple shape that
+    tolerates arbitrary membership, at flat-ring cost ``2(k-1)/k``.
+    """
 
     def __init__(self, topology: HierarchicalTopology):
         super().__init__(topology.engine, topology.tcp)
         self.topology = topology
+        self._members = list(range(topology.n_workers))
+        # Set by the first removal: plan as a flat ring over survivors.
+        self._flat = False
+
+    @property
+    def members(self) -> list[int]:
+        return list(self._members)
+
+    @property
+    def degraded_flat(self) -> bool:
+        """Whether a shrink degraded the two-level shape to a flat ring."""
+        return self._flat
+
+    def _shrunk(self) -> None:
+        self._flat = True
+
+    def _link_owners(self) -> dict[Link, int]:
+        topo = self.topology
+        owners = {topo.local_links[w]: w for w in self._members}
+        for i, link in enumerate(topo.global_links):
+            owners[link] = topo.leader_of(i)
+        return owners
 
     @property
     def efficiency_factor(self) -> float:
         """Critical-path bytes per payload byte: intra phases move
-        ``2(g-1)/g``, the inter-group ring ``2(m-1)/(g·m)``."""
+        ``2(g-1)/g``, the inter-group ring ``2(m-1)/(g·m)`` (flat-ring
+        ``2(k-1)/k`` after an elastic shrink)."""
         topo = self.topology
-        if topo.n_workers == 1:
+        n = len(self._members)
+        if n == 1:
             return 0.0
+        if self._flat:
+            return 2.0 * (n - 1) / n
         g = topo.group_size
         m = topo.n_groups
         return 2.0 * (g - 1) / g + 2.0 * (m - 1) / (g * m)
 
     def _plan(self, nbytes: float) -> list[tuple[Sequence[Link], float]]:
         topo = self.topology
+        n = len(self._members)
+        if n == 1 or nbytes <= 0.0:
+            return []
+        if self._flat:
+            chunk = nbytes / n
+            links = [topo.local_links[w] for w in self._members]
+            return [(links, chunk)] * (2 * (n - 1))
         g = topo.group_size
         m = topo.n_groups
-        if topo.n_workers == 1 or nbytes <= 0.0:
-            return []
         steps: list[tuple[Sequence[Link], float]] = []
         intra = [(topo.local_links, nbytes / g)] * (g - 1)
         steps.extend(intra)  # reduce-scatter within every group

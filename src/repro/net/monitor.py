@@ -59,6 +59,7 @@ class BandwidthMonitor:
         self._noise_std = noise_std
         self._rng = rng
         self.history: deque[tuple[float, float]] = deque(maxlen=max_history)
+        self._last: tuple[float, float] | None = None
         self._stopped = False
         self._sample_event = None
         self._sample()
@@ -71,7 +72,8 @@ class BandwidthMonitor:
         if self._noise_std > 0 and self._rng is not None:
             factor = 1.0 + self._noise_std * float(self._rng.standard_normal())
             value *= min(max(factor, 0.5), 1.5)
-        self.history.append((self.engine.now, value))
+        self._last = (self.engine.now, value)
+        self.history.append(self._last)
         trace = self.engine.trace
         if trace.enabled:
             trace.counter(
@@ -84,21 +86,23 @@ class BandwidthMonitor:
         self._sample_event = self.engine.schedule_after(self.interval, self._sample)
 
     def _latest(self) -> tuple[float, float]:
-        """The most recent sample, enforcing the non-empty invariant.
+        """The most recent sample, surviving an emptied history window.
 
-        The constructor takes an immediate first sample, so ``history`` is
-        only ever empty if a consumer cleared it externally (or a bounded
-        deque was resized underneath a stopped monitor).  Surface that as
-        a diagnosable :class:`SimulationError` instead of a bare
-        ``IndexError`` from the deque.
+        ``history`` can legitimately empty mid-run: a consumer may clear it
+        to reset post-hoc analysis after a link flap, or a bounded deque
+        may be resized underneath a stopped monitor.  The monitor keeps the
+        last sample separately so its *estimate* degrades to the last known
+        value instead of raising mid-run; only a monitor that somehow never
+        sampled at all (impossible through the constructor) raises.
         """
-        if not self.history:
+        if self._last is None:
             raise SimulationError(
                 f"bandwidth monitor for link {self.link.name!r} has no "
-                "samples: its history was cleared externally (the monitor "
-                "always records one sample at construction)"
+                "samples (the monitor always records one at construction)"
             )
-        return self.history[-1]
+        if self.history:
+            return self.history[-1]
+        return self._last
 
     @property
     def bandwidth(self) -> float:

@@ -152,11 +152,21 @@ def test_sharded_monitors_one_per_worker_shard(tiny_config):
 # Rejections
 # ----------------------------------------------------------------------
 
-def test_faults_with_sharded_tier_rejected(tiny_config):
+def test_faults_with_sharded_tier_accepted(tiny_config):
+    # The old blanket rejection is gone: drops on a sharded tier run.
     from repro.faults.plan import FaultPlan, MessageDrops
 
     plan = FaultPlan(drops=[MessageDrops(push=0.1)])
-    with pytest.raises(ConfigurationError, match="fault injection"):
+    config = replace(tiny_config, n_servers=2, faults=plan)
+    result = run_training(config, EXTENDED_FACTORIES["prophet"])
+    assert result.fault_stats is not None
+
+
+def test_server_crash_beyond_tier_rejected(tiny_config):
+    from repro.faults.plan import FaultPlan, ServerCrash
+
+    plan = FaultPlan(server_crashes=[ServerCrash(server=2, at=1.0, failover_after=0.2)])
+    with pytest.raises(ConfigurationError, match="server 2"):
         replace(tiny_config, n_servers=2, faults=plan)
 
 

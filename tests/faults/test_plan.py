@@ -11,6 +11,7 @@ from repro.faults.plan import (
     LinkFlap,
     MessageDrops,
     PSStall,
+    ServerCrash,
     WorkerCrash,
 )
 
@@ -168,3 +169,69 @@ class TestFaultPlan:
             ).validate_workers(2)
         with pytest.raises(ConfigurationError):
             FaultPlan(drops=[MessageDrops(push=0.1, worker=9)]).validate_workers(2)
+
+
+class TestValidateTopology:
+    def test_ps_star_accepts_the_full_cocktail(self):
+        plan = FaultPlan(
+            crashes=[WorkerCrash(worker=0, at=1.0, restart_after=0.1)],
+            drops=[MessageDrops(push=0.1, pull=0.1, ack=0.1)],
+            ps_stalls=[PSStall(at=2.0, duration=0.5)],
+        )
+        plan.validate_topology(n_workers=2)  # no raise
+
+    def test_sharded_tier_checks_server_references(self):
+        plan = FaultPlan(
+            server_crashes=[ServerCrash(server=1, at=1.0, failover_after=0.2)],
+            ps_stalls=[PSStall(at=2.0, duration=0.5, server=1)],
+        )
+        plan.validate_topology(n_workers=2, n_servers=2)  # no raise
+        with pytest.raises(ConfigurationError, match="server 1"):
+            plan.validate_topology(n_workers=2, n_servers=1)
+        stall_only = FaultPlan(ps_stalls=[PSStall(at=2.0, duration=0.5, server=3)])
+        with pytest.raises(ConfigurationError, match="server 3"):
+            stall_only.validate_topology(n_workers=2, n_servers=2)
+
+    def test_allreduce_rejects_ps_leg_faults(self):
+        for plan, fragment in (
+            (FaultPlan(drops=[MessageDrops(pull=0.1)]), "pull/ack"),
+            (FaultPlan(drops=[MessageDrops(ack=0.1)]), "pull/ack"),
+            (FaultPlan(ps_stalls=[PSStall(at=1.0, duration=0.5)]), "stall"),
+            (
+                FaultPlan(
+                    server_crashes=[
+                        ServerCrash(server=0, at=1.0, failover_after=0.2)
+                    ]
+                ),
+                "server crash",
+            ),
+        ):
+            with pytest.raises(ConfigurationError, match=fragment):
+                plan.validate_topology(n_workers=4, backend="allreduce")
+
+    def test_allreduce_accepts_push_drops_and_crashes(self):
+        plan = FaultPlan(
+            crashes=[WorkerCrash(worker=1, at=1.0, restart_after=0.1)],
+            drops=[MessageDrops(push=0.1)],
+            flaps=[LinkFlap(start=2.0, duration=0.5, factor=0.3)],
+        )
+        plan.validate_topology(n_workers=4, backend="allreduce")  # no raise
+
+    def test_allreduce_requires_a_survivor(self):
+        plan = FaultPlan(
+            crashes=[
+                WorkerCrash(worker=0, at=1.0, restart_after=0.1),
+                WorkerCrash(worker=1, at=2.0, restart_after=0.1),
+            ]
+        )
+        with pytest.raises(ConfigurationError, match="survivor"):
+            plan.validate_topology(n_workers=2, backend="allreduce")
+        plan.validate_topology(n_workers=3, backend="allreduce")  # no raise
+
+    def test_worker_references_checked_on_every_backend(self):
+        plan = FaultPlan(
+            crashes=[WorkerCrash(worker=5, at=1.0, restart_after=0.1)]
+        )
+        for backend in ("ps", "allreduce"):
+            with pytest.raises(ConfigurationError, match="worker 5"):
+                plan.validate_topology(n_workers=2, backend=backend)

@@ -196,3 +196,83 @@ class TestFlapAndStall:
         assert result.fault_stats["ps_stalls"] == 1
         assert result.end_time > clean_end_time
         assert_conservation(trainer, tiny_config_module)
+
+
+class TestShardedTier:
+    """The same fault plan semantics, lifted onto the key-sharded tier:
+    per-shard stalls pin to one PS, a server crash loses in-flight pushes
+    until the warm standby answers, and byte conservation holds across
+    the whole tier."""
+
+    @pytest.fixture(scope="class")
+    def sharded_faulty(self, tiny_config_module):
+        from repro.faults.plan import ServerCrash
+
+        plan = FaultPlan(
+            ps_stalls=[PSStall(at=0.4, duration=0.2, server=0)],
+            server_crashes=[
+                ServerCrash(server=1, at=0.9, failover_after=0.4)
+            ],
+            drops=[MessageDrops(push=0.03)],
+        )
+        config = replace(tiny_config_module, n_servers=2, faults=plan)
+        trainer = Trainer(config, fifo_factory())
+        result = trainer.run()
+        return trainer, result, config
+
+    def test_completes_with_all_iterations(self, sharded_faulty):
+        _, result, config = sharded_faulty
+        for w in range(config.n_workers):
+            assert (
+                len(result.recorder.worker_iterations(w))
+                == config.n_iterations
+            )
+
+    def test_tier_conserves_bytes_across_shards(self, sharded_faulty):
+        """Every gradient byte is credited exactly once per
+        worker-iteration across the whole tier, despite drops, the
+        outage's lost pushes and the resulting retransmissions."""
+        trainer, _, config = sharded_faulty
+        total = sum(s.total_push_bytes for s in trainer.servers)
+        expected = (
+            sum(float(s.sizes.sum()) for s in trainer.servers)
+            * config.n_workers
+            * config.n_iterations
+        )
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    def test_per_shard_events_counted_and_logged(self, sharded_faulty):
+        _, result, _ = sharded_faulty
+        stats = result.fault_stats
+        assert stats["ps_stalls"] == 1
+        assert stats["server_crashes"] == 1
+        assert stats["failovers"] == 1
+        kinds = [kind for _, kind, _ in result.fault_log]
+        assert kinds.index("fault.server_crash") < kinds.index("fault.failover")
+
+    def test_outage_loses_pushes_that_reliable_delivery_replays(
+        self, sharded_faulty
+    ):
+        _, result, _ = sharded_faulty
+        stats = result.fault_stats
+        assert stats["lost_pushes"] > 0
+        assert stats["push_retries"] >= stats["lost_pushes"]
+
+    def test_stall_pinned_to_one_shard_leaves_the_other_untouched(
+        self, tiny_config_module
+    ):
+        """A stall on shard 0 defers only shard 0's releases: shard 1's
+        run is bit-identical to the no-fault build."""
+        config = replace(tiny_config_module, n_servers=2)
+        clean = run_training(config, fifo_factory())
+        stalled = run_training(
+            replace(
+                config,
+                faults=FaultPlan(
+                    ps_stalls=[PSStall(at=0.5, duration=0.5, server=0)]
+                ),
+            ),
+            fifo_factory(),
+        )
+        assert stalled.fault_stats["ps_stalls"] == 1
+        assert stalled.end_time > clean.end_time

@@ -161,17 +161,33 @@ def test_prophet_reads_stale_monitor_sample_until_next_tick(
     assert sched.degraded and sched.collapse_detections == 1
 
 
-def test_cleared_history_raises_simulation_error(engine):
+def test_cleared_history_degrades_to_last_estimate(engine):
     """Regression: reading a monitor whose history was cleared externally
-    used to surface a bare ``IndexError``; it now raises a diagnosable
-    :class:`SimulationError` naming the link."""
+    used to surface a bare ``IndexError`` (later a ``SimulationError``);
+    it now degrades gracefully to the last known estimate — a mid-run
+    chaos experiment must not die because an analysis pass emptied the
+    sample window."""
+    link = Link(engine, BandwidthSchedule.constant(1 * Gbps), TCPParams(),
+                name="worker0-up")
+    mon = BandwidthMonitor(engine, link, interval=1.0)
+    before = mon.bandwidth
+    mon.history.clear()
+    assert mon.bandwidth == before
+    assert mon.last_sample_time == 0.0
+    assert mon.sample_age() == 0.0
+
+
+def test_never_sampled_monitor_raises(engine):
+    """Only a monitor that somehow never sampled at all raises (not
+    reachable through the constructor; pins the diagnosable error)."""
     from repro.errors import SimulationError
 
     link = Link(engine, BandwidthSchedule.constant(1 * Gbps), TCPParams(),
                 name="worker0-up")
     mon = BandwidthMonitor(engine, link, interval=1.0)
     mon.history.clear()
+    mon._last = None
     with pytest.raises(SimulationError, match="worker0-up"):
         _ = mon.bandwidth
-    with pytest.raises(SimulationError, match="no samples"):
+    with pytest.raises(SimulationError, match="no\\s+samples"):
         _ = mon.last_sample_time

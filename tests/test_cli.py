@@ -32,6 +32,26 @@ class TestParser:
         assert args.crash_at == 2.0
         assert args.restart_after == 0.5
         assert args.drop == 0.02
+        assert args.backend == "ps"
+        assert args.workers == 3
+        assert args.n_servers == 1
+
+    def test_chaos_accepts_backend_and_tier_flags(self):
+        args = build_parser().parse_args(
+            [
+                "chaos",
+                "--backend", "allreduce",
+                "--collective", "hierarchical",
+                "--group-size", "3",
+                "--workers", "6",
+            ]
+        )
+        assert args.backend == "allreduce"
+        assert args.collective == "hierarchical"
+        assert args.group_size == 3
+        assert args.workers == 6
+        args = build_parser().parse_args(["chaos", "--n-servers", "2"])
+        assert args.n_servers == 2
 
     def test_run_accepts_jobs_and_no_cache(self):
         args = build_parser().parse_args(["run", "fig8", "-j", "4", "--no-cache"])
@@ -174,6 +194,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "goodput retained" in out
         assert "prophet" in out and "mxnet-fifo" in out
+
+    def test_chaos_runs_on_ring_allreduce(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--backend", "allreduce",
+                "--model", "resnet18",
+                "--batch", "16",
+                "--workers", "2",
+                "--iterations", "4",
+                "--crash-at", "0.4",
+                "--restart-after", "0.2",
+                "--drop", "0.03",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stall amp." in out
+        assert "allreduce/ring" in out
 
 
 class TestRunnerCommands:
