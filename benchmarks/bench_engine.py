@@ -6,8 +6,8 @@ These pin the simulator's calendar-queue optimizations:
   trace branch when tracing is off) — guarded by the chained-event
   throughput benchmark;
 * lazy tombstone compaction — the cancellation-heavy churn would
-  otherwise grow the heap (and per-pop cost) linearly in the number of
-  cancels; the benchmark also asserts the heap stays bounded;
+  otherwise grow the calendar (and per-pop cost) linearly in the number
+  of cancels; the benchmark also asserts the queue stays bounded;
 * O(1) ``Engine.pending()`` — previously an O(n) scan per call, which
   made queue-depth trace counters quadratic over a run.
 
@@ -44,27 +44,32 @@ def test_engine_cancellation_churn(benchmark):
     """Cancel-dominated workload: ~10/11 of scheduled events die.
 
     Exercises lazy compaction; the post-run assertion pins the bound —
-    the live heap must stay O(batch), not O(total cancellations).
+    the live queue must stay O(batch), not O(total cancellations).
     """
     n_ticks = 2_000
     batch = 10
+
+    def queued(eng):
+        return sum(len(b) for b in eng._buckets.values()) + (
+            len(eng._active) if eng._active is not None else 0
+        )
 
     def run():
         eng = Engine()
         count = 0
         pending = []
-        peak_heap = 0
+        peak_queued = 0
 
         def noop():
             pass
 
         def tick():
-            nonlocal count, peak_heap
+            nonlocal count, peak_queued
             count += 1
             for ev in pending:
                 ev.cancel()
             pending.clear()
-            peak_heap = max(peak_heap, len(eng._heap))
+            peak_queued = max(peak_queued, queued(eng))
             if count < n_ticks:
                 for _ in range(batch):
                     pending.append(eng.schedule_after(1.0, noop))
@@ -72,18 +77,18 @@ def test_engine_cancellation_churn(benchmark):
 
         eng.schedule(0.0, tick)
         eng.run()
-        return count, peak_heap
+        return count, peak_queued
 
-    count, peak_heap = benchmark(run)
+    count, peak_queued = benchmark(run)
     assert count == n_ticks
     # _COMPACT_MIN_DEAD (64) dead entries may linger between compactions,
     # plus the live batch; anywhere near n_ticks * batch means the
     # tombstones piled up and compaction is broken.
-    assert peak_heap <= 2 * (64 + batch + 1)
+    assert peak_queued <= 2 * (64 + batch + 1)
 
 
 def test_engine_pending_is_cheap(benchmark):
-    """10k ``pending()`` calls against a 10k-event heap.
+    """10k ``pending()`` calls against a 10k-event calendar.
 
     With the O(n) scan this is 100M element visits; the live-counter
     implementation makes it constant per call.

@@ -143,6 +143,111 @@ def test_sharded_link_transfer_pump(benchmark):
     assert benchmark(run) == n_links * per_link
 
 
+def test_fleet_star_transfer_pump(benchmark):
+    """64-worker star pump: every uplink streams through one event loop.
+
+    All links start at t=0 with identical timing, so every completion
+    wave lands 64 events on one timestamp — the same-bucket batch the
+    calendar-queue engine drains without re-sorting.  This is the fleet
+    shape the tombstone heap paid an O(log n) sift per event for.
+    """
+    from repro.net.link import BandwidthSchedule, Link
+
+    n_links = 64
+    per_link = 50
+
+    def run():
+        eng = Engine()
+        links = [
+            Link(eng, BandwidthSchedule.constant(3 * Gbps), TCPParams())
+            for _ in range(n_links)
+        ]
+        counts = [0] * n_links
+
+        def make_pump(idx):
+            def pump():
+                if counts[idx] < per_link:
+                    counts[idx] += 1
+                    links[idx].send(64_000.0, tag=("push", idx, counts[idx]))
+
+            return pump
+
+        for idx, link in enumerate(links):
+            link.on_idle = make_pump(idx)
+            eng.schedule(0.0, link.on_idle)
+        eng.run()
+        return sum(counts)
+
+    assert benchmark(run) == n_links * per_link
+
+
+def test_engine_replan_churn_50pct(benchmark):
+    """Replanning churn: half of each scheduled batch is cancelled.
+
+    A Prophet per-block replan cadence — live and tombstoned events
+    interleave 1:1, stressing lazy compaction at a milder ratio than
+    the 10:1 cancellation churn in bench_engine.
+    """
+    n_ticks = 1_000
+    batch = 8
+
+    def run():
+        eng = Engine()
+        count = 0
+
+        def noop():
+            pass
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < n_ticks:
+                evs = [eng.schedule_after(5e-6, noop) for _ in range(batch)]
+                for ev in evs[::2]:
+                    ev.cancel()
+                eng.schedule_after(1e-5, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+        return count
+
+    assert benchmark(run) == n_ticks
+
+
+def test_hierarchical_allreduce_fleet_pump(benchmark):
+    """64-worker hierarchical allreduce (8 groups of 8), 10 operations.
+
+    Each intra-group step launches 64 same-instant chunk sends — the
+    barrier shape ``send_batch`` coalesces into one drain event.
+    """
+    from repro.net.collective import HierarchicalExecutor, HierarchicalTopology
+
+    n_workers = 64
+    group_size = 8
+    n_ops = 10
+    steps_per_op = 2 * (group_size - 1) + 2 * (n_workers // group_size - 1)
+
+    def run():
+        eng = Engine()
+        topo = HierarchicalTopology(
+            eng, n_workers=n_workers, group_size=group_size, bandwidth=3 * Gbps
+        )
+        executor = HierarchicalExecutor(topo)
+        count = 0
+
+        def pump():
+            nonlocal count
+            if count < n_ops:
+                count += 1
+                executor.send_unit(1e6, tag=("allreduce", count), on_complete=pump)
+
+        eng.schedule(0.0, pump)
+        eng.run()
+        return executor.steps_completed
+
+    assert benchmark(run) == n_ops * steps_per_op
+
+
 def test_ring_allreduce_step_pump(benchmark):
     """Engine-driven back-to-back ring allreduce operations (100 ops).
 

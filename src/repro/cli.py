@@ -274,6 +274,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="allow cached grid results (profiles cache lookups instead of "
         "fresh simulation)",
     )
+    profile.add_argument(
+        "--workers", type=int, default=None,
+        help="profile at this worker count (passed to the experiment as "
+        "n_workers; errors if its entry point has no such knob)",
+    )
+    profile.add_argument(
+        "--n-servers", type=int, default=None,
+        help="profile over a key-sharded PS tier of this size (passed "
+        "through as n_servers)",
+    )
+    profile.add_argument(
+        "--backend", default=None, choices=("ps", "allreduce"),
+        help="profile the given communication backend (passed through)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument(
@@ -510,12 +524,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.profiling import profile_experiment
 
     _validate_choice("experiment", args.experiment, EXPERIMENTS)
+    overrides = {
+        key: value
+        for key, value in (
+            ("n_workers", args.workers),
+            ("n_servers", args.n_servers),
+            ("backend", args.backend),
+        )
+        if value is not None
+    }
     report = profile_experiment(
         args.experiment,
         top=args.top,
         sort=args.sort,
         dump=args.dump,
         use_cache=args.use_cache,
+        overrides=overrides,
     )
     print()
     print(f"profile — {report.experiment}: {report.total_calls:,} calls in "

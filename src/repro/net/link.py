@@ -18,16 +18,15 @@ noise to represent cross-traffic.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, NamedTuple, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.net.tcp import TCPParams, transfer_time
+from repro.net.tcp import TCPParams, _slow_start_table, transfer_time
 from repro.sim.engine import Engine
 
-__all__ = ["BandwidthSchedule", "TransferRecord", "Link"]
+__all__ = ["BandwidthSchedule", "TransferRecord", "Link", "send_batch"]
 
 
 class BandwidthSchedule:
@@ -110,9 +109,12 @@ class BandwidthSchedule:
         return float(np.mean(self._values))
 
 
-@dataclass(frozen=True, slots=True)
-class TransferRecord:
-    """One completed transfer on a link (for timelines and throughput)."""
+class TransferRecord(NamedTuple):
+    """One completed transfer on a link (for timelines and throughput).
+
+    A named tuple rather than a dataclass: one is built per completed
+    transfer, so C-speed construction matters in fleet-scale runs.
+    """
 
     start: float
     end: float
@@ -129,13 +131,10 @@ class TransferRecord:
         return self.nbytes / self.duration if self.duration > 0 else 0.0
 
 
-@dataclass(slots=True)
-class _InFlight:
-    nbytes: float
-    tag: object
-    start: float
-    end: float
-    on_complete: Callable[[], None] | None
+# In-flight transfer state, a plain ``(nbytes, tag, start, end,
+# on_complete)`` tuple: link.py is the only reader, and tuple construction
+# is several times cheaper than a dataclass __init__ on the send hot path.
+_NBYTES, _TAG, _START, _END, _ON_COMPLETE = range(5)
 
 
 class Link:
@@ -164,7 +163,7 @@ class Link:
         self.name = name
         self._noise_rng = noise_rng
         self._noise_std = noise_std
-        self._inflight: _InFlight | None = None
+        self._inflight: tuple | None = None
         self._finish_event = None
         self.records: list[TransferRecord] = []
         self.total_bytes = 0.0
@@ -175,6 +174,25 @@ class Link:
         self._last_end: float | None = None
         # Running busy-time total: O(1) utilization for the trace counter.
         self._busy_accum = 0.0
+        # Hot-path caches: the warm-gap threshold, the pre-bound completion
+        # callback (building a bound method per send is measurable), and the
+        # slow-start table for the bandwidth seen by the last send.  The
+        # table only changes at schedule breakpoints (or every send, under
+        # noise), so this skips the memo-dict lookup that hashes TCPParams.
+        self._warm_threshold = tcp.warm_threshold
+        self._finish_cb = self._finish
+        self._tbl = None
+        self._tbl_bw = -1.0
+        # Constant-schedule hint: most links never change bandwidth, so
+        # their sends can skip the segment lookup entirely.  Keyed by
+        # identity so rebinding ``self.schedule`` (fault injection wraps
+        # it in a FlappedSchedule) silently disables the shortcut.
+        if len(schedule._times) == 1:
+            self._const_sched = schedule
+            self._const_bw = schedule._values[0]
+        else:
+            self._const_sched = None
+            self._const_bw = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -187,7 +205,7 @@ class Link:
         """Completion time of the in-flight transfer (``now`` if idle)."""
         if self._inflight is None:
             return self.engine.now
-        return self._inflight.end
+        return self._inflight[_END]
 
     def current_bandwidth(self) -> float:
         """Available (configured) bandwidth right now, before TCP effects."""
@@ -225,24 +243,69 @@ class Link:
         """
         if self._inflight is not None:
             raise SimulationError(
-                f"link {self.name!r} is busy until t={self._inflight.end:.6f}"
+                f"link {self.name!r} is busy until t={self._inflight[_END]:.6f}"
             )
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes!r}")
         if extra_time < 0:
             raise SimulationError(f"negative extra_time {extra_time!r}")
-        bandwidth = self.current_bandwidth()
+        engine = self.engine
+        start = engine._now
+        sched = self.schedule
+        bandwidth = (
+            self._const_bw if sched is self._const_sched else sched.value(start)
+        )
         if self._noise_rng is not None and self._noise_std > 0:
             factor = 1.0 + self._noise_std * float(self._noise_rng.standard_normal())
             bandwidth *= min(max(factor, 0.1), 2.0)
-        duration = (
-            float(transfer_time(nbytes, bandwidth, self.tcp, warm=self._is_warm()))
-            + extra_time
-        )
-        start = self.engine.now
+        # Inlined transfer_time(): schedule validation guarantees a positive
+        # bandwidth, and nbytes was checked above, so the scalar fast path
+        # reduces to one table replay.  Same IEEE-754 sequence as the
+        # wrapper — durations are bit-identical.
+        if bandwidth != self._tbl_bw:
+            self._tbl = _slow_start_table(bandwidth, self.tcp)
+            self._tbl_bw = bandwidth
+        last_end = self._last_end
+        warm = last_end is not None and (start - last_end) <= self._warm_threshold
+        duration = self._tbl.transfer_time(nbytes, warm) + extra_time
         end = start + duration
-        self._inflight = _InFlight(nbytes, tag, start, end, on_complete)
-        self._finish_event = self.engine.schedule(end, self._finish)
+        self._inflight = (nbytes, tag, start, end, on_complete)
+        self._finish_event = engine.schedule(end, self._finish_cb)
+        return end
+
+    def _start(
+        self,
+        nbytes: float,
+        tag: object,
+        on_complete: Callable[[], None] | None,
+        extra_time: float,
+    ) -> float:
+        """:meth:`send` minus the completion event — :func:`send_batch`
+        defers scheduling so same-instant completions share one event."""
+        if self._inflight is not None:
+            raise SimulationError(
+                f"link {self.name!r} is busy until t={self._inflight[_END]:.6f}"
+            )
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes!r}")
+        if extra_time < 0:
+            raise SimulationError(f"negative extra_time {extra_time!r}")
+        start = self.engine._now
+        sched = self.schedule
+        bandwidth = (
+            self._const_bw if sched is self._const_sched else sched.value(start)
+        )
+        if self._noise_rng is not None and self._noise_std > 0:
+            factor = 1.0 + self._noise_std * float(self._noise_rng.standard_normal())
+            bandwidth *= min(max(factor, 0.1), 2.0)
+        if bandwidth != self._tbl_bw:
+            self._tbl = _slow_start_table(bandwidth, self.tcp)
+            self._tbl_bw = bandwidth
+        last_end = self._last_end
+        warm = last_end is not None and (start - last_end) <= self._warm_threshold
+        end = start + self._tbl.transfer_time(nbytes, warm) + extra_time
+        self._inflight = (nbytes, tag, start, end, on_complete)
+        self._finish_event = None
         return end
 
     def abort(self) -> object | None:
@@ -269,25 +332,23 @@ class Link:
                 "fault",
                 self.engine.now,
                 f"net/{self.name}",
-                {"nbytes": inflight.nbytes, "started": inflight.start},
+                {"nbytes": inflight[_NBYTES], "started": inflight[_START]},
             )
-        return inflight.tag
+        return inflight[_TAG]
 
     def _finish(self) -> None:
         inflight = self._inflight
         if inflight is None:  # pragma: no cover - defensive
             raise SimulationError(f"link {self.name!r} finished with no transfer")
+        nbytes, tag, start, end, on_complete = inflight
         self._inflight = None
         self._finish_event = None
-        self._last_end = inflight.end
-        self.records.append(
-            TransferRecord(inflight.start, inflight.end, inflight.nbytes, inflight.tag)
-        )
-        self.total_bytes += inflight.nbytes
-        self._busy_accum += inflight.end - inflight.start
+        self._last_end = end
+        self.records.append(TransferRecord(start, end, nbytes, tag))
+        self.total_bytes += nbytes
+        self._busy_accum += end - start
         trace = self.engine.trace
         if trace.enabled:
-            tag = inflight.tag
             name = (
                 f"{tag[0]} i{tag[1]}"
                 if isinstance(tag, tuple) and len(tag) == 2
@@ -297,10 +358,10 @@ class Link:
             trace.complete(
                 name,
                 "transfer",
-                inflight.start,
-                inflight.end,
+                start,
+                end,
                 track,
-                {"nbytes": inflight.nbytes},
+                {"nbytes": nbytes},
             )
             now = self.engine.now
             if now > 0:
@@ -311,8 +372,8 @@ class Link:
                     track,
                     {"busy_fraction": self._busy_accum / now},
                 )
-        if inflight.on_complete is not None:
-            inflight.on_complete()
+        if on_complete is not None:
+            on_complete()
         if self.on_idle is not None:
             self.on_idle()
 
@@ -333,6 +394,57 @@ class Link:
                 max(0.0, min(r.end, horizon) - min(r.start, horizon))
                 for r in self.records
             )
-        if self._inflight is not None and self._inflight.start < horizon:
-            total += min(self._inflight.end, horizon) - self._inflight.start
+        if self._inflight is not None and self._inflight[_START] < horizon:
+            total += min(self._inflight[_END], horizon) - self._inflight[_START]
         return total
+
+
+# ----------------------------------------------------------------------
+def _drain_batch(links: tuple[Link, ...]) -> None:
+    """Fire the batched completions in launch order.
+
+    A link whose transfer was aborted after the batch launched has no
+    in-flight state any more and is skipped — exactly what cancelling its
+    individual completion event would have done.
+    """
+    for link in links:
+        if link._inflight is not None:
+            link._finish()
+
+
+def send_batch(
+    links: Sequence[Link],
+    nbytes: float,
+    tag: object = None,
+    on_complete: Callable[[], None] | None = None,
+    extra_time: float = 0.0,
+) -> float:
+    """Start the same ``nbytes`` transfer on every link at once.
+
+    This is the barrier-step entry point (collective chunk steps): all
+    ``links`` start at the current instant, and in the common case —
+    identical bandwidth, no noise — they all compute the *same* completion
+    time.  Their N completion wakeups then coalesce into ONE engine event
+    that drains the per-link work list in launch order.  That is
+    bit-identical to N individual :meth:`Link.send` calls: the N original
+    completion events would sit at one timestamp with consecutive sequence
+    numbers, so no other event can interleave them and their firing order
+    is the launch order.  When completion times differ (noisy or
+    heterogeneous links), each link falls back to its own event, again in
+    launch order.  Returns the latest completion time.
+    """
+    first_end = links[0]._start(nbytes, tag, on_complete, extra_time)
+    ends = [first_end]
+    same = True
+    for link in links[1:]:
+        end = link._start(nbytes, tag, on_complete, extra_time)
+        ends.append(end)
+        if end != first_end:
+            same = False
+    engine = links[0].engine
+    if same:
+        engine.schedule(first_end, _drain_batch, tuple(links))
+        return first_end
+    for link, end in zip(links, ends):
+        link._finish_event = engine.schedule(end, link._finish_cb)
+    return max(ends)

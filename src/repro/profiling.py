@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import cProfile
 import importlib
+import inspect
 import io
 import os
 import pstats
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import ConfigurationError
 
@@ -50,6 +52,35 @@ class ProfileReport:
     dump_path: str | None = None
 
 
+def _accepted_overrides(
+    main: Any, overrides: dict[str, Any]
+) -> dict[str, Any]:
+    """Filter ``overrides`` to what ``main`` can actually receive.
+
+    An experiment opts into topology passthrough by naming the kwarg
+    (``n_workers``/``n_servers``/``backend``) or taking ``**kwargs``
+    (which forwards to its ``run()``).  Asking for an override the
+    entry point cannot take is a hard error, not a silent no-op — a
+    profile captured at the wrong fleet shape is worse than no profile.
+    """
+    params = inspect.signature(main).parameters
+    takes_var_kw = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    rejected = [
+        name
+        for name in overrides
+        if not takes_var_kw and name not in params
+    ]
+    if rejected:
+        raise ConfigurationError(
+            f"experiment entry point does not accept "
+            f"{', '.join(sorted(rejected))}; its main() takes "
+            f"({', '.join(params) or 'no arguments'})"
+        )
+    return overrides
+
+
 def profile_experiment(
     experiment: str,
     *,
@@ -57,11 +88,18 @@ def profile_experiment(
     sort: str = "cumulative",
     dump: str | None = None,
     use_cache: bool = False,
+    overrides: dict[str, Any] | None = None,
 ) -> ProfileReport:
     """Run ``repro.experiments.<experiment>.main()`` under cProfile.
 
     The experiment's own stdout (tables, figures) is not captured — it
     prints as usual; the returned report holds only the profile.
+
+    ``overrides`` (e.g. ``{"n_workers": 64, "backend": "allreduce"}``)
+    are passed through to the experiment's ``main()`` so hotspots can be
+    captured at fleet shape instead of the demo-sized default; the entry
+    point's signature is inspected and an unsupported override raises
+    :class:`ConfigurationError` up front.
     """
     if sort not in SORT_KEYS:
         raise ConfigurationError(
@@ -77,10 +115,11 @@ def profile_experiment(
         os.environ[NO_CACHE_ENV] = "1"
 
     module = importlib.import_module(f"repro.experiments.{experiment}")
+    kwargs = _accepted_overrides(module.main, overrides or {})
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        module.main()
+        module.main(**kwargs)
     finally:
         profiler.disable()
 

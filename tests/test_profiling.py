@@ -65,3 +65,65 @@ class TestProfileExperiment:
     def test_nonpositive_top_raises(self, stub_experiment):
         with pytest.raises(ConfigurationError):
             profile_experiment(stub_experiment, top=0)
+
+
+@pytest.fixture
+def shape_experiment(monkeypatch):
+    """Fake experiment whose main() records the topology it was given."""
+    calls: list[dict] = []
+
+    def main(n_workers=3, backend="ps", **kwargs):
+        calls.append({"n_workers": n_workers, "backend": backend, **kwargs})
+
+    module = types.ModuleType("repro.experiments.shapeprof")
+    module.main = main
+    monkeypatch.setitem(sys.modules, "repro.experiments.shapeprof", module)
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    monkeypatch.delenv(NO_CACHE_ENV, raising=False)
+    return "shapeprof", calls
+
+
+class TestTopologyPassthrough:
+    def test_overrides_reach_the_entry_point(self, shape_experiment):
+        name, calls = shape_experiment
+        profile_experiment(
+            name,
+            overrides={"n_workers": 64, "backend": "allreduce", "n_servers": 4},
+        )
+        assert calls == [
+            {"n_workers": 64, "backend": "allreduce", "n_servers": 4}
+        ]
+
+    def test_defaults_untouched_without_overrides(self, shape_experiment):
+        name, calls = shape_experiment
+        profile_experiment(name)
+        assert calls == [{"n_workers": 3, "backend": "ps"}]
+
+    def test_unsupported_override_is_a_hard_error(self, stub_experiment):
+        # stubprof's main() takes no arguments at all — asking for a
+        # fleet shape it cannot honour must fail loudly, not profile
+        # the wrong topology.
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            profile_experiment(stub_experiment, overrides={"n_workers": 64})
+
+    def test_cli_flags_map_to_override_names(self, shape_experiment, monkeypatch):
+        from repro import cli
+
+        name, calls = shape_experiment
+        monkeypatch.setattr(cli, "EXPERIMENTS", (name,))
+        rc = cli.main(
+            [
+                "profile",
+                name,
+                "--workers",
+                "64",
+                "--backend",
+                "allreduce",
+                "--n-servers",
+                "4",
+            ]
+        )
+        assert rc == 0
+        assert calls == [
+            {"n_workers": 64, "backend": "allreduce", "n_servers": 4}
+        ]
