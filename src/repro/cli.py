@@ -29,7 +29,11 @@ parallel runner and reports wall time plus cache hit/miss counts.
 cache-bypassing, so the report reflects simulation cost — see
 :mod:`repro.profiling`) and prints the top-N hotspots; ``--dump`` keeps
 the raw stats for snakeviz.  ``cache`` inspects or clears the on-disk
-result cache.
+result cache.  ``run``/``compare``/``sched``/``bench`` accept
+``--no-fastforward`` to force every iteration to be simulated even when
+the steady-state fast-forward (:mod:`repro.sim.fastforward`) could skip
+them; ``profile`` always disables it so the report reflects the real
+event loop.
 
 Unknown model/strategy/experiment names exit with a one-line
 ``error: ...`` message and status 2 — never a traceback.
@@ -64,6 +68,41 @@ def _validate_choice(kind: str, name: str, options: Sequence[str]) -> None:
         raise ConfigurationError(
             f"unknown {kind} {name!r}; available: {', '.join(sorted(options))}"
         )
+
+
+def _add_fastforward_args(
+    sub: argparse.ArgumentParser, *, time_quantum: bool = False
+) -> None:
+    """Steady-state fast-forward knobs (:mod:`repro.sim.fastforward`)."""
+    sub.add_argument(
+        "--no-fastforward", action="store_true",
+        help="disable steady-state iteration fast-forward and simulate "
+        "every iteration (equivalent to REPRO_NO_FASTFORWARD=1)",
+    )
+    if time_quantum:
+        sub.add_argument(
+            "--time-quantum", type=int, default=None, metavar="EXP",
+            help="snap event delays to a 2**EXP-second grid (e.g. -24 for "
+            "~60 ns resolution); fast-forward only engages on a quantized "
+            "run",
+        )
+        sub.add_argument(
+            "--jitter", type=float, default=None, metavar="STD",
+            help="compute-jitter stddev as a fraction of layer time "
+            "(default: preset 0.02; fast-forward needs --jitter 0)",
+        )
+
+
+def _fastforward_overrides(args: argparse.Namespace) -> dict:
+    """Translate the fast-forward CLI flags into paper_config overrides."""
+    overrides: dict = {}
+    if args.no_fastforward:
+        overrides["fastforward"] = False
+    if getattr(args, "time_quantum", None) is not None:
+        overrides["time_quantum"] = 2.0 ** args.time_quantum
+    if getattr(args, "jitter", None) is not None:
+        overrides["jitter_std"] = args.jitter
+    return overrides
 
 
 def _add_ps_tier_args(sub: argparse.ArgumentParser) -> None:
@@ -155,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache for this invocation",
     )
+    _add_fastforward_args(run)
 
     compare = sub.add_parser(
         "compare", help="compare all strategies on one workload"
@@ -168,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     _add_ps_tier_args(compare)
     _add_backend_args(compare)
+    _add_fastforward_args(compare, time_quantum=True)
 
     sched = sub.add_parser(
         "sched", help="run one scheduling strategy, optionally tracing it"
@@ -186,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--seed", type=int, default=0)
     _add_ps_tier_args(sched)
     _add_backend_args(sched)
+    _add_fastforward_args(sched, time_quantum=True)
     sched.add_argument(
         "--trace",
         metavar="OUT.json",
@@ -251,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache directory (default: REPRO_CACHE_DIR or "
         "~/.cache/repro/results)",
     )
+    _add_fastforward_args(bench)
 
     profile = sub.add_parser(
         "profile", help="run an experiment under cProfile and report hotspots"
@@ -342,6 +385,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         os.environ[JOBS_ENV] = str(args.jobs)
     if args.no_cache:
         os.environ[NO_CACHE_ENV] = "1"
+    if args.no_fastforward:
+        from repro.sim.fastforward import NO_FASTFORWARD_ENV
+
+        os.environ[NO_FASTFORWARD_ENV] = "1"
     module = importlib.import_module(f"repro.experiments.{args.experiment}")
     module.main()
     return 0
@@ -359,6 +406,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         record_gradients=False,
         **_ps_tier_overrides(args),
         **_backend_overrides(args),
+        **_fastforward_overrides(args),
     )
     rows = []
     for name, factory in EXTENDED_FACTORIES.items():
@@ -399,6 +447,7 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         trace=tracing,
         **_ps_tier_overrides(args),
         **_backend_overrides(args),
+        **_fastforward_overrides(args),
     )
     result = run_training(config, EXTENDED_FACTORIES[args.strategy])
     summary = result.summary()
@@ -487,12 +536,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
     import time
 
     from repro.experiments import fig8
     from repro.runner import ResultCache, resolve_jobs
 
     jobs = resolve_jobs(args.jobs)
+    if args.no_fastforward:
+        from repro.sim.fastforward import NO_FASTFORWARD_ENV
+
+        os.environ[NO_FASTFORWARD_ENV] = "1"
     cache: bool | ResultCache
     if args.no_cache:
         cache = False

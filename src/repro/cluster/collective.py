@@ -390,6 +390,23 @@ class CollectiveController:
             extra_time=self.scheduler.unit_sync_rtts * self.executor.tcp.rtt,
         )
 
+    # ------------------------------------------------------------------
+    # Steady-state fast-forward protocol (repro.sim.fastforward)
+    # ------------------------------------------------------------------
+    def ff_state(self, ctx) -> tuple:
+        """Canonical snapshot of the negotiation barriers (the scheduler
+        and the executor snapshot themselves)."""
+        return (
+            ctx.rel_iter(self._iteration),
+            self._begin_count,
+            self._end_count,
+            self._end_span,
+            tuple(sorted(self._ready_counts.items())),
+        )
+
+    def ff_shift(self, shift) -> None:
+        self._iteration += shift.diter
+
     def _op_done(
         self,
         iteration: int,
@@ -446,6 +463,8 @@ class CollectiveWorker(Worker):
         # path state the inherited methods read is set up.
         self.engine = engine
         self.worker_id = worker_id
+        self._quantum = engine._quantum
+        self._inv_quantum = engine._inv_quantum
         self.compute = compute
         self.gen_schedule = gen_schedule
         self.controller = controller
@@ -542,6 +561,17 @@ class CollectiveWorker(Worker):
         if forward_was_blocked and self._iter == self._comm_iter + 1:
             self._advance_forward()
         self._check_done()
+
+    # ------------------------------------------------------------------
+    # Steady-state fast-forward protocol (repro.sim.fastforward)
+    # ------------------------------------------------------------------
+    def ff_state(self, ctx) -> tuple:
+        # No private pull queue: the controller snapshots the shared
+        # communication state, only the compute pipeline lives here.
+        return self._ff_compute_state(ctx)
+
+    def ff_shift(self, shift) -> None:
+        self._ff_shift_compute(shift)
 
     # ------------------------------------------------------------------
     # Entry points that must not be reached in collective mode

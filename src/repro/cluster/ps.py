@@ -40,6 +40,10 @@ SYNC_MODES = ("bsp", "asp", "ssp")
 class ParameterServer:
     """Aggregates pushes from ``n_workers`` and releases per-key pulls."""
 
+    #: Fast-forward journal (repro.sim.fastforward); a shared list while a
+    #: steady-state cycle is being recorded, else None.
+    _ff_journal = None
+
     def __init__(
         self,
         engine: Engine,
@@ -106,6 +110,9 @@ class ParameterServer:
         # Count of units across _waiting — O(1) pending_pulls.
         self._n_waiting = 0
         self._workers: list = []
+        # Highest iteration any push has carried — drives BSP pruning of
+        # settled ``_received`` entries (see receive_push).
+        self._max_push_iteration = -1
         #: Total gradient bytes pushed to the PS (all workers, all iters).
         self.total_push_bytes = 0.0
         #: Observed gradient staleness (iterations) at each pull release
@@ -186,6 +193,19 @@ class ParameterServer:
     def receive_push(self, worker: int, iteration: int, unit: TransferUnit) -> None:
         """A push message from ``worker`` arrived: credit bytes, respond
         per key."""
+        if self.sync_mode == "bsp" and iteration > self._max_push_iteration:
+            # Under BSP a push for iteration k implies every worker fully
+            # pushed (and was released for) iteration k-1: the pusher's
+            # forward pass gated on its k-1 pulls, which gate on full
+            # coverage by all workers.  Keys at or below k-2 can never be
+            # written or queried again — drop them so the aggregation
+            # state stays bounded by two iterations' keys.
+            self._max_push_iteration = iteration
+            cutoff = iteration - 2
+            if cutoff >= 0:
+                stale = [key for key in self._received if key[0] <= cutoff]
+                for key in stale:
+                    del self._received[key]
         touched: set[int] = set()
         for seg in unit.segments:
             key = (iteration, seg.grad)
@@ -213,6 +233,9 @@ class ParameterServer:
                 if iteration > progress[worker]:
                     progress[worker] = iteration
             self.total_push_bytes += seg.nbytes
+            journal = self._ff_journal
+            if journal is not None:
+                journal.append(("ps", self, seg.nbytes))
             touched.add(seg.grad)
 
             pull = PullUnit(
@@ -343,3 +366,59 @@ class ParameterServer:
     def pending_pulls(self) -> int:
         """Pull units still waiting on aggregation/staleness.  O(1)."""
         return self._n_waiting
+
+    # ------------------------------------------------------------------
+    # Steady-state fast-forward protocol (repro.sim.fastforward)
+    # ------------------------------------------------------------------
+    def ff_state(self, ctx) -> tuple:
+        """Canonical time-relative snapshot of the aggregation state.
+
+        ``total_push_bytes`` is deliberately absent: it is a monotone
+        accumulator, replayed op-for-op from the cycle journal so its
+        floating-point rounding matches the unrolled run bit for bit.
+        """
+        received = tuple(
+            sorted(
+                ((ctx.rel_iter(it), grad), tuple(counts))
+                for (it, grad), counts in self._received.items()
+            )
+        )
+        progress = tuple(
+            sorted(
+                (grad, tuple(it if it < 0 else ctx.rel_iter(it) for it in its))
+                for grad, its in self._progress.items()
+            )
+        )
+        waiting = tuple(
+            sorted(
+                (grad, tuple(ctx.pull(u) for u in units))
+                for grad, units in self._waiting.items()
+            )
+        )
+        max_push = self._max_push_iteration
+        if max_push >= 0:
+            max_push = ctx.rel_iter(max_push)
+        return (received, progress, waiting, self._n_waiting, max_push)
+
+    def ff_shift(self, shift) -> None:
+        """Translate iteration labels and pull timestamps by the skipped
+        cycles.  Byte counts are label-relative already."""
+        assert self._release_run is None, "release run pending across boundary"
+        diter = shift.diter
+        if self._max_push_iteration >= 0:
+            self._max_push_iteration += diter
+        self._received = {
+            (it + diter, grad): counts
+            for (it, grad), counts in self._received.items()
+        }
+        for its in self._progress.values():
+            for w, it in enumerate(its):
+                if it >= 0:
+                    its[w] = it + diter
+        self._waiting = defaultdict(
+            list,
+            {
+                grad: [shift.pull(u) for u in units]
+                for grad, units in self._waiting.items()
+            },
+        )

@@ -51,7 +51,12 @@ from repro.agg.kvstore import GenerationSchedule
 from repro.cluster.messages import PullUnit, PushMessage
 from repro.cluster.ps import ParameterServer
 from repro.cluster.sharding import ShardAssignment
-from repro.cluster.worker import ReliableDeliveryMixin, Worker
+from repro.cluster.worker import (
+    ReliableDeliveryMixin,
+    Worker,
+    _ff_pull_heap_state,
+    _ff_shift_pull_heap,
+)
 from repro.errors import SimulationError
 from repro.metrics.timeline import Recorder
 from repro.models.compute import ComputeProfile
@@ -407,6 +412,20 @@ class _ShardPort(ReliableDeliveryMixin):
             )
         self.scheduler.unit_sent(msg.unit, now)
 
+    # ------------------------------------------------------------------
+    # Steady-state fast-forward protocol (repro.sim.fastforward)
+    # ------------------------------------------------------------------
+    def ff_state(self, ctx) -> tuple:
+        """Canonical snapshot of this port's pull queue (its scheduler and
+        links snapshot themselves)."""
+        return (_ff_pull_heap_state(self._pull_heap, ctx),)
+
+    def ff_shift(self, shift) -> None:
+        if self._pull_heap:
+            self._pull_heap = _ff_shift_pull_heap(
+                self._pull_heap, shift, self._pull_by_priority
+            )
+
     def abort_for_crash(self) -> None:
         """Worker crashed: abort this port's in-flight traffic.
 
@@ -466,6 +485,8 @@ class ShardedWorker(Worker):
         # comm state is replaced by the per-shard ports.
         self.engine = engine
         self.worker_id = worker_id
+        self._quantum = engine._quantum
+        self._inv_quantum = engine._inv_quantum
         self.compute = compute
         self.gen_schedule = gen_schedule
         self.assignment = assignment
@@ -645,6 +666,19 @@ class ShardedWorker(Worker):
             "ShardedWorker receives pulls through its shard ports, not "
             "the worker itself — attach_workers got the wrong object"
         )
+
+    # ------------------------------------------------------------------
+    # Steady-state fast-forward protocol (repro.sim.fastforward)
+    # ------------------------------------------------------------------
+    def ff_state(self, ctx) -> tuple:
+        return self._ff_compute_state(ctx) + tuple(
+            port.ff_state(ctx) for port in self._ports
+        )
+
+    def ff_shift(self, shift) -> None:
+        self._ff_shift_compute(shift)
+        for port in self._ports:
+            port.ff_shift(shift)
 
     # ------------------------------------------------------------------
     # Fault handling: one crash suspends the shared compute pipeline and

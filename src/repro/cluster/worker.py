@@ -63,6 +63,35 @@ __all__ = ["Worker", "ReliableDeliveryMixin"]
 _TOL = 1e-9
 
 
+def _ff_pull_heap_state(heap, ctx) -> tuple:
+    """Canonical form of a pull heap for fast-forward fingerprints.
+
+    Drain order is fully determined by the sorted key order (keys are
+    unique: each carries a fresh insertion counter), so the canonical form
+    is the sorted entry list with absolute times re-based and the raw
+    counters dropped — two boundary snapshots one period apart then
+    compare equal even though the counters kept climbing.
+    """
+    entries = sorted(heap, key=lambda e: e[0])
+    return tuple((ctx.rel(arrival), ctx.pull(pull)) for _, pull, arrival in entries)
+
+
+def _ff_shift_pull_heap(heap, shift, by_priority: bool) -> list:
+    """Translate every heap entry by ``shift``.  Adding one constant to
+    the time component of each key is order-preserving, so the heap
+    invariant survives without re-heapifying."""
+    dt = shift.dt
+    if by_priority:
+        return [
+            ((k[0], k[1] + dt, k[2]), shift.pull(p), a + dt)
+            for k, p, a in heap
+        ]
+    return [
+        ((k[0] + dt, k[1]), shift.pull(p), a + dt)
+        for k, p, a in heap
+    ]
+
+
 class ReliableDeliveryMixin:
     """Sequence-numbered reliable push/pull delivery (fault mode only).
 
@@ -229,6 +258,10 @@ class ReliableDeliveryMixin:
 class Worker(ReliableDeliveryMixin):
     """One worker node of the training cluster."""
 
+    #: Steady-state fast-forward detector (repro.sim.fastforward); class
+    #: attribute so the fault-free hot path pays one attribute load.
+    _ff = None
+
     def __init__(
         self,
         engine: Engine,
@@ -251,6 +284,8 @@ class Worker(ReliableDeliveryMixin):
     ):
         self.engine = engine
         self.worker_id = worker_id
+        self._quantum = engine._quantum
+        self._inv_quantum = engine._inv_quantum
         self.compute = compute
         self.gen_schedule = gen_schedule
         self.scheduler = scheduler
@@ -364,6 +399,17 @@ class Worker(ReliableDeliveryMixin):
             return self.engine.schedule(time, fn, *args)
         return self.engine.schedule(time, self._guarded, fn, *args)
 
+    def _snap(self, duration: float) -> float:
+        """Round a compute/flush duration onto the engine's time-quantum
+        grid (identity when no quantum is configured).  Workers snap
+        durations *once* and use the snapped value for both the recorded
+        interval and the scheduled completion, so recorded timelines stay
+        translation-invariant under fast-forward."""
+        inv = self._inv_quantum
+        if inv:
+            return round(duration * inv) * self._quantum
+        return duration
+
     def _schedule_after(self, delay: float, fn: Callable[..., None], *args):
         if self._faults is None:
             return self.engine.schedule_after(delay, fn, *args)
@@ -431,7 +477,7 @@ class Worker(ReliableDeliveryMixin):
             self._jitter_std * float(self._jitter_rng.standard_normal())
         )
         self._iter_rec = self.recorder.iteration_record(self.worker_id, iteration)
-        self._iter_rec.fwd_start = now
+        self.recorder.iter_field(self._iter_rec, "fwd_start", now)
         self._fwd_layer = 0
         self._advance_forward()
 
@@ -448,7 +494,7 @@ class Worker(ReliableDeliveryMixin):
             end += 1
         if end == start:
             return  # GPU idles until the gating pull completes
-        duration = float(self.compute.fwd_times[start:end].sum()) * self._factor
+        duration = self._snap(float(self.compute.fwd_times[start:end].sum()) * self._factor)
         now = self.engine.now
         self.recorder.gpu_busy(self.worker_id, self._iter, "fwd", now, now + duration)
         self._fwd_chunk_pending = True
@@ -469,7 +515,7 @@ class Worker(ReliableDeliveryMixin):
         now = self.engine.now
         iteration = self._iter
         assert self._iter_rec is not None
-        self._iter_rec.fwd_end = now
+        self.recorder.iter_field(self._iter_rec, "fwd_end", now)
 
         sched = self.gen_schedule.scaled(self._factor)
         self._comm_iter = iteration
@@ -481,17 +527,19 @@ class Worker(ReliableDeliveryMixin):
         self._ready_time = [None] * self._n_grads
 
         self._sched_begin_iteration(iteration, sched, now)
+        backward_time = self._snap(sched.backward_time)
         self.recorder.gpu_busy(
-            self.worker_id, iteration, "bwd", now, now + sched.backward_time
+            self.worker_id, iteration, "bwd", now, now + backward_time
         )
         if self._faults is not None:
             self._clear_pull_attempts()  # previous iteration fully applied
         for bucket in sched.buckets:
-            flush_time = float(sched.c[bucket[0]])
-            self._schedule_at(now + flush_time, self._bucket_ready, iteration, bucket)
-        self._schedule_at(
-            now + sched.backward_time, self._backward_done, iteration
-        )
+            flush_time = self._snap(float(sched.c[bucket[0]]))
+            self._schedule_after(flush_time, self._bucket_ready, iteration, bucket)
+        self._schedule_after(backward_time, self._backward_done, iteration)
+        ff = self._ff
+        if ff is not None:
+            ff.iteration_boundary(iteration)
 
     def _bucket_ready(self, iteration: int, bucket: tuple[int, ...]) -> None:
         now = self.engine.now
@@ -512,7 +560,7 @@ class Worker(ReliableDeliveryMixin):
 
     def _backward_done(self, iteration: int) -> None:
         assert self._iter_rec is not None
-        self._iter_rec.bwd_end = self.engine.now
+        self.recorder.iter_field(self._iter_rec, "bwd_end", self.engine.now)
         if iteration + 1 < self.n_iterations:
             self._begin_forward(iteration + 1)
         else:
@@ -851,3 +899,53 @@ class Worker(ReliableDeliveryMixin):
             self._done = True
             if self._on_done is not None:
                 self._on_done(self.worker_id)
+
+    # ------------------------------------------------------------------
+    # Steady-state fast-forward protocol (repro.sim.fastforward)
+    # ------------------------------------------------------------------
+    def _ff_compute_state(self, ctx) -> tuple:
+        """Canonical snapshot of the compute pipeline (shared with the
+        sharded subclass).  Absolute times become offsets from the
+        boundary timestamp and iteration labels offsets from the boundary
+        iteration."""
+        return (
+            ctx.rel_iter(self._iter),
+            ctx.rel_iter(self._comm_iter),
+            self._factor,
+            self._fwd_layer,
+            self._fwd_chunk_pending,
+            None if not self._fwd_start_times else ctx.rel(self._fwd_start_times[-1]),
+            tuple(self._layer_pending),
+            self._pending_updates,
+            tuple(self._pulled),
+            tuple(self._pushed),
+            tuple(ctx.rel_opt(t) for t in self._ready_time),
+            self._compute_done,
+            self._done,
+        )
+
+    def _ff_shift_compute(self, shift) -> None:
+        """Translate the compute pipeline by ``shift.dt`` seconds /
+        ``shift.diter`` iterations.  ``_fwd_start_times`` needs no
+        translation: the journal replay already appended the skipped
+        cycles' (shifted) forward-start values, and entries before the
+        replay window are real history."""
+        dt = shift.dt
+        self._iter += shift.diter
+        self._comm_iter += shift.diter
+        self._ready_time = [
+            None if t is None else t + dt for t in self._ready_time
+        ]
+
+    def ff_state(self, ctx) -> tuple:
+        """Canonical time-relative snapshot of all behaviour-bearing state."""
+        return self._ff_compute_state(ctx) + (
+            _ff_pull_heap_state(self._pull_heap, ctx),
+        )
+
+    def ff_shift(self, shift) -> None:
+        self._ff_shift_compute(shift)
+        if self._pull_heap:
+            self._pull_heap = _ff_shift_pull_heap(
+                self._pull_heap, shift, self._pull_by_priority
+            )

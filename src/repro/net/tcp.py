@@ -40,7 +40,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["TCPParams", "transfer_time", "effective_bandwidth", "half_rate_size"]
+__all__ = [
+    "TCPParams",
+    "transfer_time",
+    "effective_bandwidth",
+    "half_rate_size",
+    "is_warm",
+]
 
 # Slow start doubles the window every round; 64 doublings cover any
 # physically plausible bandwidth-delay product.
@@ -191,6 +197,18 @@ def _slow_start_table(bandwidth: float, params: TCPParams) -> _SlowStartTable:
         table = _SlowStartTable(bandwidth, params)
         _TABLE_CACHE[key] = table
     return table
+
+
+def is_warm(gap: float | None, params: TCPParams) -> bool:
+    """Whether a send after ``gap`` idle seconds rides an open window.
+
+    ``gap`` is the idle time since the previous transfer finished on the
+    same connection (``None`` — never used — is always cold).  This is
+    the single warm/cold decision point shared by the link hot path and
+    the fast-forward state snapshot: the warm state of a connection is
+    fully determined by that relative gap, never by absolute time.
+    """
+    return gap is not None and gap <= params.warm_threshold
 
 
 def transfer_time(

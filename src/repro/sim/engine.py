@@ -169,7 +169,11 @@ class Engine:
     1.0
     """
 
-    def __init__(self, trace: TraceRecorder | NullRecorder = NULL_RECORDER) -> None:
+    def __init__(
+        self,
+        trace: TraceRecorder | NullRecorder = NULL_RECORDER,
+        time_quantum: float | None = None,
+    ) -> None:
         #: Calendar: bucket index -> list of Events in that bin.  Indices
         #: are floats (``time // width``); ``time * inv_width // 1.0`` is
         #: monotone in time, which is all ordering correctness needs.
@@ -213,8 +217,23 @@ class Engine:
         self._activations = 0
         self._retune_mark_time = 0.0
         self._retune_mark_events = 0
+        #: Optional time grid (seconds; a positive power of two).  When
+        #: set, every *delay* handed to :meth:`schedule_after` is snapped
+        #: to the nearest grid multiple.  Because only delays are snapped
+        #: — a pure function of the delay, never of the current clock —
+        #: every absolute event time stays an exact grid multiple and
+        #: time arithmetic becomes exactly translation-invariant, which
+        #: is what makes steady-state fast-forward (:mod:`repro.sim.
+        #: fastforward`) bit-exact.  ``None`` (default) changes nothing.
+        self._quantum = time_quantum
+        self._inv_quantum = 0.0 if time_quantum is None else 1.0 / time_quantum
         #: Trace recorder shared by every component holding this engine.
         self.trace = trace
+
+    @property
+    def time_quantum(self) -> float | None:
+        """The delay grid in seconds, or ``None`` when snapping is off."""
+        return self._quantum
 
     # ------------------------------------------------------------------
     # Clock
@@ -272,6 +291,9 @@ class Engine:
         # and the extra frame was measurable.
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
+        quantum = self._quantum
+        if quantum is not None:
+            delay = round(delay * self._inv_quantum) * quantum
         time = self._now + delay
         self._seq = seq = self._seq + 1
         ev = Event((time, seq, fn, args, True, self))
@@ -575,5 +597,98 @@ class Engine:
         heapq.heapify(self._bucket_heap)
         # Rebinning interleaves events arbitrarily; sort everything at
         # activation.  In place: run() holds an alias to this set.
+        self._unsorted.clear()
+        self._unsorted.update(buckets)
+
+    # ------------------------------------------------------------------
+    # Steady-state fast-forward support (repro.sim.fastforward)
+    # ------------------------------------------------------------------
+    def ff_pending(
+        self, current: Event | None = None, *, ordered: bool = True
+    ) -> list[Event]:
+        """Every live queued event, sorted by ``(time, seq)``.
+
+        ``current`` is the event whose callback is running right now;
+        events at or before its ``(time, seq)`` key in the active bucket
+        have already fired and are excluded.  Does not mutate the queue.
+        ``ordered=False`` skips the final sort for callers that impose
+        their own order on the result.
+        """
+        out: list[Event] = []
+        active = self._active
+        if active is not None:
+            if current is None:
+                out.extend(active)
+            else:
+                # The active bucket is kept sorted across callbacks, so
+                # the undrained suffix is exactly the events ordered
+                # after the firing one (list compare: time, then seq).
+                out.extend(e for e in active if e > current)
+        for bucket in self._buckets.values():
+            out.extend(bucket)
+        live = (e for e in out if e[_ALIVE])
+        return sorted(live) if ordered else list(live)
+
+    def ff_shift(
+        self,
+        dt: float,
+        current: Event,
+        rewrite: Callable[[Event], None] | None = None,
+    ) -> None:
+        """Advance the clock by ``dt``, translating every pending event.
+
+        Must be called from inside the callback of ``current`` (the
+        event firing right now).  The undrained suffix of the active
+        bucket is taken over, every live event's time is shifted by
+        ``dt`` (a uniform translation, so the exact ``(time, seq)``
+        firing order is preserved and Event handles stay valid), and the
+        calendar is rebuilt under the shifted times.  ``rewrite`` may
+        rewrite each event's args in place (iteration relabeling).
+        Tombstones are dropped during the rebuild.
+        """
+        if dt < 0:
+            raise SimulationError(f"cannot fast-forward by negative dt {dt!r}")
+        pending: list[Event] = []
+        active = self._active
+        if active is not None:
+            keep: list[Event] = []
+            for e in active:
+                (pending if e > current else keep).append(e)
+            # Truncating in place ends the drain loop's walk over this
+            # bucket; run()'s finally block sees nothing left to requeue.
+            active[:] = keep
+            self._active_idx = -1.0
+        for bucket in self._buckets.values():
+            pending.extend(bucket)
+        dropped = 0
+        live: list[Event] = []
+        for e in pending:
+            if e[_ALIVE]:
+                live.append(e)
+            else:
+                dropped += 1
+        if dropped:
+            self._size -= dropped
+            self._dead -= dropped
+            if self._compact_floor > self._dead:
+                self._compact_floor = self._dead
+        self._now += dt
+        self._buckets.clear()
+        buckets = self._buckets
+        inv = self._inv_width
+        for e in live:
+            e[_TIME] = e[_TIME] + dt
+            if rewrite is not None:
+                rewrite(e)
+            idx = e[_TIME] * inv // 1.0
+            if idx != idx:
+                idx = inf
+            bucket = buckets.get(idx)
+            if bucket is None:
+                buckets[idx] = [e]
+            else:
+                bucket.append(e)
+        self._bucket_heap[:] = [(idx, b) for idx, b in buckets.items()]
+        heapq.heapify(self._bucket_heap)
         self._unsorted.clear()
         self._unsorted.update(buckets)

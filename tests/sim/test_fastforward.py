@@ -1,0 +1,188 @@
+"""Unit tests for the steady-state fast-forward subsystem.
+
+Covers the three behaviors the exactness property tests cannot:
+
+* **gating** — every source of aperiodicity (faults, jitter, noise,
+  dynamic bandwidth, non-BSP sync, opted-out schedulers, the env-var
+  kill-switch, a missing time quantum) must keep the detector off;
+* **fallback** — a fingerprint that fails re-verification after one
+  recorded period must discard the journal and leave the run exact;
+* **config validation and cache identity** — ``time_quantum`` rejects
+  non-power-of-two grids, and the runner's cache fingerprint separates
+  fast-forwarded from unrolled specs.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.trainer import Trainer, run_training
+from repro.config import TrainingConfig
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, MessageDrops
+from repro.net.link import BandwidthSchedule
+from repro.quantities import Gbps
+from repro.runner.fingerprint import fingerprint
+from repro.runner.spec import RunSpec
+from repro.sim.fastforward import NO_FASTFORWARD_ENV
+from repro.workloads.presets import (
+    EXTENDED_FACTORIES,
+    bytescheduler_factory,
+    paper_config,
+    prophet_factory,
+)
+
+QUANTUM = 2.0**-24
+
+
+def base_config(**overrides) -> TrainingConfig:
+    defaults = dict(
+        n_workers=2,
+        n_iterations=8,
+        jitter_std=0.0,
+        time_quantum=QUANTUM,
+        record_gradients=False,
+    )
+    defaults.update(overrides)
+    return paper_config("resnet18", 32, **defaults)
+
+
+def _canon(result) -> tuple:
+    rows = [
+        tuple(repr(r) for r in result.recorder.worker_iterations(w))
+        for w in range(result.config.n_workers)
+    ]
+    return (repr(result.end_time), rows, {k: repr(v) for k, v in result.summary().items()})
+
+
+# ----------------------------------------------------------------------
+# Engagement and diagnostics
+# ----------------------------------------------------------------------
+def test_engages_and_reports_stats():
+    result = run_training(base_config(), prophet_factory())
+    stats = result.fastforward_stats
+    assert stats is not None and stats["engaged"]
+    assert stats["period"] >= 1
+    assert stats["cycles_skipped"] >= 1
+    assert stats["iterations_skipped"] == stats["period"] * stats["cycles_skipped"]
+    assert stats["fallbacks"] == 0
+    assert stats["disabled_reason"] is None
+
+
+def test_single_iteration_run_never_engages():
+    result = run_training(base_config(n_iterations=1), prophet_factory())
+    stats = result.fastforward_stats
+    assert stats is not None and not stats["engaged"]
+
+
+# ----------------------------------------------------------------------
+# Gating: every aperiodicity source keeps the detector off
+# ----------------------------------------------------------------------
+GATED_CONFIGS = {
+    "no-quantum": dict(time_quantum=None),
+    "config-flag": dict(fastforward=False),
+    "jitter": dict(jitter_std=0.02),
+    "bandwidth-noise": dict(bandwidth_noise_std=0.01),
+    "asp": dict(sync_mode="asp"),
+    "dynamic-bandwidth": dict(
+        bandwidth=BandwidthSchedule([(0.0, 3 * Gbps), (1.0, 1 * Gbps)])
+    ),
+    "faults": dict(faults=FaultPlan(drops=[MessageDrops(push=0.01)])),
+}
+
+
+@pytest.mark.parametrize("reason", sorted(GATED_CONFIGS))
+def test_ineligible_configs_run_unrolled(reason):
+    result = run_training(base_config(**GATED_CONFIGS[reason]), prophet_factory())
+    assert result.fastforward_stats is None
+
+
+def test_opted_out_scheduler_runs_unrolled():
+    # ByteScheduler's credit feedback loop reads live link state; it
+    # declares ff_supported=False and must gate the whole run.
+    result = run_training(base_config(), bytescheduler_factory())
+    assert result.fastforward_stats is None
+
+
+def test_env_var_kill_switch(monkeypatch):
+    monkeypatch.setenv(NO_FASTFORWARD_ENV, "1")
+    result = run_training(base_config(), prophet_factory())
+    assert result.fastforward_stats is None
+
+
+def test_eligibility_reason_is_reported():
+    trainer = Trainer(base_config(time_quantum=None), prophet_factory())
+    assert trainer.fastforward is None
+    assert "time_quantum" in trainer.fastforward_reason
+
+
+# ----------------------------------------------------------------------
+# Conservative fallback on failed re-verification
+# ----------------------------------------------------------------------
+def test_fingerprint_mismatch_falls_back_exactly():
+    factory = EXTENDED_FACTORIES["prophet"]
+    trainer = Trainer(base_config(), factory)
+    detector = trainer.fastforward
+    assert detector is not None
+    original = detector._fingerprint
+    calls = {"n": 0}
+
+    def lying_fingerprint(ctx):
+        # Fake an immediate period-1 match on the first two boundaries;
+        # the verification boundary then sees the true fingerprint and
+        # must fall back instead of replaying a bogus cycle.
+        calls["n"] += 1
+        if calls["n"] <= 2:
+            return ("forced-collision",)
+        return original(ctx)
+
+    detector._fingerprint = lying_fingerprint
+    result = trainer.run()
+    stats = result.fastforward_stats
+    assert stats["fallbacks"] >= 1
+    # Detection restarts from genuine fingerprints after the fallback,
+    # and the run stays bit-identical to the unrolled path.
+    unrolled = run_training(
+        replace(base_config(), fastforward=False), EXTENDED_FACTORIES["prophet"]
+    )
+    assert _canon(result) == _canon(unrolled)
+
+
+def test_detect_only_mode_never_engages():
+    trainer = Trainer(base_config(), prophet_factory())
+    trainer.fastforward.detect_only = True
+    result = trainer.run()
+    stats = result.fastforward_stats
+    assert not stats["engaged"]
+    assert stats["boundaries_seen"] >= 2
+    unrolled = run_training(
+        replace(base_config(), fastforward=False), prophet_factory()
+    )
+    assert _canon(result) == _canon(unrolled)
+
+
+# ----------------------------------------------------------------------
+# time_quantum validation and cache-key identity
+# ----------------------------------------------------------------------
+def test_time_quantum_must_be_power_of_two():
+    with pytest.raises(ConfigurationError, match="power of two"):
+        base_config(time_quantum=1e-6)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+def test_time_quantum_must_be_positive_finite(bad):
+    with pytest.raises(ConfigurationError):
+        base_config(time_quantum=bad)
+
+
+def test_time_quantum_powers_of_two_accepted():
+    for exp in (-30, -24, -10, 0, 3):
+        assert base_config(time_quantum=2.0**exp).time_quantum == 2.0**exp
+
+
+def test_cache_fingerprint_separates_fastforward_specs():
+    spec = RunSpec(config=base_config(), strategy="prophet")
+    no_ff = RunSpec(config=base_config(fastforward=False), strategy="prophet")
+    no_quantum = RunSpec(config=base_config(time_quantum=None), strategy="prophet")
+    fps = {fingerprint(spec), fingerprint(no_ff), fingerprint(no_quantum)}
+    assert len(fps) == 3
