@@ -26,6 +26,12 @@ training rate and skip count gate deterministically, and the wall-time
 floor is only reachable when fast-forward actually skips — an unrolled
 run of that shape is an order of magnitude slower.
 
+The multi-tenant fleet scalars live in ``--suite fleet`` (the
+fleet-smoke CI job): a mixed-strategy 6-job fleet on an oversubscribed
+shared core gates its goodput, p99 iteration time, Jain fairness, and
+mean queueing delay deterministically, plus a ``fleet.jobs_per_s``
+timing floor for end-to-end fleet throughput.
+
 Timing floors can be loosened per-runner via the ``REPRO_TIMING_SLACK``
 environment variable (default ``1.0``): the effective floor is
 ``baseline * TIMING_FLOOR_FRACTION / REPRO_TIMING_SLACK``, so ``2.0``
@@ -102,6 +108,57 @@ COLLECTIVE_STRATEGIES = ("mxnet-fifo", "mg-wfbp", "prophet")
 CHAOS_COLLECTIVE_MODEL = ("resnet18", 32)
 CHAOS_COLLECTIVE_ITERATIONS = 8
 CHAOS_COLLECTIVE_WORKERS = 4
+
+#: Fleet smoke: a mixed-strategy multi-tenant fleet on an oversubscribed
+#: shared core under the fair-share policy.  The fleet scalars (goodput,
+#: tail iteration time, Jain fairness, queueing delay) are deterministic
+#: under the seed; the timing floor gates end-to-end fleet throughput
+#: (placement ticks + water-filled fabric re-leveling + N concurrent
+#: trainers on one engine).
+FLEET_SMOKE_JOBS = 6
+FLEET_SMOKE_ITERATIONS = 3
+
+
+def _fleet_smoke_spec():
+    from repro.fleet import FleetSpec
+    from repro.quantities import Gbps
+
+    return FleetSpec(
+        n_jobs=FLEET_SMOKE_JOBS,
+        policy="fair",
+        n_hosts=4,
+        slots_per_host=2,
+        core_bandwidth=10 * Gbps,
+        nic_bandwidth=3 * Gbps,
+        model="resnet18",
+        batch_size=32,
+        n_workers=2,
+        n_iterations=FLEET_SMOKE_ITERATIONS,
+        strategies=("prophet", "mxnet-fifo", "mg-wfbp"),
+        mean_interarrival_s=0.05,
+        seed=0,
+    )
+
+
+def _measure_fleet() -> tuple[dict[str, float], dict[str, float]]:
+    """Multi-tenant fleet scalars: deterministic metrics + fleet timing."""
+    from repro.fleet import run_fleet
+
+    spec = _fleet_smoke_spec()
+    durations = []
+    for _ in range(3):
+        start = time.perf_counter()
+        result = run_fleet(spec)
+        durations.append(time.perf_counter() - start)
+    summary = result.summary()
+    deterministic = {
+        "fleet.goodput_samples_per_s": summary["goodput_samples_per_s"],
+        "fleet.p99_iteration_s": summary["p99_iteration_s"],
+        "fleet.jain_fairness": summary["jain_fairness"],
+        "fleet.mean_queueing_delay_s": summary["mean_queueing_delay_s"],
+    }
+    timing = {"fleet.jobs_per_s": FLEET_SMOKE_JOBS / min(durations[1:])}
+    return deterministic, timing
 
 
 def _measure_chaos_collective() -> tuple[dict[str, float], dict[str, float]]:
@@ -459,6 +516,8 @@ def measure(
         return _measure_chaos_collective()
     if suite == "engine-perf":
         return _measure_engine_perf()
+    if suite == "fleet":
+        return _measure_fleet()
 
     from repro.experiments import fig8
     from repro.quantities import Gbps
@@ -667,7 +726,11 @@ def measure(
     chaos_collective_det, _ = _measure_chaos_collective()
     deterministic.update(chaos_collective_det)
 
-    fleet_det, fleet_timing = _measure_engine_perf()
+    perf_det, perf_timing = _measure_engine_perf()
+    deterministic.update(perf_det)
+    timing.update(perf_timing)
+
+    fleet_det, fleet_timing = _measure_fleet()
     deterministic.update(fleet_det)
     timing.update(fleet_timing)
 
@@ -749,13 +812,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite", default="all",
-        choices=("all", "collective", "chaos-collective", "engine-perf"),
+        choices=("all", "collective", "chaos-collective", "engine-perf", "fleet"),
         help="'all' (default) measures everything; 'collective' gates "
         "only the allreduce-backend scalars (the allreduce-smoke CI "
         "job); 'chaos-collective' gates only the resilience scalars "
         "beyond the single-PS star (the chaos-collective-smoke CI job); "
         "'engine-perf' gates only the fleet-shape timing floors (the "
-        "engine-perf-smoke CI job)",
+        "engine-perf-smoke CI job); 'fleet' gates only the multi-tenant "
+        "fleet scalars (the fleet-smoke CI job)",
     )
     parser.add_argument(
         "--report",

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro sweep --model resnet50 --gbps 1 3 10
     python -m repro sched prophet --trace out.json   # traced single run
     python -m repro chaos --model resnet18 --drop 0.02  # fault resilience
+    python -m repro fleet --n-jobs 16 --policy fair     # multi-tenant fleet
     python -m repro bench -j 4               # timed fig8 grid via the runner
     python -m repro profile fig8 --top 20    # cProfile hotspot report
     python -m repro cache                    # result-cache stats
@@ -35,8 +36,15 @@ the steady-state fast-forward (:mod:`repro.sim.fastforward`) could skip
 them; ``profile`` always disables it so the report reflects the real
 event loop.
 
-Unknown model/strategy/experiment names exit with a one-line
-``error: ...`` message and status 2 — never a traceback.
+``fleet`` runs the multi-tenant cluster simulator of :mod:`repro.fleet`:
+N jobs placed by a FIFO/fair-share/gang scheduler onto shared hosts whose
+NICs feed an oversubscribed core, reporting fleet goodput, tail iteration
+time, Jain fairness, and queueing delay.
+
+Unknown model/strategy/experiment names, unrecognized flags, and invalid
+flag combinations (e.g. ``--collective`` without ``--backend allreduce``)
+all exit with a one-line ``error: ...`` message and status 2 — never a
+traceback or a silently ignored flag.
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ import sys
 from typing import Sequence
 
 from repro.cluster.trainer import run_training
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, TracingError
 from repro.metrics.report import format_table, format_trace_summary
 from repro.models.gradients import gradient_table
 from repro.models.registry import available_models, get_model
@@ -59,7 +67,23 @@ EXPERIMENTS = (
     "fig2", "fig3", "fig4", "fig5", "fig8", "fig9_10", "fig11", "fig12",
     "fig13", "table2", "table3", "hetero", "overhead", "ablations", "asp",
     "devices", "dynamic", "convergence", "chaos", "scalability", "collective",
+    "fleet",
 )
+
+
+class _Parser(argparse.ArgumentParser):
+    """ArgumentParser whose failures match the CLI's error contract.
+
+    Argparse's default ``error()`` prints multi-line usage + message;
+    every other failure in this CLI is a one-line greppable
+    ``error: ...`` on stderr with exit status 2, so parse failures
+    (unknown flags, bad choices, missing arguments) follow suit.
+    Subparsers inherit this class automatically (``add_subparsers``
+    instantiates the parent's type).
+    """
+
+    def error(self, message: str) -> None:
+        self.exit(2, f"error: {message}\n")
 
 
 def _validate_choice(kind: str, name: str, options: Sequence[str]) -> None:
@@ -130,36 +154,76 @@ def _ps_tier_overrides(args: argparse.Namespace) -> dict:
 
 
 def _add_backend_args(sub: argparse.ArgumentParser) -> None:
-    """Communication-backend knobs shared by the workload subcommands."""
+    """Communication-backend knobs shared by the workload subcommands.
+
+    ``--collective`` and ``--group-size`` default to ``None`` sentinels so
+    :func:`_validate_backend_flags` can tell "user typed the default" from
+    "user never mentioned the flag" — only the latter is legal without
+    ``--backend allreduce``.
+    """
     sub.add_argument(
         "--backend", default="ps", choices=("ps", "allreduce"),
         help="communication backend: the paper's parameter-server star "
         "(default) or the ring/hierarchical allreduce collective",
     )
     sub.add_argument(
-        "--collective", default="ring", choices=("ring", "hierarchical"),
-        help="allreduce topology (only with --backend allreduce)",
+        "--collective", default=None, choices=("ring", "hierarchical"),
+        help="allreduce topology (requires --backend allreduce; "
+        "default ring)",
     )
     sub.add_argument(
-        "--group-size", type=int, default=2,
+        "--group-size", type=int, default=None,
         help="workers per group for the hierarchical collective "
-        "(must divide --workers; default 2)",
+        "(requires --collective hierarchical; must divide --workers; "
+        "default 2)",
     )
+
+
+def _validate_backend_flags(args: argparse.Namespace) -> None:
+    """Reject flag combinations that would otherwise be silently ignored."""
+    if args.backend != "allreduce":
+        if args.collective is not None:
+            raise ConfigurationError(
+                "--collective requires --backend allreduce"
+            )
+        if args.group_size is not None:
+            raise ConfigurationError(
+                "--group-size requires --backend allreduce"
+            )
+        return
+    if getattr(args, "n_servers", 1) != 1:
+        raise ConfigurationError(
+            "--n-servers is a parameter-server knob; drop it with "
+            "--backend allreduce"
+        )
+    if getattr(args, "ps_gbps", None) is not None:
+        raise ConfigurationError(
+            "--ps-gbps is a parameter-server knob; drop it with "
+            "--backend allreduce"
+        )
+    if args.group_size is not None and args.collective != "hierarchical":
+        raise ConfigurationError(
+            "--group-size only applies to --collective hierarchical"
+        )
+
+
+def _resolved_collective(args: argparse.Namespace) -> str:
+    return args.collective if args.collective is not None else "ring"
+
+
+def _resolved_group_size(args: argparse.Namespace) -> int:
+    return args.group_size if args.group_size is not None else 2
 
 
 def _backend_overrides(args: argparse.Namespace) -> dict:
-    """Translate the backend CLI flags into paper_config overrides.
-
-    PS-tier conflicts (``--n-servers``/``--ps-gbps`` with
-    ``--backend allreduce``) are left for config validation, which
-    rejects them with a precise ConfigurationError.
-    """
+    """Translate the backend CLI flags into paper_config overrides."""
+    _validate_backend_flags(args)
     if args.backend == "ps":
         return {}
     return {
         "backend": args.backend,
-        "collective": args.collective,
-        "collective_group_size": args.group_size,
+        "collective": _resolved_collective(args),
+        "collective_group_size": _resolved_group_size(args),
     }
 
 
@@ -167,11 +231,11 @@ def _backend_suffix(args: argparse.Namespace) -> str:
     """Table-title suffix naming the non-default backend, if any."""
     if args.backend == "ps":
         return ""
-    return f", {args.collective} allreduce"
+    return f", {_resolved_collective(args)} allreduce"
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="Prophet (ICPP'21) reproduction — simulate DDNN "
         "communication scheduling.",
@@ -276,6 +340,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-servers", type=int, default=1,
         help="key-sharded parameter servers (PS backend only; default 1)",
     )
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-tenant fleet simulation on a shared fabric"
+    )
+    fleet.add_argument(
+        "--n-jobs", type=int, default=8,
+        help="number of training jobs to submit (default 8)",
+    )
+    fleet.add_argument(
+        "--policy", default="fifo", choices=("fifo", "fair", "gang"),
+        help="placement policy: strict FIFO (default), tenant fair-share "
+        "with backfill, or gang scheduling on exclusive whole hosts",
+    )
+    fleet.add_argument(
+        "--hosts", type=int, default=4,
+        help="GPU hosts in the cluster (default 4)",
+    )
+    fleet.add_argument(
+        "--slots-per-host", type=int, default=2,
+        help="GPU slots per host (default 2)",
+    )
+    fleet.add_argument(
+        "--core-gbps", type=float, default=10.0,
+        help="shared core capacity in Gbps, water-filled across tenants "
+        "(default 10)",
+    )
+    fleet.add_argument(
+        "--nic-gbps", type=float, default=3.0,
+        help="per-host NIC rate in Gbps, the per-tenant cap (default 3)",
+    )
+    fleet.add_argument("--model", default="resnet18")
+    fleet.add_argument("--batch", type=int, default=32)
+    fleet.add_argument(
+        "--workers", type=int, default=2,
+        help="workers (GPU slots) per job (default 2)",
+    )
+    fleet.add_argument("--iterations", type=int, default=4)
+    fleet.add_argument(
+        "--strategies", nargs="+", default=["prophet"], metavar="STRATEGY",
+        help="scheduling strategies assigned round-robin to jobs; each "
+        "strategy doubles as a fair-share tenant (default: prophet)",
+    )
+    fleet.add_argument(
+        "--interarrival", type=float, default=0.05, metavar="SECONDS",
+        help="mean Poisson interarrival gap between submissions "
+        "(default 0.05; 0 = all jobs arrive at t=0)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser(
         "bench", help="timed Fig. 8 FAST grid through the parallel runner"
@@ -474,12 +586,23 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         print()
         print(format_trace_summary(result.trace_summary()))
         if args.trace:
-            path = result.write_chrome_trace(args.trace)
+            path = _write_trace(result.write_chrome_trace, args.trace)
             print(f"chrome trace written to {path} (open in https://ui.perfetto.dev)")
         if args.trace_jsonl:
-            path = result.write_trace_jsonl(args.trace_jsonl)
+            path = _write_trace(result.write_trace_jsonl, args.trace_jsonl)
             print(f"trace JSONL written to {path}")
     return 0
+
+
+def _write_trace(writer, destination: str):
+    """Run a trace export, turning filesystem failures into the CLI's
+    one-line error contract instead of an OSError traceback."""
+    try:
+        return writer(destination)
+    except OSError as exc:
+        raise TracingError(
+            f"cannot write trace to {destination!r}: {exc}"
+        ) from exc
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -514,6 +637,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments import chaos
 
     get_model(args.model)  # validate eagerly, before any training run
+    _validate_backend_flags(args)
     plan = chaos.default_plan(
         crash_at=args.crash_at,
         restart_after=args.restart_after,
@@ -527,11 +651,82 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         plan=plan,
         backend=args.backend,
-        collective=args.collective,
-        group_size=args.group_size,
+        collective=_resolved_collective(args),
+        group_size=_resolved_group_size(args),
         n_servers=args.n_servers,
         n_workers=args.workers,
     )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetSpec, run_fleet
+    from repro.quantities import fmt_bandwidth
+
+    for strategy in args.strategies:
+        _validate_choice("strategy", strategy, EXTENDED_FACTORIES)
+    spec = FleetSpec(
+        n_jobs=args.n_jobs,
+        policy=args.policy,
+        n_hosts=args.hosts,
+        slots_per_host=args.slots_per_host,
+        core_bandwidth=args.core_gbps * Gbps,
+        nic_bandwidth=args.nic_gbps * Gbps,
+        model=args.model,
+        batch_size=args.batch,
+        n_workers=args.workers,
+        n_iterations=args.iterations,
+        strategies=tuple(args.strategies),
+        mean_interarrival_s=args.interarrival,
+        seed=args.seed,
+    )
+    result = run_fleet(spec)
+    summary = result.summary()
+    oversub = (args.n_jobs and
+               spec.n_workers * spec.nic_bandwidth / spec.core_bandwidth)
+    rows = [
+        ["jobs", f"{int(summary['n_jobs'])}"],
+        ["makespan", f"{summary['makespan_s']:.2f} s"],
+        ["fleet goodput", f"{summary['goodput_samples_per_s']:.1f} samples/s"],
+        ["p50 iteration", f"{summary['p50_iteration_s'] * 1e3:.0f} ms"],
+        ["p99 iteration", f"{summary['p99_iteration_s'] * 1e3:.0f} ms"],
+        ["Jain fairness", f"{summary['jain_fairness']:.4f}"],
+        ["mean queueing delay", f"{summary['mean_queueing_delay_s']:.2f} s"],
+        ["max queueing delay", f"{summary['max_queueing_delay_s']:.2f} s"],
+        ["per-job NIC demand", f"{oversub:.2f}x core" if oversub else "-"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"fleet — {args.n_jobs} x {args.model} bs{args.batch}, "
+                f"{args.policy} policy, {args.hosts}x{args.slots_per_host} "
+                f"slots, core {fmt_bandwidth(spec.core_bandwidth)}"
+            ),
+        )
+    )
+    by_strategy: dict[str, list] = {}
+    for record in result.records:
+        by_strategy.setdefault(record.strategy, []).append(record)
+    if len(by_strategy) > 1:
+        strat_rows = [
+            [
+                name,
+                len(records),
+                f"{sum(r.training_rate for r in records) / len(records):.1f}",
+                f"{sum(r.queueing_delay for r in records) / len(records):.2f}",
+            ]
+            for name, records in sorted(by_strategy.items())
+        ]
+        print()
+        print(
+            format_table(
+                ["strategy", "jobs", "mean rate (s/s)", "mean queue (s)"],
+                strat_rows,
+                title="per-strategy breakdown",
+            )
+        )
     return 0
 
 
@@ -635,6 +830,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sched": lambda: _cmd_sched(args),
         "sweep": lambda: _cmd_sweep(args),
         "chaos": lambda: _cmd_chaos(args),
+        "fleet": lambda: _cmd_fleet(args),
         "bench": lambda: _cmd_bench(args),
         "profile": lambda: _cmd_profile(args),
         "cache": lambda: _cmd_cache(args),

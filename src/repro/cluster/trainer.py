@@ -11,6 +11,8 @@ paired.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.agg.kvstore import KVStore
 from repro.cluster.collective import (
     CollectiveController,
@@ -27,7 +29,7 @@ from repro.cluster.sharding import (
 from repro.cluster.worker import Worker
 from repro.config import SchedulerFactory, TrainingConfig, WorkerContext
 from repro.core.profiler import JobProfile
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.faults.injector import FaultInjector
 from repro.metrics.timeline import Recorder
 from repro.models.compute import build_compute_profile
@@ -55,6 +57,14 @@ class Trainer:
     sharded build path (one shard).  It exists for equivalence testing —
     the sharded machinery with a single shard must reproduce the
     single-PS results — and is not part of the public configuration.
+
+    ``engine`` attaches the trainer to an externally owned engine instead
+    of creating its own — the fleet simulator places many jobs on one
+    shared engine this way.  An attached trainer is *driven*, not run:
+    the owner calls :meth:`start`, pumps the shared engine itself, and
+    collects the job's :class:`TrainingResult` via :meth:`finalize` once
+    ``on_finished`` fires (all workers done).  :meth:`run` remains the
+    single-job path and refuses to pump an engine it does not own.
     """
 
     def __init__(
@@ -62,16 +72,36 @@ class Trainer:
         config: TrainingConfig,
         scheduler_factory: SchedulerFactory,
         force_sharded: bool = False,
+        *,
+        engine: Engine | None = None,
+        name: str = "",
+        on_finished: "Callable[[Trainer], None] | None" = None,
     ):
         self.config = config
-        self.engine = Engine(time_quantum=config.time_quantum)
-        if config.trace:
-            self.trace: TraceRecorder | NullRecorder = TraceRecorder(
-                clock=lambda: self.engine.now
-            )
+        self.name = name
+        self.on_finished = on_finished
+        self.finished_time: float | None = None
+        self._external_engine = engine is not None
+        if engine is None:
+            self.engine = Engine(time_quantum=config.time_quantum)
+            if config.trace:
+                self.trace: TraceRecorder | NullRecorder = TraceRecorder(
+                    clock=lambda: self.engine.now
+                )
+            else:
+                self.trace = NULL_RECORDER
+            self.engine.trace = self.trace
         else:
-            self.trace = NULL_RECORDER
-        self.engine.trace = self.trace
+            if (
+                config.time_quantum is not None
+                and engine.time_quantum != config.time_quantum
+            ):
+                raise ConfigurationError(
+                    f"job time_quantum {config.time_quantum!r} does not match "
+                    f"the shared engine's {engine.time_quantum!r}"
+                )
+            self.engine = engine
+            self.trace = engine.trace
         self.recorder = Recorder(
             record_gradients=config.record_gradients, trace=self.trace
         )
@@ -132,7 +162,7 @@ class Trainer:
         """
         links = self._all_links()
         eligible, reason = fastforward_eligibility(
-            self.config, self.schedulers, links, self.injector
+            self.config, self.schedulers, links, self.injector, self.engine
         )
         self.fastforward_reason = reason
         self.fastforward: FastForwardDetector | None = None
@@ -474,24 +504,64 @@ class Trainer:
         if self._done_count == self.config.n_workers:
             for monitor in self.monitors:
                 monitor.stop()
+            self.finished_time = self.engine.now
+            if self.on_finished is not None:
+                self.on_finished(self)
+
+    @property
+    def finished(self) -> bool:
+        """Whether every worker completed its configured iterations."""
+        return self._done_count == self.config.n_workers
+
+    def event_budget(self) -> int:
+        """Generous event budget for one full run of this job.
+
+        Exceeding it means a scheduler livelocked the simulation.  The
+        fleet simulator sums the budgets of all placed jobs to bound the
+        shared engine's pump.
+        """
+        per_iter = 400 * (1 + self.gen_schedule.num_gradients // 4)
+        return max(
+            200_000, per_iter * self.config.n_iterations * self.config.n_workers
+        )
+
+    def start(self) -> None:
+        """Schedule every worker's first compute; does not pump events."""
+        for worker in self.workers:
+            worker.start()
 
     def run(self, max_events: int | None = None) -> TrainingResult:
         """Execute the configured number of iterations on all workers."""
-        if max_events is None:
-            # Generous per-iteration event budget; exceeding it means a
-            # scheduler livelocked the simulation.
-            per_iter = 400 * (1 + self.gen_schedule.num_gradients // 4)
-            max_events = max(
-                200_000, per_iter * self.config.n_iterations * self.config.n_workers
+        if self._external_engine:
+            raise SimulationError(
+                "trainer is attached to a shared engine; its owner pumps "
+                "events — use start()/finalize() instead of run()"
             )
-        for worker in self.workers:
-            worker.start()
+        if max_events is None:
+            max_events = self.event_budget()
+        self.start()
         self.engine.run(max_events=max_events)
         if self._done_count != self.config.n_workers:
             raise SimulationError(
                 f"training stalled: {self._done_count}/{self.config.n_workers} "
                 f"workers finished (t={self.engine.now:.3f}s, "
                 f"{self.engine.events_processed} events)"
+            )
+        return self.finalize()
+
+    def finalize(self) -> TrainingResult:
+        """Package the completed job's :class:`TrainingResult`.
+
+        The result's ``end_time`` is the instant the last worker finished
+        — on the owned-engine path that equals the drained ``engine.now``
+        (the final worker's completion is the last event of the run), so
+        results are identical whether the job ran alone or as one tenant
+        of a fleet.
+        """
+        if self.finished_time is None:
+            raise SimulationError(
+                f"job {self.name or '<unnamed>'}: finalize() before all "
+                f"workers finished ({self._done_count}/{self.config.n_workers})"
             )
         return TrainingResult(
             config=self.config,
@@ -500,7 +570,7 @@ class Trainer:
             schedulers=self.schedulers,
             gen_schedule=self.gen_schedule,
             compute=self.compute,
-            end_time=self.engine.now,
+            end_time=self.finished_time,
             trace=self.trace,
             fault_stats=dict(self.injector.stats) if self.injector else None,
             fault_log=list(self.injector.log) if self.injector else None,

@@ -25,6 +25,7 @@ ablations  design-choice ablations (not in the paper)
 chaos      resilience under faults (crash/flap/drops/stall; not in paper)
 scalability  iteration time vs. PS-tier width (sharded PSs; not in paper)
 collective   Prophet vs MG-WFBP vs FIFO on ring/hierarchical allreduce
+fleet        multi-tenant fleet contention (goodput/p99/fairness; not in paper)
 =========  ==========================================================
 """
 
@@ -50,6 +51,7 @@ from repro.experiments import (  # noqa: F401
     convergence,
     scalability,
     collective,
+    fleet,
 )
 
 __all__ = [
@@ -74,4 +76,5 @@ __all__ = [
     "convergence",
     "scalability",
     "collective",
+    "fleet",
 ]

@@ -1,0 +1,48 @@
+"""Multi-tenant fleet simulation: N training jobs on one shared fabric.
+
+The paper evaluates Prophet one job at a time; a datacenter runs hundreds
+of concurrent jobs whose communication contends for an oversubscribed
+core.  This package places many independent training jobs — each an
+ordinary :class:`~repro.cluster.trainer.Trainer` on the star, sharded, or
+collective backend — into **one** shared
+:class:`~repro.sim.engine.Engine` run:
+
+* :class:`~repro.net.topology.ClusterFabric` divides core bandwidth
+  across the active tenants by water-filling over their NIC demands and
+  re-levels each tenant's live bandwidth schedule in place as jobs come
+  and go;
+* :class:`~repro.fleet.cluster.HostPool` models the GPU hosts jobs are
+  placed on (``n_hosts`` x ``slots_per_host``);
+* :class:`~repro.fleet.scheduler.FleetScheduler` runs the job-lifecycle
+  tick (housekeeping → evaluation → spawn) under a placement policy
+  (FIFO, fair-share, or gang scheduling);
+* :class:`~repro.fleet.simulator.FleetSimulator` wires it together and
+  produces per-job records plus fleet-level metrics
+  (:mod:`repro.metrics.fleet`).
+
+A 1-job fleet is bit-identical to running the job directly: the single
+tenant's fabric share equals its NIC rate exactly, its schedule keeps one
+breakpoint (preserving the links' constant-schedule fast path), and the
+scheduler's bookkeeping events carry no simulation side effects.
+"""
+
+from repro.fleet.cluster import HostPool
+from repro.fleet.job import FleetJob, JobHandle, JobRecord
+from repro.fleet.scheduler import POLICIES, FleetScheduler
+from repro.fleet.simulator import FleetSimulator, build_fleet_jobs, run_fleet
+from repro.fleet.spec import FleetResult, FleetRunResult, FleetSpec
+
+__all__ = [
+    "FleetJob",
+    "JobHandle",
+    "JobRecord",
+    "HostPool",
+    "FleetScheduler",
+    "POLICIES",
+    "FleetSimulator",
+    "build_fleet_jobs",
+    "run_fleet",
+    "FleetSpec",
+    "FleetResult",
+    "FleetRunResult",
+]

@@ -1,0 +1,102 @@
+"""GPU host pool: the slot resource fleet jobs are placed on.
+
+A cluster is ``n_hosts`` identical hosts of ``slots_per_host`` GPU slots;
+a job occupies one slot per worker for its whole placed lifetime.  The
+pool only does deterministic first-fit arithmetic — *which* queued job
+gets to allocate is the scheduler policy's decision, not the pool's.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HostPool"]
+
+
+class HostPool:
+    """Fixed pool of GPU slots grouped into hosts.
+
+    Allocation is deterministic first-fit in host order, which keeps
+    fleet runs reproducible under any policy.  ``whole_hosts=True``
+    requests gang placement: the job gets exclusive, completely free
+    hosts (no slot sharing with co-tenants), the strictest co-location
+    guarantee — at the price of internal fragmentation.
+    """
+
+    def __init__(self, n_hosts: int, slots_per_host: int):
+        if n_hosts < 1:
+            raise ConfigurationError(f"n_hosts must be >= 1, got {n_hosts}")
+        if slots_per_host < 1:
+            raise ConfigurationError(
+                f"slots_per_host must be >= 1, got {slots_per_host}"
+            )
+        self.n_hosts = n_hosts
+        self.slots_per_host = slots_per_host
+        self._free = [slots_per_host] * n_hosts
+
+    # ------------------------------------------------------------------
+    @property
+    def total_slots(self) -> int:
+        return self.n_hosts * self.slots_per_host
+
+    @property
+    def free_slots(self) -> int:
+        return sum(self._free)
+
+    def free_on(self, host: int) -> int:
+        """Free slots on one host (for tests and reports)."""
+        return self._free[host]
+
+    # ------------------------------------------------------------------
+    def fits(self, n_slots: int, whole_hosts: bool = False) -> bool:
+        """Whether an ``alloc`` with these arguments would succeed now."""
+        if whole_hosts:
+            full = sum(1 for f in self._free if f == self.slots_per_host)
+            hosts_needed = -(-n_slots // self.slots_per_host)
+            return hosts_needed <= full
+        return n_slots <= self.free_slots
+
+    def alloc(
+        self, n_slots: int, whole_hosts: bool = False
+    ) -> dict[int, int] | None:
+        """Allocate ``n_slots``; returns ``{host: slots}`` or ``None``.
+
+        First-fit in host index order.  With ``whole_hosts`` only
+        completely free hosts are eligible and each one is taken in full
+        (exclusively), even if the job leaves some of its slots idle.
+        """
+        if n_slots < 1:
+            raise ConfigurationError(f"n_slots must be >= 1, got {n_slots}")
+        if not self.fits(n_slots, whole_hosts):
+            return None
+        allocation: dict[int, int] = {}
+        if whole_hosts:
+            hosts_needed = -(-n_slots // self.slots_per_host)
+            for host, free in enumerate(self._free):
+                if free == self.slots_per_host:
+                    allocation[host] = self.slots_per_host
+                    self._free[host] = 0
+                    hosts_needed -= 1
+                    if hosts_needed == 0:
+                        return allocation
+        remaining = n_slots
+        for host, free in enumerate(self._free):
+            if free == 0:
+                continue
+            take = min(free, remaining)
+            allocation[host] = take
+            self._free[host] = free - take
+            remaining -= take
+            if remaining == 0:
+                return allocation
+        raise AssertionError("fits() said yes but alloc ran out")  # pragma: no cover
+
+    def release(self, allocation: dict[int, int]) -> None:
+        """Return a previous :meth:`alloc` result to the pool."""
+        for host, slots in allocation.items():
+            self._free[host] += slots
+            if self._free[host] > self.slots_per_host:
+                raise ConfigurationError(
+                    f"host {host} over-released ({self._free[host]} free slots "
+                    f"of {self.slots_per_host})"
+                )

@@ -1,0 +1,178 @@
+"""Declarative fleet specifications and their results.
+
+A :class:`FleetSpec` describes an entire multi-tenant run as plain data —
+cluster shape, placement policy, the synthetic job mix — so fleets can be
+fingerprinted for the on-disk result cache and shipped to spawn-started
+worker processes exactly like single-run :class:`~repro.runner.RunSpec`.
+
+:class:`FleetResult` is the full in-process outcome (per-job records);
+:class:`FleetRunResult` is its JSON-able scalar projection that crosses
+the process boundary and round-trips through the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.fleet.job import JobRecord
+from repro.fleet.scheduler import POLICIES
+from repro.metrics.fleet import summarize_fleet
+from repro.quantities import Gbps
+
+__all__ = ["FleetSpec", "FleetResult", "FleetRunResult"]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One multi-tenant fleet run, described as plain data.
+
+    The job mix is synthetic but deterministic: ``n_jobs`` identical
+    model/batch configs with seeds ``seed + j``, strategies assigned
+    round-robin from ``strategies`` (which also act as the fair-share
+    tenants), and Poisson arrivals with mean ``mean_interarrival_s``
+    drawn from a :func:`~repro.sim.rng.spawn_rng` stream of ``seed``.
+    """
+
+    n_jobs: int = 8
+    policy: str = "fifo"
+    n_hosts: int = 4
+    slots_per_host: int = 2
+    core_bandwidth: float = 10 * Gbps
+    nic_bandwidth: float = 3 * Gbps
+    model: str = "resnet18"
+    batch_size: int = 32
+    n_workers: int = 2
+    n_iterations: int = 4
+    strategies: tuple[str, ...] = ("prophet",)
+    mean_interarrival_s: float = 0.05
+    seed: int = 0
+    skip: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown fleet policy {self.policy!r}; "
+                f"available: {', '.join(sorted(POLICIES))}"
+            )
+        strategies = tuple(self.strategies)
+        if not strategies:
+            raise ConfigurationError("strategies must be non-empty")
+        object.__setattr__(self, "strategies", strategies)
+        if self.core_bandwidth <= 0 or self.nic_bandwidth <= 0:
+            raise ConfigurationError("fleet bandwidths must be positive")
+        if self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.n_workers}"
+            )
+        if self.n_workers > self.n_hosts * self.slots_per_host:
+            raise ConfigurationError(
+                f"a {self.n_workers}-worker job can never fit on "
+                f"{self.n_hosts} hosts x {self.slots_per_host} slots"
+            )
+        if self.n_iterations < 2:
+            raise ConfigurationError(
+                f"n_iterations must be >= 2 to measure an iteration span, "
+                f"got {self.n_iterations}"
+            )
+        if self.mean_interarrival_s < 0:
+            raise ConfigurationError(
+                f"mean_interarrival_s must be >= 0, got {self.mean_interarrival_s}"
+            )
+        if self.skip < 0:
+            raise ConfigurationError(f"skip must be >= 0, got {self.skip}")
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Full in-process outcome of a fleet run."""
+
+    policy: str
+    n_hosts: int
+    slots_per_host: int
+    core_bandwidth: float
+    records: tuple[JobRecord, ...]
+    #: Events the shared engine processed over the whole fleet.
+    events_processed: int
+
+    def summary(self) -> dict[str, float]:
+        """The headline scalar metrics (see :mod:`repro.metrics.fleet`)."""
+        return summarize_fleet(self.records)
+
+
+@dataclass(frozen=True)
+class FleetRunResult:
+    """Scalar outcome of one fleet run — the cacheable projection."""
+
+    n_jobs: int
+    makespan_s: float
+    goodput_samples_per_s: float
+    p50_iteration_s: float
+    p99_iteration_s: float
+    jain_fairness: float
+    mean_queueing_delay_s: float
+    max_queueing_delay_s: float
+    #: Per-job mean training rate, in job-name order, samples/s.
+    per_job_rate: tuple[float, ...]
+    #: Per-job queueing delay, in job-name order, seconds.
+    per_job_queueing_delay_s: tuple[float, ...]
+
+    @classmethod
+    def from_result(cls, result: FleetResult) -> "FleetRunResult":
+        summary = result.summary()
+        records = sorted(result.records, key=lambda r: r.name)
+        return cls(
+            n_jobs=len(records),
+            makespan_s=summary["makespan_s"],
+            goodput_samples_per_s=summary["goodput_samples_per_s"],
+            p50_iteration_s=summary["p50_iteration_s"],
+            p99_iteration_s=summary["p99_iteration_s"],
+            jain_fairness=summary["jain_fairness"],
+            mean_queueing_delay_s=summary["mean_queueing_delay_s"],
+            max_queueing_delay_s=summary["max_queueing_delay_s"],
+            per_job_rate=tuple(r.training_rate for r in records),
+            per_job_queueing_delay_s=tuple(r.queueing_delay for r in records),
+        )
+
+    # ------------------------------------------------------------------
+    # Cache (JSON) round-trip
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-JSON representation for the on-disk result cache."""
+        return {
+            "n_jobs": self.n_jobs,
+            "makespan_s": self.makespan_s,
+            "goodput_samples_per_s": self.goodput_samples_per_s,
+            "p50_iteration_s": self.p50_iteration_s,
+            "p99_iteration_s": self.p99_iteration_s,
+            "jain_fairness": self.jain_fairness,
+            "mean_queueing_delay_s": self.mean_queueing_delay_s,
+            "max_queueing_delay_s": self.max_queueing_delay_s,
+            "per_job_rate": list(self.per_job_rate),
+            "per_job_queueing_delay_s": list(self.per_job_queueing_delay_s),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "FleetRunResult":
+        """Rebuild from :meth:`to_payload` output.
+
+        Raises ``KeyError``/``TypeError`` on malformed payloads; the cache
+        treats those as corruption and discards the entry.
+        """
+        return cls(
+            n_jobs=int(payload["n_jobs"]),
+            makespan_s=float(payload["makespan_s"]),
+            goodput_samples_per_s=float(payload["goodput_samples_per_s"]),
+            p50_iteration_s=float(payload["p50_iteration_s"]),
+            p99_iteration_s=float(payload["p99_iteration_s"]),
+            jain_fairness=float(payload["jain_fairness"]),
+            mean_queueing_delay_s=float(payload["mean_queueing_delay_s"]),
+            max_queueing_delay_s=float(payload["max_queueing_delay_s"]),
+            per_job_rate=tuple(float(r) for r in payload["per_job_rate"]),
+            per_job_queueing_delay_s=tuple(
+                float(d) for d in payload["per_job_queueing_delay_s"]
+            ),
+        )

@@ -26,6 +26,14 @@ from repro.metrics.export import (
     write_csv,
     write_json,
 )
+from repro.metrics.fleet import (
+    jain_index,
+    fleet_makespan,
+    fleet_goodput,
+    iteration_percentile,
+    queueing_delays,
+    summarize_fleet,
+)
 
 __all__ = [
     "Recorder",
@@ -47,4 +55,10 @@ __all__ = [
     "gradient_records_rows",
     "write_csv",
     "write_json",
+    "jain_index",
+    "fleet_makespan",
+    "fleet_goodput",
+    "iteration_percentile",
+    "queueing_delays",
+    "summarize_fleet",
 ]

@@ -1,0 +1,91 @@
+"""Fleet-level metrics over a multi-tenant run's per-job records.
+
+All functions take the :class:`~repro.fleet.job.JobRecord` sequence a
+finished fleet run produces and reduce it to the cluster-operator view:
+aggregate goodput, tail iteration time across every job's workers, Jain
+fairness over per-job training rates, and queueing delay statistics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.job import JobRecord
+
+__all__ = [
+    "jain_index",
+    "fleet_makespan",
+    "fleet_goodput",
+    "iteration_percentile",
+    "queueing_delays",
+    "summarize_fleet",
+]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``, in (0, 1].
+
+    1.0 means perfectly equal allocations; ``1/n`` means one participant
+    got everything.  An empty or all-zero sequence is defined as 1.0
+    (nobody is being treated unfairly).
+    """
+    if not values:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def fleet_makespan(records: "Sequence[JobRecord]") -> float:
+    """First arrival to last completion, the fleet's wall-clock extent."""
+    _require(records)
+    return max(r.finished_at for r in records) - min(r.arrival for r in records)
+
+
+def fleet_goodput(records: "Sequence[JobRecord]") -> float:
+    """Total samples trained per second of makespan (samples/s)."""
+    makespan = fleet_makespan(records)
+    total = sum(r.samples for r in records)
+    return total / makespan if makespan > 0 else float("inf")
+
+
+def iteration_percentile(records: "Sequence[JobRecord]", q: float) -> float:
+    """The ``q``-th percentile iteration time across every job's workers."""
+    _require(records)
+    spans = np.concatenate([np.asarray(r.iteration_s, dtype=float) for r in records])
+    if spans.size == 0:
+        raise ConfigurationError("no iteration spans recorded")
+    return float(np.percentile(spans, q))
+
+
+def queueing_delays(records: "Sequence[JobRecord]") -> np.ndarray:
+    """Per-job seconds spent waiting between arrival and placement."""
+    _require(records)
+    return np.array([r.queueing_delay for r in records], dtype=float)
+
+
+def summarize_fleet(records: "Sequence[JobRecord]") -> dict[str, float]:
+    """The scalar fleet report: one flat dict of all headline metrics."""
+    delays = queueing_delays(records)
+    return {
+        "n_jobs": float(len(records)),
+        "makespan_s": fleet_makespan(records),
+        "goodput_samples_per_s": fleet_goodput(records),
+        "p50_iteration_s": iteration_percentile(records, 50.0),
+        "p99_iteration_s": iteration_percentile(records, 99.0),
+        "jain_fairness": jain_index([r.training_rate for r in records]),
+        "mean_queueing_delay_s": float(delays.mean()),
+        "max_queueing_delay_s": float(delays.max()),
+    }
+
+
+def _require(records: "Sequence[JobRecord]") -> None:
+    if not records:
+        raise ConfigurationError("fleet metrics need at least one job record")

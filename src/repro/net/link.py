@@ -17,7 +17,7 @@ noise to represent cross-traffic.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Callable, NamedTuple, Sequence
 
 import numpy as np
@@ -52,6 +52,11 @@ class BandwidthSchedule:
         # forward, so nearly every ``value()`` call lands in the cached
         # segment (or the next one) and resolves without a bisect.
         self._cursor = 0
+        # Mutation counter, bumped by set_level().  Consumers that cache
+        # derived state off the breakpoints (a Link's constant-schedule
+        # shortcut) compare this to detect in-place mutation — rebinding
+        # the schedule object is already caught by identity.
+        self._version = 0
 
     @classmethod
     def constant(cls, bandwidth: float) -> "BandwidthSchedule":
@@ -85,10 +90,49 @@ class BandwidthSchedule:
             [(t, min(v, float(limit))) for t, v in zip(self._times, self._values)]
         )
 
+    def set_level(self, time: float, bandwidth: float) -> None:
+        """Re-level the schedule from ``time`` onward to ``bandwidth``.
+
+        Breakpoints at or after ``time`` are dropped and (unless the
+        preceding segment already sits at ``bandwidth``) one breakpoint
+        ``(time, bandwidth)`` is appended.  This is the mutation used by
+        live bandwidth division — the fleet fabric re-levels every
+        tenant's schedule whenever a job arrives or finishes — and it is
+        why :meth:`value` clamps its cursor: a truncation can leave the
+        cached segment index pointing past the end of the breakpoint
+        list, and the behind-cursor prefix bisect would then scan (and
+        index) beyond the freshly shortened list.
+        """
+        if bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth values must be positive, got {bandwidth}"
+            )
+        if not (time >= 0.0) or time != time or time == float("inf"):
+            raise ConfigurationError(f"set_level time must be finite and >= 0, got {time}")
+        times = self._times
+        values = self._values
+        bandwidth = float(bandwidth)
+        idx = bisect_left(times, float(time))
+        if idx == len(times) and values[-1] == bandwidth:
+            return  # Tail already at this level: nothing changes.
+        del times[idx:]
+        del values[idx:]
+        if not times or values[-1] != bandwidth:
+            times.append(float(time))
+            values.append(bandwidth)
+        self._version += 1
+        if self._cursor >= len(times):
+            self._cursor = len(times) - 1
+
     def value(self, time: float) -> float:
         """Available bandwidth at ``time``."""
         times = self._times
         idx = self._cursor
+        if idx >= len(times):
+            # Stale cursor (set_level truncated the breakpoints since the
+            # last lookup): clamp before indexing.
+            idx = len(times) - 1
+            self._cursor = idx
         if times[idx] <= time:
             nxt = idx + 1
             if nxt == len(times) or time < times[nxt]:
@@ -194,13 +238,17 @@ class Link:
         # Constant-schedule hint: most links never change bandwidth, so
         # their sends can skip the segment lookup entirely.  Keyed by
         # identity so rebinding ``self.schedule`` (fault injection wraps
-        # it in a FlappedSchedule) silently disables the shortcut.
+        # it in a FlappedSchedule) silently disables the shortcut, and by
+        # the schedule's mutation version so an in-place ``set_level``
+        # (the fleet fabric re-levelling a tenant share) disables it too.
         if len(schedule._times) == 1:
             self._const_sched = schedule
             self._const_bw = schedule._values[0]
+            self._const_ver = schedule._version
         else:
             self._const_sched = None
             self._const_bw = 0.0
+            self._const_ver = -1
 
     # ------------------------------------------------------------------
     @property
@@ -261,7 +309,9 @@ class Link:
         start = engine._now
         sched = self.schedule
         bandwidth = (
-            self._const_bw if sched is self._const_sched else sched.value(start)
+            self._const_bw
+            if sched is self._const_sched and sched._version == self._const_ver
+            else sched.value(start)
         )
         if self._noise_rng is not None and self._noise_std > 0:
             factor = 1.0 + self._noise_std * float(self._noise_rng.standard_normal())
@@ -304,7 +354,9 @@ class Link:
         start = self.engine._now
         sched = self.schedule
         bandwidth = (
-            self._const_bw if sched is self._const_sched else sched.value(start)
+            self._const_bw
+            if sched is self._const_sched and sched._version == self._const_ver
+            else sched.value(start)
         )
         if self._noise_rng is not None and self._noise_std > 0:
             factor = 1.0 + self._noise_std * float(self._noise_rng.standard_normal())

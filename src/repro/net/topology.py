@@ -39,7 +39,13 @@ from repro.net.tcp import TCPParams
 from repro.sim.engine import Engine
 from repro.sim.rng import spawn_rng
 
-__all__ = ["StarTopology", "ShardedTopology", "water_fill_level", "water_fill_shares"]
+__all__ = [
+    "StarTopology",
+    "ShardedTopology",
+    "ClusterFabric",
+    "water_fill_level",
+    "water_fill_shares",
+]
 
 
 def water_fill_level(demands: Sequence[float], capacity: float) -> float:
@@ -125,6 +131,109 @@ def _ps_capped_schedules(
             if not points or points[-1][1] != share:
                 points.append((t, share))
     return [BandwidthSchedule(points) for points in capped_points]
+
+
+class ClusterFabric:
+    """Shared datacenter fabric: per-host NICs feeding an oversubscribed core.
+
+    The multi-tenant counterpart of the PS-side water-filling above.  Each
+    *tenant* (one training job of the fleet simulator) brings ``n_links``
+    worker NICs of ``nic_bandwidth`` bytes/s each; the core carries
+    ``core_bandwidth`` bytes/s in aggregate, typically less than the sum
+    of all NICs (oversubscription).  Core capacity is divided across the
+    currently *active* tenants by water-filling over their aggregate NIC
+    demand (``n_links x nic_bandwidth``) — max-min fairness at tenant
+    granularity, the steady state of per-tenant congestion control — and
+    each tenant's per-link bandwidth is its core share divided evenly
+    over its links, never above its own NIC rate.
+
+    :meth:`admit` hands back a **live** :class:`BandwidthSchedule`: the
+    tenant builds its job topology on it, and on every membership change
+    the fabric re-levels it in place via
+    :meth:`BandwidthSchedule.set_level`.  While the fleet is uncontended
+    (or has a single tenant) every schedule keeps its single breakpoint,
+    so the links' constant-schedule fast path — and hence bit-identity
+    with a directly built single job — is preserved.
+    """
+
+    def __init__(self, core_bandwidth: float):
+        if core_bandwidth <= 0:
+            raise ConfigurationError(
+                f"core_bandwidth must be positive, got {core_bandwidth}"
+            )
+        self.core_bandwidth = float(core_bandwidth)
+        # name -> (n_links, nic_bandwidth, live schedule); insertion order
+        # is the (deterministic) water-filling evaluation order.
+        self._tenants: dict[str, tuple[int, float, BandwidthSchedule]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Names of the currently admitted tenants, admission order."""
+        return tuple(self._tenants)
+
+    def demand(self) -> float:
+        """Aggregate NIC demand of the active tenants (bytes/s)."""
+        return sum(n * nic for n, nic, _ in self._tenants.values())
+
+    def oversubscription(self) -> float:
+        """Current demand-to-core ratio (> 1 means contended)."""
+        return self.demand() / self.core_bandwidth
+
+    def share(self, name: str) -> float:
+        """The per-link bandwidth ``name`` currently gets (bytes/s)."""
+        n_links, nic, sched = self._tenants[name]
+        return sched._values[-1]
+
+    # ------------------------------------------------------------------
+    def admit(
+        self, name: str, n_links: int, nic_bandwidth: float, now: float = 0.0
+    ) -> BandwidthSchedule:
+        """Add a tenant; returns its live per-link bandwidth schedule.
+
+        The schedule starts at the tenant's fair share as of ``now`` and
+        is re-levelled in place on every later membership change.  Every
+        already-admitted tenant's schedule is re-levelled too.
+        """
+        if name in self._tenants:
+            raise ConfigurationError(f"tenant {name!r} already admitted")
+        if n_links < 1:
+            raise ConfigurationError(f"n_links must be >= 1, got {n_links}")
+        if nic_bandwidth <= 0:
+            raise ConfigurationError(
+                f"nic_bandwidth must be positive, got {nic_bandwidth}"
+            )
+        sched = BandwidthSchedule.constant(float(nic_bandwidth))
+        self._tenants[name] = (n_links, float(nic_bandwidth), sched)
+        self._relevel(now)
+        return sched
+
+    def release(self, name: str, now: float = 0.0) -> None:
+        """Remove a tenant and redistribute its core share."""
+        if name not in self._tenants:
+            raise ConfigurationError(f"unknown tenant {name!r}")
+        del self._tenants[name]
+        self._relevel(now)
+
+    def _relevel(self, now: float) -> None:
+        """Water-fill the core over the active tenants' NIC demands.
+
+        An unconstrained tenant (its whole demand fits under the water
+        level) keeps its exact NIC rate — not ``demand / n_links``, whose
+        float division could differ in the last ulp — so an uncontended
+        fleet stays bit-identical to dedicated links.
+        """
+        tenants = self._tenants.values()
+        if not tenants:
+            return
+        demands = [n * nic for n, nic, _ in tenants]
+        level = water_fill_level(demands, self.core_bandwidth)
+        for (n_links, nic, sched), demand in zip(tenants, demands):
+            if demand <= level:
+                per_link = nic
+            else:
+                per_link = min(nic, level / n_links)
+            sched.set_level(now, per_link)
 
 
 def _as_schedule(bandwidth: float | BandwidthSchedule) -> BandwidthSchedule:

@@ -24,11 +24,21 @@ from repro.runner.executor import (
     JOBS_ENV,
     NO_CACHE_ENV,
     execute,
+    execute_fleet,
     resolve_jobs,
+    run_fleet_grid,
     run_grid,
     shutdown_pools,
 )
-from repro.runner.fingerprint import canonical, fingerprint, key_payload
+from repro.runner.fingerprint import (
+    ENGINE_ENV_VARS,
+    canonical,
+    engine_env_payload,
+    fingerprint,
+    fleet_fingerprint,
+    fleet_key_payload,
+    key_payload,
+)
 from repro.runner.registry import (
     available_strategies,
     build_factory,
@@ -49,6 +59,12 @@ __all__ = [
     "fingerprint",
     "canonical",
     "key_payload",
+    "fleet_fingerprint",
+    "fleet_key_payload",
+    "engine_env_payload",
+    "ENGINE_ENV_VARS",
+    "execute_fleet",
+    "run_fleet_grid",
     "register_strategy",
     "available_strategies",
     "build_factory",

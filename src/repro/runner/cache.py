@@ -25,7 +25,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Mapping
 
 import repro
 from repro.runner.spec import RunResult
@@ -67,18 +67,24 @@ class ResultCache:
     def _path(self, fp: str) -> Path:
         return self.root / fp[:2] / f"{fp}.json"
 
-    def get(self, fp: str) -> RunResult | None:
+    def get(
+        self,
+        fp: str,
+        decode: Callable[[Mapping[str, Any]], Any] = RunResult.from_payload,
+    ) -> Any | None:
         """The cached result for fingerprint ``fp``, or ``None`` on miss.
 
-        Any malformed entry (truncated JSON, wrong schema, fingerprint
-        mismatch) is deleted and reported as a miss.
+        ``decode`` rebuilds the stored payload (fleet sweeps pass
+        ``FleetRunResult.from_payload``).  Any malformed entry (truncated
+        JSON, wrong schema, fingerprint mismatch, decode failure) is
+        deleted and reported as a miss.
         """
         path = self._path(fp)
         try:
             payload = json.loads(path.read_text())
             if payload.get("fingerprint") != fp:
                 raise ValueError("fingerprint mismatch")
-            result = RunResult.from_payload(payload["result"])
+            result = decode(payload["result"])
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -93,8 +99,8 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, fp: str, result: RunResult, meta: dict[str, Any] | None = None) -> Path:
-        """Store ``result`` under ``fp`` atomically; returns the entry path."""
+    def put(self, fp: str, result: Any, meta: dict[str, Any] | None = None) -> Path:
+        """Store ``result`` (anything with ``to_payload()``) atomically."""
         path = self._path(fp)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {

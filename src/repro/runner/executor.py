@@ -33,16 +33,26 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.cluster.trainer import run_training
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
-from repro.runner.fingerprint import fingerprint
+from repro.runner.fingerprint import fingerprint, fleet_fingerprint
 from repro.runner.registry import build_factory
 from repro.runner.spec import RunResult, RunSpec
 
-__all__ = ["run_grid", "execute", "resolve_jobs", "shutdown_pools"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.spec import FleetRunResult, FleetSpec
+
+__all__ = [
+    "run_grid",
+    "execute",
+    "execute_fleet",
+    "run_fleet_grid",
+    "resolve_jobs",
+    "shutdown_pools",
+]
 
 #: Environment variable supplying the default parallelism.
 JOBS_ENV = "REPRO_JOBS"
@@ -76,6 +86,20 @@ def execute(spec: RunSpec) -> RunResult:
     factory = build_factory(spec.strategy, spec.kwargs)
     result = run_training(spec.config, factory)
     return RunResult.from_training(result, skip=spec.skip)
+
+
+def execute_fleet(spec: "FleetSpec") -> "FleetRunResult":
+    """Run one fleet spec in this process and extract its scalars.
+
+    Module-level for the same reason as :func:`execute`: pool workers
+    pickle it by reference and rebuild everything from the plain-data
+    spec.  Imports locally to keep single-run sweeps free of the fleet
+    machinery.
+    """
+    from repro.fleet.simulator import run_fleet
+    from repro.fleet.spec import FleetRunResult
+
+    return FleetRunResult.from_result(run_fleet(spec))
 
 
 # ----------------------------------------------------------------------
@@ -173,6 +197,70 @@ def run_grid(
                         "batch_size": spec.config.batch_size,
                         "strategy": spec.strategy,
                         "seed": spec.config.seed,
+                    },
+                )
+    return results  # type: ignore[return-value]
+
+
+def run_fleet_grid(
+    specs: "Iterable[FleetSpec]",
+    *,
+    jobs: int | None = None,
+    cache: bool | ResultCache | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> "list[FleetRunResult]":
+    """Execute every fleet spec, in order, with caching and fan-out.
+
+    The fleet counterpart of :func:`run_grid`: same cache, same
+    persistent pools, same deterministic re-ordering — only the unit of
+    work is a whole multi-tenant fleet instead of a single run.
+    """
+    from repro.fleet.spec import FleetRunResult
+
+    spec_list = list(specs)
+    jobs = resolve_jobs(jobs)
+    store = _resolve_cache(cache, cache_dir)
+
+    results: "list[FleetRunResult | None]" = [None] * len(spec_list)
+    fps: list[str | None] = [None] * len(spec_list)
+    misses: list[int] = []
+    for i, spec in enumerate(spec_list):
+        if store is not None:
+            fps[i] = fleet_fingerprint(spec)
+            hit = store.get(fps[i], decode=FleetRunResult.from_payload)
+            if hit is not None:
+                results[i] = hit
+                continue
+        misses.append(i)
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            for i in misses:
+                results[i] = execute_fleet(spec_list[i])
+        else:
+            pool = _pool(jobs)
+            futures = [
+                (i, pool.submit(execute_fleet, spec_list[i])) for i in misses
+            ]
+            try:
+                for i, future in futures:
+                    results[i] = future.result()
+            except BrokenProcessPool:
+                _POOLS.pop(jobs, None)
+                for i in misses:
+                    if results[i] is None:
+                        results[i] = execute_fleet(spec_list[i])
+        if store is not None:
+            for i in misses:
+                spec = spec_list[i]
+                store.put(
+                    fps[i],
+                    results[i],
+                    meta={
+                        "kind": "fleet",
+                        "policy": spec.policy,
+                        "n_jobs": spec.n_jobs,
+                        "seed": spec.seed,
                     },
                 )
     return results  # type: ignore[return-value]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from typing import Any, Mapping
 
 import numpy as np
@@ -35,8 +36,28 @@ import repro
 from repro.errors import ConfigurationError
 from repro.net.link import BandwidthSchedule
 from repro.runner.spec import RunSpec
+from repro.sim.fastforward import NO_FASTFORWARD_ENV
 
-__all__ = ["canonical", "fingerprint", "key_payload"]
+__all__ = [
+    "canonical",
+    "fingerprint",
+    "key_payload",
+    "fleet_fingerprint",
+    "fleet_key_payload",
+    "engine_env_payload",
+    "ENGINE_ENV_VARS",
+]
+
+#: Environment variables that change what the simulation engine computes.
+#: They are part of every fingerprint: a result produced with fast-forward
+#: disabled is *the same numbers* but a different event-level execution,
+#: and the cache must not serve one as the other.
+ENGINE_ENV_VARS = (NO_FASTFORWARD_ENV,)
+
+
+def engine_env_payload() -> dict[str, bool]:
+    """The engine-relevant environment as a stable payload fragment."""
+    return {name: bool(os.environ.get(name)) for name in ENGINE_ENV_VARS}
 
 
 def _type_tag(obj: Any) -> str:
@@ -101,6 +122,7 @@ def key_payload(spec: RunSpec) -> dict[str, Any]:
     """The full canonical identity of ``spec`` (pre-hash, for debugging)."""
     return {
         "version": repro.__version__,
+        "env": engine_env_payload(),
         "config": canonical(spec.config),
         "strategy": spec.strategy,
         "strategy_kwargs": canonical(spec.strategy_kwargs),
@@ -110,7 +132,28 @@ def key_payload(spec: RunSpec) -> dict[str, Any]:
 
 def fingerprint(spec: RunSpec) -> str:
     """Hex SHA-256 identifying ``spec``'s simulation under this version."""
-    encoded = json.dumps(
-        key_payload(spec), sort_keys=True, separators=(",", ":")
-    )
+    return _digest(key_payload(spec))
+
+
+def fleet_key_payload(spec: Any) -> dict[str, Any]:
+    """The full canonical identity of a :class:`~repro.fleet.FleetSpec`.
+
+    The ``"kind"`` tag keeps fleet entries disjoint from single-run
+    entries even if their canonical bodies ever coincided.
+    """
+    return {
+        "kind": "fleet",
+        "version": repro.__version__,
+        "env": engine_env_payload(),
+        "spec": canonical(spec),
+    }
+
+
+def fleet_fingerprint(spec: Any) -> str:
+    """Hex SHA-256 identifying a fleet spec's simulation."""
+    return _digest(fleet_key_payload(spec))
+
+
+def _digest(payload: dict[str, Any]) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

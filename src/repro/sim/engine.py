@@ -229,6 +229,12 @@ class Engine:
         self._inv_quantum = 0.0 if time_quantum is None else 1.0 / time_quantum
         #: Trace recorder shared by every component holding this engine.
         self.trace = trace
+        #: Set by the fleet simulator when several jobs share this engine.
+        #: Whole-engine transformations (steady-state fast-forward shifts
+        #: every queued event) are unsound with co-tenants, so eligibility
+        #: checks consult this flag; per-job components namespace their
+        #: trace tracks and event tags themselves.
+        self.multi_tenant = False
 
     @property
     def time_quantum(self) -> float | None:

@@ -313,19 +313,22 @@ _EVENT_EXCLUDE = {BandwidthMonitor._sample}
 # Eligibility gate
 # ----------------------------------------------------------------------
 def fastforward_eligibility(
-    config, schedulers, links, injector
+    config, schedulers, links, injector, engine=None
 ) -> tuple[bool, str | None]:
     """Whether a run qualifies for steady-state fast-forward.
 
     Conservative by construction: every source of aperiodicity or
     cross-iteration drift (faults, noise, jitter, dynamic bandwidth,
-    non-BSP sync, opted-out schedulers) disqualifies the run.  Returns
-    ``(eligible, reason)`` with ``reason`` naming the first blocker.
+    non-BSP sync, opted-out schedulers, co-tenant jobs on a shared
+    engine) disqualifies the run.  Returns ``(eligible, reason)`` with
+    ``reason`` naming the first blocker.
     """
     if not config.fastforward:
         return False, "disabled by configuration"
     if os.environ.get(NO_FASTFORWARD_ENV):
         return False, f"{NO_FASTFORWARD_ENV} set"
+    if engine is not None and getattr(engine, "multi_tenant", False):
+        return False, "multi-tenant engine (fleet run shares the event queue)"
     if config.time_quantum is None:
         return False, "no time_quantum configured (exactness requires the grid)"
     if injector is not None:

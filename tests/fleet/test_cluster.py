@@ -1,0 +1,68 @@
+"""Unit tests for the GPU host pool (slot accounting and gang placement)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.cluster import HostPool
+
+
+class TestHostPool:
+    def test_capacity(self):
+        pool = HostPool(n_hosts=3, slots_per_host=4)
+        assert pool.total_slots == 12
+        assert pool.free_slots == 12
+        assert pool.free_on(1) == 4
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            HostPool(0, 2)
+        with pytest.raises(ConfigurationError):
+            HostPool(2, 0)
+
+    def test_first_fit_spans_hosts_in_index_order(self):
+        pool = HostPool(n_hosts=3, slots_per_host=2)
+        assert pool.alloc(3) == {0: 2, 1: 1}
+        assert pool.alloc(3) == {1: 1, 2: 2}
+        assert pool.free_slots == 0
+
+    def test_alloc_none_when_full(self):
+        pool = HostPool(n_hosts=1, slots_per_host=2)
+        assert pool.alloc(2) == {0: 2}
+        assert pool.alloc(1) is None
+        assert not pool.fits(1)
+
+    def test_alloc_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            HostPool(1, 2).alloc(0)
+
+    def test_release_returns_slots(self):
+        pool = HostPool(n_hosts=2, slots_per_host=2)
+        allocation = pool.alloc(3)
+        pool.release(allocation)
+        assert pool.free_slots == 4
+
+    def test_over_release_raises(self):
+        pool = HostPool(n_hosts=1, slots_per_host=2)
+        with pytest.raises(ConfigurationError):
+            pool.release({0: 1})
+
+    def test_gang_takes_whole_hosts_exclusively(self):
+        pool = HostPool(n_hosts=3, slots_per_host=2)
+        # 3 slots gang -> ceil(3/2) = 2 fully free hosts, taken in full.
+        allocation = pool.alloc(3, whole_hosts=True)
+        assert allocation == {0: 2, 1: 2}
+        assert pool.free_on(0) == 0 and pool.free_on(1) == 0
+        assert pool.free_on(2) == 2
+
+    def test_gang_skips_partially_occupied_hosts(self):
+        pool = HostPool(n_hosts=3, slots_per_host=2)
+        assert pool.alloc(1) == {0: 1}  # host 0 now partially busy
+        assert pool.alloc(3, whole_hosts=True) == {1: 2, 2: 2}
+
+    def test_gang_refuses_without_enough_free_hosts(self):
+        pool = HostPool(n_hosts=2, slots_per_host=2)
+        pool.alloc(1)  # fragments host 0
+        # 3 free slots remain, but only one fully free host.
+        assert pool.free_slots == 3
+        assert not pool.fits(3, whole_hosts=True)
+        assert pool.alloc(3, whole_hosts=True) is None

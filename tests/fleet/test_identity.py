@@ -1,0 +1,73 @@
+"""A 1-job fleet is bit-identical to running the job directly.
+
+This is the fleet's acceptance invariant: wrapping a single training job
+in the multi-tenant machinery (shared engine, cluster fabric, scheduler
+ticks) must not perturb a single float of the simulation — on any
+backend (star PS, sharded PS tier, collective allreduce) and under any
+scheduling strategy or placement policy.  The property test sweeps the
+cross product plus seeds/worker counts; equality is exact (``==`` on the
+scalar projections), not approximate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.trainer import Trainer
+from repro.fleet import FleetSimulator
+from repro.fleet.job import FleetJob
+from repro.quantities import Gbps
+from repro.runner import build_factory
+from repro.runner.spec import RunResult
+from repro.workloads.presets import paper_config
+
+STRATEGIES = ("prophet", "mxnet-fifo", "mg-wfbp")
+BACKENDS = ("star", "sharded", "ring")
+
+
+def _config(backend, n_workers, seed):
+    overrides = {}
+    if backend == "sharded":
+        overrides["n_servers"] = 2
+    elif backend == "ring":
+        overrides["backend"] = "allreduce"
+    return paper_config(
+        "resnet18",
+        16,
+        bandwidth=3 * Gbps,
+        n_workers=n_workers,
+        n_iterations=3,
+        seed=seed,
+        **overrides,
+    )
+
+
+@given(
+    strategy=st.sampled_from(STRATEGIES),
+    backend=st.sampled_from(BACKENDS),
+    policy=st.sampled_from(("fifo", "fair", "gang")),
+    n_workers=st.integers(2, 3),
+    seed=st.integers(0, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_one_job_fleet_is_bit_identical(strategy, backend, policy, n_workers, seed):
+    config = _config(backend, n_workers, seed)
+
+    direct = Trainer(config, build_factory(strategy)).run()
+
+    simulator = FleetSimulator(
+        [FleetJob(name="solo", config=config, strategy=strategy)],
+        core_bandwidth=20 * Gbps,  # > n_workers x NIC: never contended
+        n_hosts=n_workers,
+        slots_per_host=1,
+        policy=policy,
+    )
+    fleet = simulator.run()
+
+    handle = simulator.handles[0]
+    assert RunResult.from_training(handle.result, skip=1) == RunResult.from_training(
+        direct, skip=1
+    )
+    assert handle.result.end_time == direct.end_time
+    record = fleet.records[0]
+    assert record.queueing_delay == 0.0
+    assert record.finished_at == direct.end_time

@@ -1,0 +1,95 @@
+"""Unit tests for the fleet-level metrics (fairness, goodput, tails)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.job import JobRecord
+from repro.metrics.fleet import (
+    fleet_goodput,
+    fleet_makespan,
+    iteration_percentile,
+    jain_index,
+    queueing_delays,
+    summarize_fleet,
+)
+
+
+def _record(name, arrival=0.0, placed=0.0, finished=10.0, rate=50.0,
+            samples=100.0, spans=(1.0, 1.0)):
+    return JobRecord(
+        name=name,
+        user=name,
+        strategy="prophet",
+        n_workers=2,
+        arrival=arrival,
+        placed_at=placed,
+        finished_at=finished,
+        samples=samples,
+        training_rate=rate,
+        iteration_s=tuple(spans),
+    )
+
+
+class TestJainIndex:
+    def test_equal_rates_are_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == 1.0
+
+    def test_degenerate_inputs_default_to_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_skew_lowers_the_index(self):
+        # One job hogging everything: J = 1/n.
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+        assert jain_index([3.0, 1.0]) < 1.0
+
+
+class TestFleetAggregates:
+    def test_makespan_spans_first_arrival_to_last_finish(self):
+        records = [
+            _record("a", arrival=1.0, finished=6.0),
+            _record("b", arrival=2.0, finished=9.0),
+        ]
+        assert fleet_makespan(records) == 8.0
+
+    def test_goodput_is_samples_over_makespan(self):
+        records = [
+            _record("a", samples=100.0, finished=10.0),
+            _record("b", samples=60.0, finished=10.0),
+        ]
+        assert fleet_goodput(records) == pytest.approx(16.0)
+
+    def test_percentiles_pool_all_workers_spans(self):
+        records = [
+            _record("a", spans=(1.0, 1.0)),
+            _record("b", spans=(3.0, 3.0)),
+        ]
+        assert iteration_percentile(records, 50.0) == pytest.approx(2.0)
+        assert iteration_percentile(records, 100.0) == pytest.approx(3.0)
+
+    def test_queueing_delays_per_record(self):
+        records = [
+            _record("a", arrival=0.0, placed=0.0),
+            _record("b", arrival=1.0, placed=2.5),
+        ]
+        assert list(queueing_delays(records)) == [0.0, 1.5]
+
+    def test_summary_keys(self):
+        summary = summarize_fleet([_record("a"), _record("b", placed=1.0)])
+        assert set(summary) == {
+            "n_jobs",
+            "makespan_s",
+            "goodput_samples_per_s",
+            "p50_iteration_s",
+            "p99_iteration_s",
+            "jain_fairness",
+            "mean_queueing_delay_s",
+            "max_queueing_delay_s",
+        }
+        assert summary["n_jobs"] == 2
+        assert summary["max_queueing_delay_s"] == 1.0
+
+    def test_empty_records_raise(self):
+        for fn in (fleet_makespan, fleet_goodput, summarize_fleet):
+            with pytest.raises(ConfigurationError):
+                fn([])

@@ -215,6 +215,76 @@ class TestLink:
 # BandwidthSchedule public accessors and capping
 # ----------------------------------------------------------------------
 
+class TestSetLevel:
+    def test_appends_a_breakpoint(self):
+        sched = BandwidthSchedule.constant(4.0)
+        sched.set_level(2.0, 1.0)
+        assert sched.points == ((0.0, 4.0), (2.0, 1.0))
+        assert sched.value(1.0) == 4.0
+        assert sched.value(2.0) == 1.0
+
+    def test_truncates_breakpoints_at_or_after_time(self):
+        sched = BandwidthSchedule([(0.0, 1.0), (5.0, 2.0), (10.0, 3.0)])
+        sched.set_level(5.0, 9.0)
+        assert sched.points == ((0.0, 1.0), (5.0, 9.0))
+
+    def test_noop_when_tail_already_at_level(self):
+        sched = BandwidthSchedule([(0.0, 1.0), (5.0, 2.0)])
+        version = sched._version
+        sched.set_level(8.0, 2.0)
+        assert sched.points == ((0.0, 1.0), (5.0, 2.0))
+        assert sched._version == version  # consumers' caches stay valid
+
+    def test_truncation_dedupes_against_preceding_segment(self):
+        sched = BandwidthSchedule([(0.0, 1.0), (5.0, 2.0)])
+        sched.set_level(3.0, 1.0)
+        # Future breakpoints dropped, and (3.0, 1.0) would duplicate the
+        # preceding level — one breakpoint remains.
+        assert sched.points == ((0.0, 1.0),)
+
+    def test_relevel_at_existing_time_replaces(self):
+        sched = BandwidthSchedule([(0.0, 4.0)])
+        sched.set_level(0.0, 2.5)
+        assert sched.points == ((0.0, 2.5),)
+
+    def test_rejects_bad_arguments(self):
+        sched = BandwidthSchedule.constant(1.0)
+        with pytest.raises(ConfigurationError):
+            sched.set_level(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            sched.set_level(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            sched.set_level(float("nan"), 1.0)
+        with pytest.raises(ConfigurationError):
+            sched.set_level(float("inf"), 1.0)
+
+    def test_stale_cursor_is_clamped_after_truncation(self):
+        """Regression: a lookup deep in the schedule leaves the cursor on a
+        late segment; a truncating set_level then shrinks the breakpoint
+        list below the cursor.  The next value() must clamp, not IndexError
+        or scan a prefix that no longer exists."""
+        sched = BandwidthSchedule([(0.0, 1.0), (5.0, 2.0), (10.0, 3.0), (20.0, 4.0)])
+        assert sched.value(25.0) == 4.0  # cursor -> last segment
+        sched.set_level(4.0, 7.0)  # truncates to [(0,1),(4,7)]
+        assert sched.value(3.0) == 1.0  # behind-cursor lookup post-truncation
+        assert sched.value(4.5) == 7.0
+        assert sched.value(100.0) == 7.0
+
+    def test_link_constant_fast_path_sees_in_place_mutation(self, engine):
+        """A Link caches a constant schedule's level; set_level must bust
+        that cache via the version counter even though the schedule object
+        identity is unchanged (the fleet fabric re-levels in place)."""
+        sched = BandwidthSchedule.constant(2 * Gbps)
+        link = Link(engine, sched, TCPParams(), name="t")
+        first_end = link.send(10 * MB)
+        engine.run()
+        sched.set_level(engine.now, 1 * Gbps)
+        second_end = link.send(10 * MB) - engine.now
+        assert second_end > (first_end - 0.0)  # half the bandwidth: slower
+        expected = transfer_time(10 * MB, 1 * Gbps, link.tcp, warm=link._is_warm())
+        assert second_end == pytest.approx(expected, rel=1e-9)
+
+
 class TestScheduleCapped:
     def test_points_roundtrip(self):
         sched = BandwidthSchedule([(0.0, 5.0), (2.0, 9.0)])

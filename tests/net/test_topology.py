@@ -225,3 +225,78 @@ class TestShardedTopology:
                 engine, n_workers=1, n_servers=1, bandwidth=1 * Gbps,
                 ps_bandwidth=-1.0,
             )
+
+
+class TestClusterFabric:
+    def _fabric(self, core=10 * Gbps):
+        from repro.net.topology import ClusterFabric
+
+        return ClusterFabric(core)
+
+    def test_rejects_nonpositive_core(self):
+        from repro.net.topology import ClusterFabric
+
+        with pytest.raises(ConfigurationError):
+            ClusterFabric(0.0)
+
+    def test_single_tenant_gets_exact_nic_rate(self):
+        fabric = self._fabric(core=10 * Gbps)
+        sched = fabric.admit("job0", n_links=2, nic_bandwidth=3 * Gbps)
+        # Bit-exactness contract: an unconstrained tenant keeps its NIC
+        # rate with no float division, and the live schedule keeps its
+        # single breakpoint (the links' constant-schedule fast path).
+        assert sched.points == ((0.0, 3 * Gbps),)
+        assert fabric.share("job0") == 3 * Gbps
+        assert fabric.oversubscription() == pytest.approx(0.6)
+
+    def test_contended_tenants_split_the_core_evenly(self):
+        fabric = self._fabric(core=10 * Gbps)
+        a = fabric.admit("a", n_links=2, nic_bandwidth=3 * Gbps, now=0.0)
+        b = fabric.admit("b", n_links=2, nic_bandwidth=3 * Gbps, now=1.0)
+        # 12 Gbps demand on a 10 Gbps core: each tenant gets 5 Gbps
+        # aggregate, 2.5 Gbps per link, from t=1 on.
+        assert a.value(0.5) == pytest.approx(3 * Gbps)
+        assert a.value(1.0) == pytest.approx(2.5 * Gbps)
+        assert b.value(1.0) == pytest.approx(2.5 * Gbps)
+        assert fabric.demand() == pytest.approx(12 * Gbps)
+        assert fabric.oversubscription() == pytest.approx(1.2)
+
+    def test_water_fill_protects_small_tenants(self):
+        fabric = self._fabric(core=10 * Gbps)
+        small = fabric.admit("small", n_links=1, nic_bandwidth=1 * Gbps)
+        big = fabric.admit("big", n_links=4, nic_bandwidth=10 * Gbps, now=0.0)
+        # Max-min: the 1 Gbps tenant is unconstrained and keeps its NIC
+        # rate exactly; the big tenant gets the 9 Gbps remainder.
+        assert small.value(0.0) == 1 * Gbps
+        assert big.value(0.0) == pytest.approx(9 * Gbps / 4)
+
+    def test_share_never_exceeds_own_nic(self):
+        fabric = self._fabric(core=100 * Gbps)
+        sched = fabric.admit("a", n_links=2, nic_bandwidth=3 * Gbps)
+        fabric.admit("b", n_links=2, nic_bandwidth=3 * Gbps)
+        assert sched.value(0.0) == 3 * Gbps  # plenty of core: NIC-limited
+
+    def test_release_restores_the_survivors_share(self):
+        fabric = self._fabric(core=10 * Gbps)
+        a = fabric.admit("a", n_links=2, nic_bandwidth=3 * Gbps, now=0.0)
+        fabric.admit("b", n_links=2, nic_bandwidth=3 * Gbps, now=1.0)
+        assert a.value(1.0) == pytest.approx(2.5 * Gbps)
+        fabric.release("b", now=2.0)
+        # Back to unconstrained: the exact NIC rate again.
+        assert a.value(2.0) == 3 * Gbps
+        assert fabric.tenants == ("a",)
+
+    def test_duplicate_admit_and_unknown_release_raise(self):
+        fabric = self._fabric()
+        fabric.admit("a", n_links=1, nic_bandwidth=1 * Gbps)
+        with pytest.raises(ConfigurationError):
+            fabric.admit("a", n_links=1, nic_bandwidth=1 * Gbps)
+        with pytest.raises(ConfigurationError):
+            fabric.release("ghost")
+
+    def test_admit_validates_arguments(self):
+        fabric = self._fabric()
+        with pytest.raises(ConfigurationError):
+            fabric.admit("a", n_links=0, nic_bandwidth=1 * Gbps)
+        with pytest.raises(ConfigurationError):
+            fabric.admit("a", n_links=1, nic_bandwidth=0.0)

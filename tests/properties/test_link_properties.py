@@ -70,3 +70,58 @@ def test_boundary_queries_pick_right_segment(points):
     sched = BandwidthSchedule(points)
     for t, b in points:
         assert sched.value(t) == b
+
+
+# ----------------------------------------------------------------------
+# Live mutation: set_level() interleaved with value() lookups
+# ----------------------------------------------------------------------
+class _NaiveSchedule:
+    """Cursor-free oracle: a plain breakpoint list, full bisect per lookup.
+
+    Mirrors the documented set_level semantics (truncate at-or-after,
+    append unless it would duplicate the preceding level) without any of
+    the cursor/version machinery under test.
+    """
+
+    def __init__(self, points):
+        self.points = list(points)
+
+    def set_level(self, time, bandwidth):
+        self.points = [(t, b) for t, b in self.points if t < time]
+        if not self.points or self.points[-1][1] != bandwidth:
+            self.points.append((time, bandwidth))
+
+    def value(self, time):
+        return _reference_value(self.points, time)
+
+
+@st.composite
+def op_sequences(draw):
+    """Interleaved (set_level | value) ops over a small time range."""
+    n = draw(st.integers(1, 30))
+    ops = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            ops.append(
+                ("set", draw(st.floats(0.0, 100.0)), draw(st.floats(1e-3, 1e9)))
+            )
+        else:
+            ops.append(("get", draw(st.floats(0.0, 200.0)), None))
+    return ops
+
+
+@given(points=schedules(), ops=op_sequences())
+@settings(max_examples=300, deadline=None)
+def test_set_level_interleaving_matches_naive_oracle(points, ops):
+    """Any interleaving of re-levelling and (non-monotone) lookups agrees
+    with the cursor-free oracle — the fleet fabric's mutation pattern must
+    never let a stale cursor surface a wrong bandwidth or an IndexError."""
+    sched = BandwidthSchedule(points)
+    oracle = _NaiveSchedule(points)
+    for op, time, bandwidth in ops:
+        if op == "set":
+            sched.set_level(time, bandwidth)
+            oracle.set_level(time, bandwidth)
+            assert list(sched.points) == oracle.points
+        else:
+            assert sched.value(time) == oracle.value(time)

@@ -111,3 +111,68 @@ def test_bandwidth_schedule_fingerprints(spec):
 def test_callables_are_rejected():
     with pytest.raises(ConfigurationError):
         canonical(lambda: None)
+
+
+class TestEngineEnvSensitivity:
+    """REPRO_NO_FASTFORWARD changes event interleavings mid-run, so it is
+    part of the cache key — a result computed with fast-forward disabled
+    must never be served to an enabled run (or vice versa)."""
+
+    def test_no_fastforward_flips_the_fingerprint(self, spec, monkeypatch):
+        from repro.sim.fastforward import NO_FASTFORWARD_ENV
+
+        monkeypatch.delenv(NO_FASTFORWARD_ENV, raising=False)
+        fp_default = fingerprint(spec)
+        monkeypatch.setenv(NO_FASTFORWARD_ENV, "1")
+        assert fingerprint(spec) != fp_default
+        monkeypatch.delenv(NO_FASTFORWARD_ENV)
+        assert fingerprint(spec) == fp_default
+
+    def test_env_payload_lists_every_engine_var(self, monkeypatch):
+        from repro.runner import ENGINE_ENV_VARS, engine_env_payload
+        from repro.sim.fastforward import NO_FASTFORWARD_ENV
+
+        assert NO_FASTFORWARD_ENV in ENGINE_ENV_VARS
+        monkeypatch.setenv(NO_FASTFORWARD_ENV, "1")
+        payload = engine_env_payload()
+        assert set(payload) == set(ENGINE_ENV_VARS)
+        assert payload[NO_FASTFORWARD_ENV] is True
+        monkeypatch.delenv(NO_FASTFORWARD_ENV)
+        assert engine_env_payload()[NO_FASTFORWARD_ENV] is False
+
+
+class TestFleetFingerprint:
+    def _spec(self, **overrides):
+        from repro.fleet import FleetSpec
+
+        defaults = dict(n_jobs=4, policy="fair", strategies=("prophet",))
+        defaults.update(overrides)
+        return FleetSpec(**defaults)
+
+    def test_stable_and_sensitive(self):
+        from repro.runner import fleet_fingerprint
+
+        fp = fleet_fingerprint(self._spec())
+        assert fleet_fingerprint(self._spec()) == fp
+        assert fleet_fingerprint(self._spec(seed=1)) != fp
+        assert fleet_fingerprint(self._spec(policy="fifo")) != fp
+        assert fleet_fingerprint(self._spec(n_jobs=5)) != fp
+        assert (
+            fleet_fingerprint(self._spec(strategies=("prophet", "mg-wfbp"))) != fp
+        )
+
+    def test_kind_tag_separates_fleet_from_single_runs(self):
+        from repro.runner import fleet_key_payload
+
+        payload = fleet_key_payload(self._spec())
+        assert payload["kind"] == "fleet"
+        assert "env" in payload
+
+    def test_engine_env_flips_fleet_fingerprint(self, monkeypatch):
+        from repro.runner import fleet_fingerprint
+        from repro.sim.fastforward import NO_FASTFORWARD_ENV
+
+        monkeypatch.delenv(NO_FASTFORWARD_ENV, raising=False)
+        fp = fleet_fingerprint(self._spec())
+        monkeypatch.setenv(NO_FASTFORWARD_ENV, "1")
+        assert fleet_fingerprint(self._spec()) != fp

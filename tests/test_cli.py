@@ -360,12 +360,16 @@ class TestPsTierFlags:
 
 class TestBackendFlags:
     def test_defaults_leave_config_untouched(self):
+        # --collective/--group-size default to None sentinels so the CLI
+        # can tell "never mentioned" from "typed the default" when
+        # rejecting PS/allreduce flag mixtures; resolution to ring/2
+        # happens only once --backend allreduce is validated.
         for cmd in ("compare", "sched"):
             argv = [cmd, "prophet"] if cmd == "sched" else [cmd]
             args = build_parser().parse_args(argv)
             assert args.backend == "ps"
-            assert args.collective == "ring"
-            assert args.group_size == 2
+            assert args.collective is None
+            assert args.group_size is None
 
     def test_parse_backend_and_collective(self):
         args = build_parser().parse_args(
@@ -418,3 +422,108 @@ class TestBackendFlags:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestFlagRejectionMatrix:
+    """Invalid flag combinations fail fast with one-line errors, exit 2.
+
+    Every row is a combination that the parser would otherwise accept and
+    then silently ignore half of — the CLI's error contract promises an
+    ``error: ...`` line on stderr instead.
+    """
+
+    @pytest.mark.parametrize(
+        ("argv", "fragment"),
+        [
+            (["compare", "--backend", "allreduce", "--n-servers", "2"],
+             "--n-servers is a parameter-server knob"),
+            (["compare", "--backend", "allreduce", "--ps-gbps", "4"],
+             "--ps-gbps is a parameter-server knob"),
+            (["compare", "--collective", "ring"],
+             "--collective requires --backend allreduce"),
+            (["compare", "--collective", "hierarchical"],
+             "--collective requires --backend allreduce"),
+            (["compare", "--group-size", "4"],
+             "--group-size requires --backend allreduce"),
+            (["sched", "prophet", "--group-size", "2"],
+             "--group-size requires --backend allreduce"),
+            (["sched", "prophet", "--backend", "allreduce",
+              "--group-size", "2"],
+             "--group-size only applies to --collective hierarchical"),
+            (["sched", "prophet", "--backend", "allreduce",
+              "--collective", "ring", "--group-size", "2"],
+             "--group-size only applies to --collective hierarchical"),
+            (["chaos", "--backend", "allreduce", "--n-servers", "2"],
+             "--n-servers is a parameter-server knob"),
+            (["chaos", "--collective", "hierarchical"],
+             "--collective requires --backend allreduce"),
+        ],
+        ids=[
+            "allreduce-n-servers", "allreduce-ps-gbps",
+            "ring-without-backend", "hierarchical-without-backend",
+            "group-size-without-backend", "sched-group-size-without-backend",
+            "group-size-without-hierarchical",
+            "group-size-with-ring", "chaos-allreduce-n-servers",
+            "chaos-collective-without-backend",
+        ],
+    )
+    def test_rejected_with_one_line_error(self, capsys, argv, fragment):
+        code = main(argv)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert fragment in err
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["compare", "--bogus-flag"],
+            ["sched"],  # missing strategy positional
+            ["fleet", "--policy", "lottery"],
+            ["fleet", "--n-jobs", "many"],
+        ],
+        ids=["unknown-flag", "missing-positional", "bad-choice", "bad-int"],
+    )
+    def test_parse_failures_follow_the_same_contract(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_valid_hierarchical_combo_still_parses(self):
+        args = build_parser().parse_args(
+            ["compare", "--backend", "allreduce",
+             "--collective", "hierarchical", "--group-size", "4"]
+        )
+        assert args.group_size == 4
+
+
+class TestFleetCommand:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.n_jobs == 8
+        assert args.policy == "fifo"
+        assert args.strategies == ["prophet"]
+
+    def test_fleet_runs_and_prints_summary(self, capsys):
+        code = main(
+            [
+                "fleet", "--n-jobs", "3", "--policy", "fifo",
+                "--strategies", "prophet", "mg-wfbp",
+                "--iterations", "3", "--interarrival", "0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet goodput" in out
+        assert "Jain fairness" in out
+        assert "per-strategy breakdown" in out
+
+    def test_fleet_rejects_unknown_strategy(self, capsys):
+        code = main(["fleet", "--strategies", "prophet", "warlock"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "warlock" in err
